@@ -1,0 +1,77 @@
+"""Ablation: each backend with its secondary indexes dropped.
+
+The paper's analysis repeatedly credits indexes for PolyFrame's wins
+(expressions 3, 9, 10, 11, 12, 13).  This bench measures the index-backed
+expressions with and without secondary indexes on every backend.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import benchmark_params, build_systems, run_suite
+from repro.bench.expressions import EXPRESSIONS
+from repro.bench.report import format_expression_table
+
+from conftest import BENCH_XS, write_result
+
+INDEX_SENSITIVE = tuple(expr for expr in EXPRESSIONS if expr.id in (3, 9, 10, 11, 12, 13))
+POLY_SYSTEMS = (
+    "PolyFrame-AsterixDB", "PolyFrame-PostgreSQL",
+    "PolyFrame-MongoDB", "PolyFrame-Neo4j",
+)
+
+
+@pytest.fixture(scope="module")
+def indexed_systems(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("idx")
+    return build_systems(BENCH_XS, tmp, which=POLY_SYSTEMS, indexes=True)
+
+
+@pytest.fixture(scope="module")
+def unindexed_systems(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("noidx")
+    return build_systems(BENCH_XS, tmp, which=POLY_SYSTEMS, indexes=False)
+
+
+def test_with_indexes(benchmark, indexed_systems, params):
+    measurements = benchmark.pedantic(
+        run_suite, args=(indexed_systems, INDEX_SENSITIVE, params),
+        kwargs={"dataset": "XS"}, rounds=1, iterations=1,
+    )
+    assert all(m.status == "ok" for m in measurements)
+
+
+def test_without_indexes(benchmark, unindexed_systems, params):
+    measurements = benchmark.pedantic(
+        run_suite, args=(unindexed_systems, INDEX_SENSITIVE, params),
+        kwargs={"dataset": "XS"}, rounds=1, iterations=1,
+    )
+    assert all(m.status == "ok" for m in measurements)
+
+
+def test_emit_index_ablation(benchmark, indexed_systems, unindexed_systems, params, results_dir):
+    def compare() -> str:
+        with_idx = run_suite(indexed_systems, INDEX_SENSITIVE, params, dataset="XS")
+        without_idx = run_suite(unindexed_systems, INDEX_SENSITIVE, params, dataset="XS")
+        pieces = [
+            format_expression_table(
+                with_idx, timing="expression", title="With secondary indexes"
+            ),
+            "",
+            format_expression_table(
+                without_idx, timing="expression", title="Without secondary indexes"
+            ),
+        ]
+        # Sorting with a LIMIT (expression 9) must be strictly faster with
+        # an index on the sort column, on the index-order backends.
+        by_with = {(m.system, m.expression_id): m for m in with_idx}
+        by_without = {(m.system, m.expression_id): m for m in without_idx}
+        for system in ("PolyFrame-PostgreSQL", "PolyFrame-MongoDB"):
+            assert (
+                by_with[(system, 9)].expression_seconds
+                < by_without[(system, 9)].expression_seconds
+            ), system
+        return "\n".join(pieces)
+
+    write_result(results_dir, "ablation_indexes.txt", benchmark.pedantic(compare, rounds=1))

@@ -1,0 +1,74 @@
+"""Ablation: lazy composition vs eagerly materializing every step.
+
+PolyFrame's lazy evaluation sends one composed query per action.  The
+alternative — what a naive eager client would do — executes and fetches
+every intermediate dataframe.  This bench runs the paper's Table I chain
+(filter → project → head) both ways against the SQL engine and reports the
+gap, isolating the benefit the paper attributes to lazy evaluation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import PolyFrame, PostgresConnector
+from repro.sqlengine import SQLDatabase
+from repro.wisconsin import loaders, wisconsin_records
+
+from conftest import BENCH_XS, write_result
+
+
+@pytest.fixture(scope="module")
+def connector():
+    db = SQLDatabase()
+    loaders.load_postgres(db, "Bench", "data", wisconsin_records(BENCH_XS))
+    return PostgresConnector(db)
+
+
+def lazy_chain(connector) -> int:
+    """One composed query; the database sees the whole intent."""
+    af = PolyFrame("Bench", "data", connector)
+    return len(af[af["ten"] == 4][["unique1", "ten"]].head(5))
+
+
+def eager_chain(connector) -> int:
+    """Materialize every intermediate result, as eager evaluation would."""
+    af = PolyFrame("Bench", "data", connector)
+    base = af.collect()                             # step 1: whole dataset
+    mask = [record["ten"] == 4 for record in base.to_records()]
+    filtered = base[base["ten"] == 4]               # step 2: full filter
+    projected = filtered[["unique1", "ten"]]        # step 3: full projection
+    assert len(mask) == len(base)
+    return len(projected.head(5))
+
+
+def test_lazy_chain(benchmark, connector):
+    assert benchmark(lazy_chain, connector) == 5
+
+
+def test_eager_chain(benchmark, connector):
+    assert benchmark(eager_chain, connector) == 5
+
+
+def test_emit_lazy_vs_eager(benchmark, connector, results_dir):
+    import time
+
+    def compare() -> str:
+        started = time.perf_counter()
+        lazy_chain(connector)
+        lazy_elapsed = time.perf_counter() - started
+        started = time.perf_counter()
+        eager_chain(connector)
+        eager_elapsed = time.perf_counter() - started
+        assert lazy_elapsed < eager_elapsed
+        return "\n".join(
+            [
+                "Lazy vs eager evaluation of the Table I chain (filter → project → head(5))",
+                "",
+                f"lazy (one composed query):        {lazy_elapsed * 1000:9.2f}ms",
+                f"eager (materialize every step):   {eager_elapsed * 1000:9.2f}ms",
+                f"lazy advantage:                   {eager_elapsed / lazy_elapsed:9.1f}x",
+            ]
+        )
+
+    write_result(results_dir, "ablation_lazy_vs_eager.txt", benchmark.pedantic(compare, rounds=1))

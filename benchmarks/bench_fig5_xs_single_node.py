@@ -1,0 +1,111 @@
+"""Figure 5: XS single-node results, total and expression-only timings.
+
+Runs all 13 expressions on Pandas and the four PolyFrame variants at XS
+scale, plus the 'Empty' dataset baseline for expressions 2 and 10 that the
+paper uses to expose fixed query-preparation overheads (AsterixDB's being
+the largest).
+"""
+
+from __future__ import annotations
+
+from repro.bench import EXPRESSIONS, build_systems, run_suite
+from repro.bench.expressions import expression
+from repro.bench.report import format_expression_table
+from repro.bench.runner import run_expression
+
+from conftest import BENCH_XS, write_result
+
+
+def test_fig5_xs_all_systems(benchmark, systems_by_size, params, results_dir):
+    systems = systems_by_size("XS")
+
+    def run():
+        return run_suite(systems, EXPRESSIONS, params, dataset="XS")
+
+    measurements = benchmark.pedantic(run, rounds=1, iterations=1)
+    total = format_expression_table(
+        measurements, timing="total",
+        title=f"Fig 5a/5b — total runtimes, XS ({BENCH_XS} records)",
+    )
+    expr_only = format_expression_table(
+        measurements, timing="expression",
+        title=f"Fig 5c/5d — expression-only runtimes, XS ({BENCH_XS} records)",
+    )
+    from repro.bench.charts import bar_chart
+
+    charts = bar_chart(
+        measurements, timing="expression",
+        title="Fig 5c/5d as bars (expression-only)",
+    )
+    write_result(
+        results_dir, "fig5_xs_single_node.txt",
+        total + "\n\n" + expr_only + "\n\n" + charts,
+    )
+
+    # Shape assertions from the paper's Figure 5 discussion.
+    by_key = {(m.system, m.expression_id): m for m in measurements}
+    pandas_total = by_key[("Pandas", 1)].total_seconds
+    poly_systems = (
+        "PolyFrame-AsterixDB", "PolyFrame-PostgreSQL",
+        "PolyFrame-MongoDB", "PolyFrame-Neo4j",
+    )
+    for system in poly_systems:
+        # Pandas total runtimes significantly higher than all PolyFrame
+        # variants (DataFrame creation loads the whole file).
+        assert by_key[(system, 1)].total_seconds < pandas_total
+
+    # Expressions 5 and 10: Pandas loses even expression-only.  Margins at
+    # this scale are a few hundred microseconds, so compare best-of-3 runs
+    # rather than the single table pass.
+    def best_of(system_name: str, expr_id: int, rounds: int = 3) -> float:
+        return min(
+            run_expression(systems[system_name], expression(expr_id), params).expression_seconds
+            for _ in range(rounds)
+        )
+
+    for expr_id in (5, 10):
+        pandas_best = best_of("Pandas", expr_id)
+        for system in poly_systems:
+            assert best_of(system, expr_id) < pandas_best, (system, expr_id)
+
+
+def test_fig5_empty_baseline(benchmark, bench_workdir, params, results_dir):
+    """The 'Empty' dataset bars for expressions 2 and 10."""
+    poly_only = (
+        "PolyFrame-AsterixDB", "PolyFrame-PostgreSQL",
+        "PolyFrame-MongoDB", "PolyFrame-Neo4j",
+    )
+    systems = build_systems(0, bench_workdir, which=poly_only)
+
+    def run():
+        out = []
+        for expr_id in (2, 10):
+            for system in systems.values():
+                out.append(
+                    run_expression(system, expression(expr_id), params, dataset="Empty")
+                )
+        return out
+
+    measurements = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_expression_table(
+        measurements, timing="total",
+        title="Fig 5 'Empty' baseline — fixed query preparation overheads",
+    )
+    write_result(results_dir, "fig5_empty_baseline.txt", table)
+
+    # AsterixDB's fixed overhead dominates the other systems' (the paper:
+    # "especially AsterixDB, which is designed to operate efficiently on
+    # big data rather than being fast on 'small' queries").  Compare
+    # best-of-3 totals: the quantities are all ~1ms.
+    def best_total(system_name: str, expr_id: int, rounds: int = 3) -> float:
+        return min(
+            run_expression(
+                systems[system_name], expression(expr_id), params, dataset="Empty"
+            ).total_seconds
+            for _ in range(rounds)
+        )
+
+    for expr_id in (2, 10):
+        asterix = best_total("PolyFrame-AsterixDB", expr_id)
+        for other in ("PolyFrame-PostgreSQL", "PolyFrame-MongoDB", "PolyFrame-Neo4j"):
+            assert asterix > best_total(other, expr_id)

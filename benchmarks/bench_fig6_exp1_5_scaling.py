@@ -1,0 +1,58 @@
+"""Figure 6: expressions 1-5 across dataset sizes XS-XL.
+
+Pandas must complete XS and S but fail with out-of-memory on M, L, and XL;
+every PolyFrame variant completes all sizes.
+"""
+
+from __future__ import annotations
+
+from repro.bench import benchmark_params, run_suite
+from repro.bench.expressions import EXPRESSIONS
+from repro.bench.report import format_scaling_table
+from repro.bench.runner import STATUS_OK, STATUS_OOM
+
+from conftest import write_result
+
+EXPRS = tuple(expr for expr in EXPRESSIONS if 1 <= expr.id <= 5)
+SIZE_NAMES = ("XS", "S", "M", "L", "XL")
+
+
+def run_scaling(systems_by_size, params, exprs):
+    measurements = []
+    for size in SIZE_NAMES:
+        systems = systems_by_size(size)
+        measurements.extend(run_suite(systems, exprs, params, dataset=size))
+    return measurements
+
+
+def assert_oom_pattern(measurements):
+    """Paper: Pandas OOMs on M/L/XL; PolyFrame completes everything."""
+    for m in measurements:
+        if m.system == "Pandas" and m.dataset in ("M", "L", "XL"):
+            assert m.status == STATUS_OOM, (m.system, m.dataset, m.expression_id)
+        elif m.system == "Pandas":
+            assert m.status == STATUS_OK, (m.dataset, m.expression_id)
+        else:
+            assert m.status == STATUS_OK, (m.system, m.dataset, m.expression_id)
+
+
+def test_fig6_scaling(benchmark, systems_by_size, params, results_dir):
+    measurements = benchmark.pedantic(
+        run_scaling, args=(systems_by_size, params, EXPRS), rounds=1, iterations=1
+    )
+    assert_oom_pattern(measurements)
+    total = format_scaling_table(
+        measurements, timing="total", title="Fig 6 — expressions 1-5, total runtimes"
+    )
+    expr_only = format_scaling_table(
+        measurements, timing="expression",
+        title="Fig 6 — expressions 1-5, expression-only runtimes",
+    )
+    write_result(results_dir, "fig6_exp1_5_scaling.txt", total + "\n\n" + expr_only)
+
+    # Expression 1 shape: Neo4j fastest at every size (count store).
+    by_key = {(m.system, m.dataset, m.expression_id): m for m in measurements}
+    for size in SIZE_NAMES:
+        neo = by_key[("PolyFrame-Neo4j", size, 1)].expression_seconds
+        for other in ("PolyFrame-MongoDB", "PolyFrame-PostgreSQL"):
+            assert neo < by_key[(other, size, 1)].expression_seconds, (size, other)

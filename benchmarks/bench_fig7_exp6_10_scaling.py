@@ -1,0 +1,67 @@
+"""Figure 7: expressions 6-10 across dataset sizes XS-XL.
+
+Shape targets from the paper's discussion:
+
+- expressions 6/7: PostgreSQL answers via index-only plans, staying
+  competitive with Pandas' expression-only time at every size;
+- expression 9: MongoDB and PostgreSQL use backward index scans;
+- expression 10: lazy evaluation beats Pandas' eager intermediate
+  materialization even expression-only.
+"""
+
+from __future__ import annotations
+
+from repro.bench import run_suite
+from repro.bench.expressions import EXPRESSIONS
+from repro.bench.report import format_scaling_table
+from repro.bench.runner import STATUS_OK
+
+from bench_fig6_exp1_5_scaling import SIZE_NAMES, assert_oom_pattern, run_scaling
+from conftest import write_result
+
+EXPRS = tuple(expr for expr in EXPRESSIONS if 6 <= expr.id <= 10)
+
+
+def test_fig7_scaling(benchmark, systems_by_size, params, results_dir):
+    measurements = benchmark.pedantic(
+        run_scaling, args=(systems_by_size, params, EXPRS), rounds=1, iterations=1
+    )
+    assert_oom_pattern(measurements)
+    total = format_scaling_table(
+        measurements, timing="total", title="Fig 7 — expressions 6-10, total runtimes"
+    )
+    expr_only = format_scaling_table(
+        measurements, timing="expression",
+        title="Fig 7 — expressions 6-10, expression-only runtimes",
+    )
+    write_result(results_dir, "fig7_exp6_10_scaling.txt", total + "\n\n" + expr_only)
+
+    by_key = {(m.system, m.dataset, m.expression_id): m for m in measurements}
+
+    # Expressions 6/7: PostgreSQL's index-only plans beat the scan-based
+    # variants at every size.
+    for size in SIZE_NAMES:
+        for expr_id in (6, 7):
+            postgres = by_key[("PolyFrame-PostgreSQL", size, expr_id)]
+            for scanner in ("PolyFrame-MongoDB", "PolyFrame-Neo4j", "PolyFrame-AsterixDB"):
+                assert postgres.expression_seconds < by_key[
+                    (scanner, size, expr_id)
+                ].expression_seconds, (size, expr_id, scanner)
+
+    # Expression 9: backward index scans keep MongoDB/PostgreSQL flat while
+    # AsterixDB's full sort grows with the data.
+    for size in ("L", "XL"):
+        asterix = by_key[("PolyFrame-AsterixDB", size, 9)].expression_seconds
+        assert by_key[("PolyFrame-MongoDB", size, 9)].expression_seconds < asterix
+        assert by_key[("PolyFrame-PostgreSQL", size, 9)].expression_seconds < asterix
+
+    # Expression 10 (and 5, in Figure 6): Pandas loses even expression-only
+    # where it still runs.
+    for size in ("XS", "S"):
+        pandas = by_key[("Pandas", size, 10)]
+        assert pandas.status == STATUS_OK
+        for system in (
+            "PolyFrame-AsterixDB", "PolyFrame-PostgreSQL",
+            "PolyFrame-MongoDB", "PolyFrame-Neo4j",
+        ):
+            assert by_key[(system, size, 10)].expression_seconds < pandas.expression_seconds

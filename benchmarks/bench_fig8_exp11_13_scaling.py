@@ -1,0 +1,48 @@
+"""Figure 8: expressions 11-13 across dataset sizes XS-XL.
+
+Shape targets:
+
+- expression 12: AsterixDB's index-only join beats the index nested-loop
+  variants;
+- expression 13: PostgreSQL answers ``isna()`` from its index (NULLs are
+  recorded there), while AsterixDB/MongoDB/Neo4j must scan.
+"""
+
+from __future__ import annotations
+
+from repro.bench.expressions import EXPRESSIONS
+from repro.bench.report import format_scaling_table
+
+from bench_fig6_exp1_5_scaling import SIZE_NAMES, assert_oom_pattern, run_scaling
+from conftest import write_result
+
+EXPRS = tuple(expr for expr in EXPRESSIONS if 11 <= expr.id <= 13)
+
+
+def test_fig8_scaling(benchmark, systems_by_size, params, results_dir):
+    measurements = benchmark.pedantic(
+        run_scaling, args=(systems_by_size, params, EXPRS), rounds=1, iterations=1
+    )
+    assert_oom_pattern(measurements)
+    total = format_scaling_table(
+        measurements, timing="total", title="Fig 8 — expressions 11-13, total runtimes"
+    )
+    expr_only = format_scaling_table(
+        measurements, timing="expression",
+        title="Fig 8 — expressions 11-13, expression-only runtimes",
+    )
+    write_result(results_dir, "fig8_exp11_13_scaling.txt", total + "\n\n" + expr_only)
+
+    by_key = {(m.system, m.dataset, m.expression_id): m for m in measurements}
+
+    # Expression 12: AsterixDB's index-only join wins at every size.
+    for size in SIZE_NAMES:
+        asterix = by_key[("PolyFrame-AsterixDB", size, 12)].expression_seconds
+        for other in ("PolyFrame-PostgreSQL", "PolyFrame-MongoDB", "PolyFrame-Neo4j"):
+            assert asterix < by_key[(other, size, 12)].expression_seconds, (size, other)
+
+    # Expression 13: PostgreSQL's null-bearing index beats the scanners.
+    for size in SIZE_NAMES:
+        postgres = by_key[("PolyFrame-PostgreSQL", size, 13)].expression_seconds
+        for other in ("PolyFrame-AsterixDB", "PolyFrame-MongoDB", "PolyFrame-Neo4j"):
+            assert postgres < by_key[(other, size, 13)].expression_seconds, (size, other)

@@ -1,0 +1,76 @@
+"""Table I / Figures 2 & 4: incremental query formation per language.
+
+Regenerates the paper's Table I — the op-1..6 dataframe chain rewritten
+into SQL++, SQL, MongoDB pipeline stages, and Cypher — and benchmarks the
+cost of PolyFrame's query formation itself (pure string rewriting; the
+paper's claim is that transformations are free of data movement).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rewrite import RewriteEngine
+
+from conftest import write_result
+
+LANGUAGES = ("sqlpp", "sql", "mongo", "cypher")
+
+
+def build_chain(language: str) -> dict[str, str]:
+    """The Table I operation chain, rewritten for one language."""
+    rw = RewriteEngine(language)
+    ops: dict[str, str] = {}
+    ops["1: af = AFrame('Test', 'Users')"] = rw.apply(
+        "q1", namespace="Test", collection="Users"
+    )
+    ops["2: af['lang']"] = rw.apply(
+        "q2",
+        subquery=ops["1: af = AFrame('Test', 'Users')"],
+        attribute_list=rw.apply("project_attribute", attribute="lang"),
+    )
+    left = "lang" if language == "mongo" else rw.apply("single_attribute", attribute="lang")
+    statement = rw.apply("eq", left=left, right=rw.literal("en"))
+    ops["3: af['lang'] == 'en'"] = rw.apply(
+        "q9",
+        subquery=ops["1: af = AFrame('Test', 'Users')"],
+        statement=statement,
+        alias="is_eq",
+    )
+    ops["4: af[af['lang'] == 'en']"] = rw.apply(
+        "q6", subquery=ops["1: af = AFrame('Test', 'Users')"], statement=statement
+    )
+    entries = rw.join_list(
+        [rw.apply("project_attribute", attribute=name) for name in ("name", "address")]
+    )
+    ops["5: ...[['name', 'address']]"] = rw.apply(
+        "q2", subquery=ops["4: af[af['lang'] == 'en']"], attribute_list=entries
+    )
+    ops["6: ....head(10)"] = rw.apply(
+        "limit", subquery=ops["5: ...[['name', 'address']]"], num=10
+    )
+    return ops
+
+
+@pytest.mark.parametrize("language", LANGUAGES)
+def test_query_formation_speed(benchmark, language):
+    """Time the full 6-operation rewrite chain (no database involved)."""
+    chain = benchmark(build_chain, language)
+    assert len(chain) == 6
+
+
+def test_emit_table1(benchmark, results_dir):
+    """Regenerate Table I (all four languages) and persist it."""
+
+    def build_all() -> str:
+        blocks = []
+        for language in LANGUAGES:
+            blocks.append(f"--- {language} ---")
+            for op, query in build_chain(language).items():
+                blocks.append(f"[{op}]")
+                blocks.append(query)
+                blocks.append("")
+        return "\n".join(blocks)
+
+    table = benchmark(build_all)
+    write_result(results_dir, "table1_query_formation.txt", table)

@@ -1,0 +1,38 @@
+"""Table III: the 13 DataFrame benchmark expressions.
+
+Regenerates the expression catalog and times each expression on the eager
+baseline at XS scale (a smoke-level sanity check that each is runnable;
+the real cross-system timing lives in the Figure 5-8 benches).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.expressions import EXPRESSIONS, DataFrameAPI, benchmark_params
+from repro.eager import frame_from_records
+from repro.wisconsin import wisconsin_records
+
+from conftest import write_result
+
+_RECORDS = wisconsin_records(500)
+_DF = frame_from_records(_RECORDS)
+_DF2 = frame_from_records(_RECORDS)
+_API = DataFrameAPI()
+_PARAMS = benchmark_params()
+
+
+@pytest.mark.parametrize("expr", EXPRESSIONS, ids=lambda e: f"E{e.id}")
+def test_expression_on_eager_baseline(benchmark, expr):
+    result = benchmark(expr.run, _DF, _DF2, _PARAMS, _API)
+    assert result is not None
+
+
+def test_emit_table3(benchmark, results_dir):
+    def build() -> str:
+        lines = [f"{'ID':<4} {'Operation':<22} DataFrame Expression", "-" * 90]
+        for expr in EXPRESSIONS:
+            lines.append(f"{expr.id:<4} {expr.name:<22} {expr.pandas_text}")
+        return "\n".join(lines)
+
+    write_result(results_dir, "table3_expressions.txt", benchmark(build))

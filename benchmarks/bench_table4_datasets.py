@@ -1,0 +1,65 @@
+"""Tables IV & V: dataset presets for single- and multi-node experiments.
+
+Regenerates both setup tables at the reproduction's scale and benchmarks
+backend loading (not a paper timing point, but useful operational data).
+"""
+
+from __future__ import annotations
+
+from repro.bench.datasets import (
+    estimated_frame_bytes,
+    multi_node_scaleup_sizes,
+    multi_node_speedup_records,
+    pandas_memory_budget,
+)
+from repro.sqlengine import SQLDatabase
+from repro.wisconsin import loaders, wisconsin_records, WisconsinGenerator
+
+from conftest import BENCH_XS, SIZES, write_result
+
+
+def test_postgres_load_throughput(benchmark):
+    records = wisconsin_records(BENCH_XS)
+
+    def load() -> int:
+        db = SQLDatabase()
+        return loaders.load_postgres(db, "Bench", "data", records)
+
+    assert benchmark(load) == BENCH_XS
+
+
+def test_emit_table4(benchmark, results_dir):
+    def build() -> str:
+        lines = [
+            "Single-node dataset presets (paper ratios, bench scale)",
+            f"{'name':<6} {'records':>10} {'est. JSON bytes':>18}",
+            "-" * 40,
+        ]
+        for name, count in SIZES.items():
+            estimate = WisconsinGenerator(count).estimated_json_bytes()
+            lines.append(f"{name:<6} {count:>10,} {estimate:>18,}")
+        lines.append("")
+        lines.append(
+            f"Pandas memory budget: {pandas_memory_budget(BENCH_XS):,} bytes "
+            f"(~{pandas_memory_budget(BENCH_XS) / estimated_frame_bytes(BENCH_XS):.1f}x "
+            "the XS frame footprint)"
+        )
+        return "\n".join(lines)
+
+    write_result(results_dir, "table4_single_node_datasets.txt", benchmark(build))
+
+
+def test_emit_table5(benchmark, results_dir):
+    def build() -> str:
+        speedup = multi_node_speedup_records(BENCH_XS)
+        scaleup = multi_node_scaleup_sizes(BENCH_XS)
+        lines = [
+            "Multi-node experiment setup (paper Table V shape)",
+            f"{'nodes':<7} {'speedup records':>16} {'scaleup records':>16}",
+            "-" * 45,
+        ]
+        for nodes in (1, 2, 3, 4):
+            lines.append(f"{nodes:<7} {speedup:>16,} {scaleup[nodes]:>16,}")
+        return "\n".join(lines)
+
+    write_result(results_dir, "table5_cluster_setup.txt", benchmark(build))

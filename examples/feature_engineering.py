@@ -1,0 +1,86 @@
+"""Feature engineering with extension methods: isin / nunique / persist.
+
+A realistic cleaning-and-preparation workflow on the embedded PostgreSQL
+backend: audit cardinalities, filter to a value whitelist, materialize the
+cleaned subset as a new table (``persist``), and build model features from
+it — all lazily, with every step pushed into the database.
+
+Run with:  python examples/feature_engineering.py
+"""
+
+import random
+
+from repro import PolyFrame, PostgresConnector
+from repro.core.generic import get_dummies
+from repro.sqlengine import SQLDatabase
+
+CHANNELS = ["web", "mobile", "store", "phone", "partner", "legacy-import"]
+REGIONS = ["na", "emea", "apac"]
+
+
+def synthetic_orders(count: int, seed: int = 11) -> list[dict]:
+    rng = random.Random(seed)
+    orders = []
+    for i in range(count):
+        order = {
+            "id": i,
+            "channel": rng.choice(CHANNELS),
+            "region": rng.choice(REGIONS),
+            "amount": round(rng.lognormvariate(3.4, 0.8), 2),
+            "items": rng.randint(1, 12),
+        }
+        if rng.random() > 0.07:  # a few orders lack a customer link
+            order["customer_id"] = rng.randint(1, count // 10)
+        orders.append(order)
+    return orders
+
+
+def main() -> None:
+    db = SQLDatabase()
+    db.create_table("shop.orders", primary_key="id")
+    db.insert("shop.orders", synthetic_orders(8_000))
+    db.create_index("shop.orders", "channel")
+    db.create_index("shop.orders", "customer_id")
+
+    orders = PolyFrame("shop", "orders", PostgresConnector(db))
+    print(f"orders: {len(orders):,}")
+
+    # 1. Cardinality audit — one distinct-count query per column.
+    for column in ("channel", "region"):
+        print(f"distinct {column}s: {orders[column].nunique()}")
+
+    # 2. Quality checks: orphaned orders and off-whitelist channels.
+    orphaned = len(orders[orders["customer_id"].isna()])
+    print(f"orders without a customer: {orphaned:,}")
+
+    supported = ["web", "mobile", "store", "phone"]
+    clean = orders[
+        orders["channel"].isin(supported) & orders["customer_id"].notna()
+    ]
+    print(f"clean rows: {len(clean):,}")
+    print("filter pushed to the database as:")
+    print("  " + clean.query.replace("\n", "\n  "))
+
+    # 3. Materialize the cleaned subset as a first-class table.
+    curated = clean.persist("orders_clean")
+    print(f"\npersisted shop.orders_clean: {len(curated):,} rows")
+
+    # 4. Features from the persisted table: per-channel spend profile and
+    #    one-hot channel indicators for a downstream model.
+    spend = curated.groupby("channel")["amount"].agg("max").collect()
+    print("\nmax order amount per channel:")
+    print(spend.to_string())
+
+    multi = curated.groupby(["region", "channel"])["amount"].agg("count").collect()
+    print(f"\n(region, channel) segments: {len(multi)}")
+
+    encoded = get_dummies(curated["channel"]).head(5)
+    print("\none-hot channel features (first rows):")
+    print(encoded.to_string())
+
+    print("\nsummary statistics of the curated data:")
+    print(curated.describe().to_string())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Quickstart: a pandas-like dataframe over an embedded AsterixDB.
+
+Walks the paper's Table I operation chain, printing the SQL++ query
+PolyFrame builds at every step (transformations are free — nothing runs
+until ``head``), then evaluates a handful of actions.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import AsterixDBConnector, PolyFrame
+from repro.sqlpp import AsterixDB
+
+
+def main() -> None:
+    # --- stand up the database and load a dataset -----------------------
+    adb = AsterixDB()
+    adb.create_dataverse("Test")
+    adb.create_dataset("Test", "Users", primary_key="id")
+    adb.load(
+        "Test.Users",
+        [
+            {
+                "id": i,
+                "lang": ["en", "fr", "de"][i % 3],
+                "name": f"user{i}",
+                "address": f"{i} Main Street",
+                "followers": (i * 37) % 1000,
+            }
+            for i in range(1_000)
+        ],
+    )
+    adb.create_index("Test.Users", "lang")
+    adb.create_index("Test.Users", "followers")
+
+    # --- incremental query formation (no data moves) --------------------
+    af = PolyFrame("Test", "Users", AsterixDBConnector(adb))
+    print("1) anchor:")
+    print("   " + af.query)
+
+    english = af[af["lang"] == "en"]
+    print("2) filter (af[af['lang'] == 'en']):")
+    print("   " + english.query.replace("\n", "\n   "))
+
+    projected = english[["name", "address"]]
+    print("3) project ([['name', 'address']]):")
+    print("   " + projected.query.replace("\n", "\n   "))
+
+    # --- actions: the only steps that touch the database ----------------
+    print("\n4) head(10) triggers evaluation:")
+    print(projected.head(10).to_string())
+
+    print(f"\nrow count:            {len(af):,}")
+    print(f"english speakers:     {len(english):,}")
+    print(f"max followers:        {af['followers'].max()}")
+    print(f"mean followers:       {af['followers'].mean():.1f}")
+
+    top = af.sort_values("followers", ascending=False).head(3)
+    print("\ntop 3 by followers:")
+    print(top[["name", "followers"]].to_string())
+
+    by_lang = af.groupby("lang").agg("count").collect()
+    print("\nusers per language:")
+    print(by_lang.to_string())
+
+    print("\nper-attribute statistics (describe):")
+    print(af.describe().to_string())
+
+
+if __name__ == "__main__":
+    main()

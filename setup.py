@@ -1,0 +1,10 @@
+"""Setup shim so editable installs work without the ``wheel`` package.
+
+The environment has setuptools but no ``wheel``, which breaks PEP 660
+editable installs; this file lets ``pip install -e .`` fall back to the
+legacy ``setup.py develop`` path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

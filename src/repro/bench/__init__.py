@@ -1,0 +1,42 @@
+"""The DataFrame benchmark harness (paper §IV).
+
+Reproduces the benchmark of [Sinthong & Carey 2019] as extended by the
+PolyFrame paper: 13 analytical dataframe expressions (Table III) over
+Wisconsin data (Table II), timed as *DataFrame creation* plus
+*expression-only* runtime, against Pandas (the eager baseline) and
+PolyFrame on four backends — plus the 1-4 node speedup/scaleup runs.
+
+Entry points::
+
+    from repro.bench import (
+        EXPRESSIONS, single_node_sizes, build_systems, run_suite,
+    )
+"""
+
+from repro.bench.datasets import (
+    SizeSpec,
+    multi_node_scaleup_sizes,
+    multi_node_speedup_records,
+    pandas_memory_budget,
+    single_node_sizes,
+)
+from repro.bench.expressions import EXPRESSIONS, Expression, benchmark_params
+from repro.bench.runner import Measurement, run_expression, run_suite
+from repro.bench.systems import SystemUnderTest, build_cluster_systems, build_systems
+
+__all__ = [
+    "EXPRESSIONS",
+    "Expression",
+    "Measurement",
+    "SizeSpec",
+    "SystemUnderTest",
+    "benchmark_params",
+    "build_cluster_systems",
+    "build_systems",
+    "multi_node_scaleup_sizes",
+    "multi_node_speedup_records",
+    "pandas_memory_budget",
+    "run_expression",
+    "run_suite",
+    "single_node_sizes",
+]

@@ -1,0 +1,117 @@
+"""ASCII bar charts rendering the paper's figures as text.
+
+The paper's Figures 5-8 are grouped bar charts (one bar per system, one
+group per expression, log-scaled time axis).  These helpers render the
+same layout in plain text so the benchmark output *is* the figure::
+
+    E5   Pandas                ████████████████████████▌            2.81ms
+         PolyFrame-AsterixDB   ███████▏                             0.54ms
+         ...
+
+Bars are log-scaled (as in the paper) because the interesting comparisons
+span orders of magnitude; failed cells render their status instead.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.bench.runner import Measurement, STATUS_OK
+
+_FULL = "█"
+_PARTIALS = ("", "▏", "▎", "▍", "▌", "▋", "▊", "▉")
+
+
+def _bar(fraction: float, width: int) -> str:
+    """A unicode bar filling *fraction* of *width* character cells."""
+    cells = max(0.0, min(1.0, fraction)) * width
+    whole = int(cells)
+    partial = _PARTIALS[int((cells - whole) * len(_PARTIALS))]
+    return _FULL * whole + partial
+
+
+def _fmt(seconds: float) -> str:
+    if seconds >= 1:
+        return f"{seconds:.2f}s"
+    return f"{seconds * 1000:.2f}ms"
+
+
+def bar_chart(
+    measurements: Sequence[Measurement],
+    *,
+    timing: str = "total",
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """Render one grouped bar chart: expressions x systems, log time scale."""
+    ok = [m for m in measurements if m.status == STATUS_OK]
+    if not ok:
+        return f"{title}\n(no successful measurements)"
+
+    def value_of(m: Measurement) -> float:
+        return m.total_seconds if timing == "total" else m.expression_seconds
+
+    floor = 1e-5  # 10 µs — everything faster renders as an empty bar
+    top = max(max(value_of(m) for m in ok), floor * 10)
+    log_floor, log_top = math.log10(floor), math.log10(top)
+
+    def fraction(value: float) -> float:
+        if value <= floor:
+            return 0.0
+        return (math.log10(value) - log_floor) / (log_top - log_floor)
+
+    systems = sorted({m.system for m in measurements})
+    name_width = max(len(name) for name in systems)
+    by_key = {(m.expression_id, m.system): m for m in measurements}
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append(f"(log scale, {_fmt(floor)} .. {_fmt(top)})")
+    for expression_id in sorted({m.expression_id for m in measurements}):
+        for position, system in enumerate(systems):
+            label = f"E{expression_id:<3} " if position == 0 else "     "
+            m = by_key.get((expression_id, system))
+            if m is None:
+                continue
+            if m.status != STATUS_OK:
+                lines.append(f"{label}{system:<{name_width}}  [{m.status}]")
+                continue
+            value = value_of(m)
+            bar = _bar(fraction(value), width)
+            lines.append(
+                f"{label}{system:<{name_width}}  {bar:<{width + 1}} {_fmt(value)}"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def series_chart(
+    series: dict[int, dict[int, float]],
+    *,
+    ideal: float | None = None,
+    width: int = 40,
+    title: str = "",
+    unit: str = "x",
+) -> str:
+    """Render speedup/scaleup series: one row per (expression, node count)."""
+    values = [v for by_nodes in series.values() for v in by_nodes.values()]
+    if not values:
+        return f"{title}\n(no data)"
+    top = max(max(values), ideal or 0, 1.0)
+    lines = []
+    if title:
+        lines.append(title)
+    for expression_id in sorted(series):
+        for position, (nodes, value) in enumerate(sorted(series[expression_id].items())):
+            label = f"E{expression_id:<3} " if position == 0 else "     "
+            bar = _bar(value / top, width)
+            marker = ""
+            if ideal is not None:
+                ideal_cell = int(min(1.0, ideal / top) * width)
+                padded = bar.ljust(width)
+                marker_line = padded[:ideal_cell] + "|" + padded[ideal_cell + 1:]
+                bar = marker_line
+            lines.append(f"{label}{nodes} node{'s' if nodes > 1 else ' '}  {bar:<{width + 1}} {value:.2f}{unit}")
+        lines.append("")
+    return "\n".join(lines).rstrip()

@@ -1,0 +1,72 @@
+"""Measurement export: JSON and CSV for external plotting tools.
+
+The text reports in :mod:`repro.bench.report` regenerate the paper's
+figures; these helpers dump the raw measurements so users can plot them
+with their own tooling.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Sequence
+
+from repro.bench.runner import Measurement
+
+_FIELDS = (
+    "system",
+    "dataset",
+    "expression_id",
+    "status",
+    "creation_seconds",
+    "expression_seconds",
+    "total_seconds",
+)
+
+
+def measurements_to_dicts(measurements: Sequence[Measurement]) -> list[dict]:
+    """Plain-dict rows, one per measurement, with the derived total."""
+    return [
+        {
+            "system": m.system,
+            "dataset": m.dataset,
+            "expression_id": m.expression_id,
+            "status": m.status,
+            "creation_seconds": m.creation_seconds,
+            "expression_seconds": m.expression_seconds,
+            "total_seconds": m.total_seconds,
+        }
+        for m in measurements
+    ]
+
+
+def to_json(measurements: Sequence[Measurement], *, indent: int = 2) -> str:
+    """Serialize measurements as a JSON array."""
+    return json.dumps(measurements_to_dicts(measurements), indent=indent)
+
+
+def to_csv(measurements: Sequence[Measurement]) -> str:
+    """Serialize measurements as CSV with a header row."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=_FIELDS)
+    writer.writeheader()
+    writer.writerows(measurements_to_dicts(measurements))
+    return buffer.getvalue()
+
+
+def from_json(text: str) -> list[Measurement]:
+    """Rehydrate measurements exported by :func:`to_json`."""
+    out = []
+    for row in json.loads(text):
+        out.append(
+            Measurement(
+                system=row["system"],
+                dataset=row["dataset"],
+                expression_id=int(row["expression_id"]),
+                status=row["status"],
+                creation_seconds=float(row["creation_seconds"]),
+                expression_seconds=float(row["expression_seconds"]),
+            )
+        )
+    return out

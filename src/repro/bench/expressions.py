@@ -1,0 +1,162 @@
+"""The 13 benchmark expressions (paper Table III).
+
+Each expression is written once against the pandas surface and runs
+unchanged on both the eager baseline and PolyFrame — the point of the
+paper.  The only API difference (module-level ``pd.merge`` vs the method
+form) is bridged by a tiny adapter, and lazy results are forced through
+``materialize`` so timing always includes evaluation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.eager import EagerFrame
+from repro.eager import merge as eager_merge
+
+
+@dataclass(frozen=True)
+class BenchParams:
+    """The random values (x, y, z) Table III parameterizes expressions with."""
+
+    ten: int
+    twenty_percent: int
+    two: int
+    one_percent_low: int
+    one_percent_high: int
+
+
+def benchmark_params(seed: int = 7) -> BenchParams:
+    """Draw the x/y/z values within each attribute's range."""
+    rng = random.Random(seed)
+    low = rng.randint(0, 90)
+    return BenchParams(
+        ten=rng.randint(0, 9),
+        twenty_percent=rng.randint(0, 4),
+        two=rng.randint(0, 1),
+        one_percent_low=low,
+        one_percent_high=low + 9,
+    )
+
+
+class DataFrameAPI:
+    """Bridges the module-level pandas functions for both evaluators."""
+
+    def merge(self, left: Any, right: Any, left_on: str, right_on: str) -> Any:
+        if isinstance(left, EagerFrame):
+            return eager_merge(left, right, left_on=left_on, right_on=right_on)
+        return left.merge(right, left_on=left_on, right_on=right_on)
+
+    def materialize(self, frame: Any) -> Any:
+        """Force evaluation of a lazy transformation result."""
+        if hasattr(frame, "collect"):
+            return frame.collect()
+        return frame
+
+
+@dataclass(frozen=True)
+class Expression:
+    """One Table III benchmark expression."""
+
+    id: int
+    name: str
+    pandas_text: str
+    run: Callable[[Any, Any, BenchParams, DataFrameAPI], Any]
+
+
+def _e1(df, df2, p, api):
+    return len(df)
+
+
+def _e2(df, df2, p, api):
+    return df[["two", "four"]].head()
+
+
+def _e3(df, df2, p, api):
+    return len(
+        df[(df["ten"] == p.ten) & (df["twentyPercent"] == p.twenty_percent) & (df["two"] == p.two)]
+    )
+
+
+def _e4(df, df2, p, api):
+    return api.materialize(df.groupby("oddOnePercent").agg("count"))
+
+
+def _e5(df, df2, p, api):
+    return df["stringu1"].map(str.upper).head()
+
+
+def _e6(df, df2, p, api):
+    return df["unique1"].max()
+
+
+def _e7(df, df2, p, api):
+    return df["unique1"].min()
+
+
+def _e8(df, df2, p, api):
+    return api.materialize(df.groupby("twenty")["four"].agg("max"))
+
+
+def _e9(df, df2, p, api):
+    return df.sort_values("unique1", ascending=False).head()
+
+
+def _e10(df, df2, p, api):
+    return df[df["ten"] == p.ten].head()
+
+
+def _e11(df, df2, p, api):
+    return len(
+        df[(df["onePercent"] >= p.one_percent_low) & (df["onePercent"] <= p.one_percent_high)]
+    )
+
+
+def _e12(df, df2, p, api):
+    return len(api.merge(df, df2, left_on="unique1", right_on="unique1"))
+
+
+def _e13(df, df2, p, api):
+    return len(df[df["tenPercent"].isna()])
+
+
+EXPRESSIONS: tuple[Expression, ...] = (
+    Expression(1, "Total Count", "len(df)", _e1),
+    Expression(2, "Project", "df[['two','four']].head()", _e2),
+    Expression(
+        3,
+        "Filter & Count",
+        "len(df[(df['ten']==x) & (df['twentyPercent']==y) & (df['two']==z)])",
+        _e3,
+    ),
+    Expression(4, "Group By", "df.groupby('oddOnePercent').agg('count')", _e4),
+    Expression(5, "Map Function", "df['stringu1'].map(str.upper).head()", _e5),
+    Expression(6, "Max", "df['unique1'].max()", _e6),
+    Expression(7, "Min", "df['unique1'].min()", _e7),
+    Expression(8, "Group By & Max", "df.groupby('twenty')['four'].agg('max')", _e8),
+    Expression(9, "Sort", "df.sort_values('unique1', ascending=False).head()", _e9),
+    Expression(10, "Selection", "df[df['ten']==x].head()", _e10),
+    Expression(
+        11,
+        "Range Selection",
+        "len(df[(df['onePercent']>=x) & (df['onePercent']<=y)])",
+        _e11,
+    ),
+    Expression(
+        12,
+        "Join & Count",
+        "len(pd.merge(df, df2, left_on='unique1', right_on='unique1'))",
+        _e12,
+    ),
+    Expression(13, "Count Missing Value", "len(df[df['tenPercent'].isna()])", _e13),
+)
+
+
+def expression(expression_id: int) -> Expression:
+    """Look up a Table III expression by id."""
+    for expr in EXPRESSIONS:
+        if expr.id == expression_id:
+            return expr
+    raise KeyError(f"no benchmark expression {expression_id}")

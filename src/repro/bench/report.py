@@ -1,0 +1,171 @@
+"""Text reports that regenerate the paper's tables and figures.
+
+Each printer emits the same rows/series the paper plots; absolute numbers
+come from the embedded engines, so the *shape* (who wins, by what factor)
+is the reproduction target, not the EC2 wall-clock values.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bench.runner import Measurement, STATUS_OK
+
+
+def _fmt_seconds(value: float) -> str:
+    if value >= 1:
+        return f"{value:8.3f}s"
+    return f"{value * 1000:7.2f}ms"
+
+
+def _cell(measurement: Measurement | None, timing: str) -> str:
+    if measurement is None:
+        return "       --"
+    if measurement.status != STATUS_OK:
+        return f"{measurement.status:>9}"
+    value = (
+        measurement.total_seconds if timing == "total" else measurement.expression_seconds
+    )
+    return _fmt_seconds(value)
+
+
+def format_expression_table(
+    measurements: Sequence[Measurement],
+    *,
+    timing: str = "total",
+    title: str = "",
+) -> str:
+    """One row per expression, one column per system (Figures 5-8 layout)."""
+    systems = sorted({m.system for m in measurements})
+    by_key = {(m.system, m.expression_id): m for m in measurements}
+    expression_ids = sorted({m.expression_id for m in measurements})
+    width = max(len(name) for name in systems)
+    lines = []
+    if title:
+        lines.append(title)
+    header = "expr  " + "  ".join(name.rjust(max(width, 9)) for name in systems)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for expression_id in expression_ids:
+        cells = [
+            _cell(by_key.get((system, expression_id)), timing).rjust(max(width, 9))
+            for system in systems
+        ]
+        lines.append(f"E{expression_id:<4} " + "  ".join(cells))
+    return "\n".join(lines)
+
+
+def format_scaling_table(
+    measurements: Sequence[Measurement],
+    *,
+    timing: str = "total",
+    title: str = "",
+) -> str:
+    """One block per expression: rows are dataset sizes, columns systems."""
+    systems = sorted({m.system for m in measurements})
+    datasets = list(dict.fromkeys(m.dataset for m in measurements))
+    by_key = {(m.system, m.dataset, m.expression_id): m for m in measurements}
+    expression_ids = sorted({m.expression_id for m in measurements})
+    width = max(max(len(name) for name in systems), 9)
+    lines = []
+    if title:
+        lines.append(title)
+    for expression_id in expression_ids:
+        lines.append(f"\nExpression {expression_id} ({timing} runtime)")
+        header = "size  " + "  ".join(name.rjust(width) for name in systems)
+        lines.append(header)
+        lines.append("-" * len(header))
+        for dataset in datasets:
+            cells = [
+                _cell(by_key.get((system, dataset, expression_id)), timing).rjust(width)
+                for system in systems
+            ]
+            lines.append(f"{dataset:<5} " + "  ".join(cells))
+    return "\n".join(lines)
+
+
+def speedup_series(
+    measurements_by_nodes: dict[int, Sequence[Measurement]],
+) -> dict[str, dict[int, dict[int, float]]]:
+    """``{system: {expression_id: {nodes: speedup_vs_1_node}}}``."""
+    out: dict[str, dict[int, dict[int, float]]] = {}
+    baseline = {
+        (m.system, m.expression_id): m.total_seconds
+        for m in measurements_by_nodes.get(1, [])
+        if m.status == STATUS_OK
+    }
+    for nodes, measurements in sorted(measurements_by_nodes.items()):
+        for m in measurements:
+            if m.status != STATUS_OK:
+                continue
+            base = baseline.get((m.system, m.expression_id))
+            if not base:
+                continue
+            out.setdefault(m.system, {}).setdefault(m.expression_id, {})[nodes] = (
+                base / m.total_seconds if m.total_seconds else float("inf")
+            )
+    return out
+
+
+def format_speedup_table(measurements_by_nodes: dict[int, Sequence[Measurement]]) -> str:
+    """Figure 9 layout: per expression, speedup at each cluster size."""
+    series = speedup_series(measurements_by_nodes)
+    nodes_list = sorted(measurements_by_nodes)
+    lines = ["Speedup vs 1 node (total runtime)"]
+    for system in sorted(series):
+        lines.append(f"\n{system}")
+        header = "expr  " + "  ".join(f"{n} node{'s' if n > 1 else ' '}" for n in nodes_list)
+        lines.append(header)
+        lines.append("-" * len(header))
+        for expression_id in sorted(series[system]):
+            cells = []
+            for nodes in nodes_list:
+                value = series[system][expression_id].get(nodes)
+                cells.append(f"{value:7.2f}x" if value is not None else "     --")
+            lines.append(f"E{expression_id:<4} " + "  ".join(cells))
+    return "\n".join(lines)
+
+
+def scaleup_series(
+    measurements_by_nodes: dict[int, Sequence[Measurement]],
+) -> dict[str, dict[int, dict[int, float]]]:
+    """``{system: {expression_id: {nodes: scaleup}}}``.
+
+    Scaleup = T(1 node, 1x data) / T(N nodes, Nx data); 1.0 is ideal.
+    """
+    out: dict[str, dict[int, dict[int, float]]] = {}
+    baseline = {
+        (m.system, m.expression_id): m.total_seconds
+        for m in measurements_by_nodes.get(1, [])
+        if m.status == STATUS_OK
+    }
+    for nodes, measurements in sorted(measurements_by_nodes.items()):
+        for m in measurements:
+            if m.status != STATUS_OK:
+                continue
+            base = baseline.get((m.system, m.expression_id))
+            if not base:
+                continue
+            out.setdefault(m.system, {}).setdefault(m.expression_id, {})[nodes] = (
+                base / m.total_seconds if m.total_seconds else float("inf")
+            )
+    return out
+
+
+def format_scaleup_table(measurements_by_nodes: dict[int, Sequence[Measurement]]) -> str:
+    """Figure 10 layout: per expression, scaleup at each cluster size."""
+    series = scaleup_series(measurements_by_nodes)
+    nodes_list = sorted(measurements_by_nodes)
+    lines = ["Scaleup (T(1 node, 1x) / T(N nodes, Nx); 1.0 = ideal)"]
+    for system in sorted(series):
+        lines.append(f"\n{system}")
+        header = "expr  " + "  ".join(f"{n} node{'s' if n > 1 else ' '}" for n in nodes_list)
+        lines.append(header)
+        lines.append("-" * len(header))
+        for expression_id in sorted(series[system]):
+            cells = []
+            for nodes in nodes_list:
+                value = series[system][expression_id].get(nodes)
+                cells.append(f"{value:7.2f}" if value is not None else "     --")
+            lines.append(f"E{expression_id:<4} " + "  ".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,165 @@
+"""Benchmark execution and timing points.
+
+The benchmark presents two timings per (system, expression), as in the
+paper's Appendix D:
+
+- **creation** — building the DataFrame object.  For Pandas this is
+  ``read_json`` (the whole file is parsed and materialized); for PolyFrame
+  it is connector initialization plus the ``q1`` rewrite, with no data
+  movement.
+- **expression** — evaluating the Table III expression against the frame.
+
+Pandas runs under the benchmark memory budget; a budget violation is
+recorded as status ``'oom'`` (the paper's M/L/XL outcome).  Operations a
+backend cannot run (sharded MongoDB joins) record ``'unsupported'``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import gc
+import time
+from dataclasses import dataclass
+
+from repro.bench.expressions import BenchParams, DataFrameAPI, Expression
+from repro.bench.systems import SystemUnderTest
+from repro.eager.memory import memory_budget
+from repro.errors import MemoryBudgetExceeded, UnsupportedOperationError
+
+STATUS_OK = "ok"
+STATUS_OOM = "oom"
+STATUS_UNSUPPORTED = "unsupported"
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One timed (system, dataset, expression) cell."""
+
+    system: str
+    dataset: str
+    expression_id: int
+    status: str
+    creation_seconds: float
+    expression_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        """The paper's 'total runtime': creation plus expression."""
+        return self.creation_seconds + self.expression_seconds
+
+
+def run_expression(
+    system: SystemUnderTest,
+    expr: Expression,
+    params: BenchParams,
+    *,
+    dataset: str = "",
+) -> Measurement:
+    """Create the frame(s), evaluate one expression, and time both."""
+    api = DataFrameAPI()
+    budget_ctx = (
+        memory_budget(system.memory_budget)
+        if system.memory_budget is not None
+        else contextlib.nullcontext()
+    )
+    gc.collect()  # release frames from earlier expressions before charging
+    with budget_ctx:
+        started = time.perf_counter()
+        try:
+            df, df2 = system.create_frames()
+        except MemoryBudgetExceeded:
+            elapsed = time.perf_counter() - started
+            return Measurement(system.name, dataset, expr.id, STATUS_OOM, elapsed, 0.0)
+        creation = time.perf_counter() - started
+
+        send_mark = len(system.connector.send_log) if system.connector is not None else 0
+        started = time.perf_counter()
+        try:
+            expr.run(df, df2, params, api)
+        except MemoryBudgetExceeded:
+            elapsed = time.perf_counter() - started
+            return Measurement(system.name, dataset, expr.id, STATUS_OOM, creation, elapsed)
+        except UnsupportedOperationError:
+            elapsed = time.perf_counter() - started
+            return Measurement(
+                system.name, dataset, expr.id, STATUS_UNSUPPORTED, creation, elapsed
+            )
+        expression = time.perf_counter() - started
+        expression = _adjust_for_simulated_parallelism(system, expression, send_mark)
+    return Measurement(system.name, dataset, expr.id, STATUS_OK, creation, expression)
+
+
+def _adjust_for_simulated_parallelism(
+    system: SystemUnderTest, wall_seconds: float, send_mark: int
+) -> float:
+    """Replace real send time with the engine-reported (parallel) elapsed.
+
+    The cluster simulations execute shards sequentially in-process but
+    report the wall time an N-node cluster would observe (max over shards
+    plus merge).  For single-node engines the reported and real times are
+    the same, so this adjustment is a no-op.
+    """
+    if system.connector is None:
+        return wall_seconds
+    records = system.connector.send_log[send_mark:]
+    real = sum(record.real_seconds for record in records)
+    reported = sum(record.reported_seconds for record in records)
+    return max(0.0, wall_seconds - real + reported)
+
+
+def run_suite(
+    systems: dict[str, SystemUnderTest],
+    expressions: tuple[Expression, ...],
+    params: BenchParams,
+    *,
+    dataset: str = "",
+) -> list[Measurement]:
+    """Run every expression on every system.
+
+    A system whose DataFrame creation fails with OOM fails it for every
+    expression; after the first observed creation OOM the remaining
+    expressions are recorded directly (re-parsing a file that cannot fit
+    costs the same every time and measures nothing new).
+    """
+    measurements = []
+    for system in systems.values():
+        creation_oom: Measurement | None = None
+        for expr in expressions:
+            if creation_oom is not None:
+                measurements.append(
+                    Measurement(
+                        system.name, dataset, expr.id, STATUS_OOM,
+                        creation_oom.creation_seconds, 0.0,
+                    )
+                )
+                continue
+            measurement = run_expression(system, expr, params, dataset=dataset)
+            measurements.append(measurement)
+            if measurement.status == STATUS_OOM and measurement.expression_seconds == 0.0:
+                creation_oom = measurement
+    return measurements
+
+
+def verify_agreement(
+    systems: dict[str, SystemUnderTest],
+    expressions: tuple[Expression, ...],
+    params: BenchParams,
+) -> dict[int, dict[str, object]]:
+    """Evaluate each expression everywhere and return the raw answers.
+
+    Used by the integration tests: scalar-result expressions (counts,
+    min/max) must agree exactly across every backend and the eager
+    baseline.
+    """
+    api = DataFrameAPI()
+    answers: dict[int, dict[str, object]] = {}
+    for expr in expressions:
+        per_system: dict[str, object] = {}
+        for system in systems.values():
+            df, df2 = system.create_frames()
+            try:
+                per_system[system.name] = expr.run(df, df2, params, api)
+            except UnsupportedOperationError:
+                per_system[system.name] = STATUS_UNSUPPORTED
+        answers[expr.id] = per_system
+    return answers

@@ -1,0 +1,28 @@
+"""Multi-node cluster simulation for the speedup/scaleup experiments.
+
+The paper runs PolyFrame against AsterixDB, MongoDB, and Greenplum clusters
+of 1-4 EC2 nodes.  Here a cluster is N embedded engine instances ("nodes"),
+each holding a hash/round-robin shard of the data.  A query is executed on
+every shard and the partial results are merged by a query-aware combiner
+(sum of counts, min of mins, group-merge, ordered top-k merge) — the same
+scatter-gather structure a real shared-nothing cluster uses.
+
+**Timing model**: shards execute sequentially in-process (the GIL would
+serialize CPU-bound Python threads anyway), and the reported
+``elapsed_seconds`` is ``max(per-shard elapsed) + merge time`` — the wall
+time an N-node cluster would observe with perfectly parallel shards.  This
+is the documented simulation substitute for real multi-machine timing; the
+speedup/scaleup *shapes* in Figures 9 and 10 derive from exactly this
+quantity.
+
+Neo4j has no cluster wrapper: the community edition does not support
+sharded clusters, so the paper (and this reproduction) excludes it.
+MongoDB's ``$lookup`` refuses to run against sharded data (expression 12),
+also as in the paper.
+"""
+
+from repro.cluster.asterixdb_cluster import AsterixDBCluster
+from repro.cluster.greenplum import GreenplumCluster
+from repro.cluster.mongo_cluster import MongoDBCluster
+
+__all__ = ["AsterixDBCluster", "GreenplumCluster", "MongoDBCluster"]

@@ -1,0 +1,85 @@
+"""A sharded AsterixDB cluster (scatter-gather over SQL++ nodes)."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.cluster.base import scatter_gather, shard_records
+from repro.cluster.merge import spec_for_select
+from repro.sqlengine.parser import parse
+from repro.sqlengine.result import ResultSet
+from repro.sqlpp import AsterixDB
+from repro.sqlpp.engine import DEFAULT_PREP_OVERHEAD
+
+
+class AsterixDBCluster:
+    """N AsterixDB nodes, each holding one shard of every dataset.
+
+    Exposes the same surface as a single :class:`~repro.sqlpp.AsterixDB`
+    (``execute``, ``create_dataverse``/``create_dataset``/``load``,
+    ``create_index``, ``catalog``) so the standard
+    :class:`~repro.core.connectors.AsterixDBConnector` works unchanged.
+    """
+
+    def __init__(self, num_nodes: int, *, query_prep_overhead: float = DEFAULT_PREP_OVERHEAD) -> None:
+        if num_nodes < 1:
+            raise ValueError("a cluster needs at least one node")
+        self.num_nodes = num_nodes
+        self.nodes = [
+            AsterixDB(query_prep_overhead=query_prep_overhead, name=f"asterixdb-node{i}")
+            for i in range(num_nodes)
+        ]
+        self.name = f"asterixdb-cluster[{num_nodes}]"
+
+    # ------------------------------------------------------------------
+    # DDL / loading (applied to every node; data is sharded)
+    # ------------------------------------------------------------------
+    def create_dataverse(self, name: str) -> None:
+        for node in self.nodes:
+            node.create_dataverse(name)
+
+    def has_dataverse(self, name: str) -> bool:
+        return self.nodes[0].has_dataverse(name)
+
+    def create_dataset(self, dataverse: str, dataset: str, primary_key: str) -> None:
+        for node in self.nodes:
+            node.create_dataset(dataverse, dataset, primary_key)
+
+    def load(
+        self,
+        qualified_name: str,
+        records: Iterable[dict[str, Any]],
+        shard_key: str | None = None,
+    ) -> int:
+        shards = shard_records(list(records), self.num_nodes, shard_key)
+        total = 0
+        for node, shard in zip(self.nodes, shards):
+            total += node.load(qualified_name, shard)
+        return total
+
+    def create_index(self, table: str, column: str, **kwargs: Any) -> None:
+        for node in self.nodes:
+            node.create_index(table, column, **kwargs)
+
+    def analyze(self, table: str) -> None:
+        for node in self.nodes:
+            node.analyze(table)
+
+    @property
+    def catalog(self):
+        """Metadata view (identical on every node)."""
+        return self.nodes[0].catalog
+
+    def row_count(self, table: str) -> int:
+        return sum(node.row_count(table) for node in self.nodes)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def execute(self, query_text: str) -> ResultSet:
+        spec = spec_for_select(parse(query_text, "sqlpp"))
+        return scatter_gather(
+            lambda shard: self.nodes[shard].execute(query_text),
+            self.num_nodes,
+            spec,
+        )

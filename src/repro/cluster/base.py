@@ -1,0 +1,78 @@
+"""Shared scatter-gather machinery for sharded engines."""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Sequence
+
+from repro.cluster.merge import MergeSpec, merge_records
+from repro.sqlengine.result import QueryStats, ResultSet
+
+#: Simulated per-query coordinator cost (shipping plans, gathering results).
+DEFAULT_COORDINATOR_OVERHEAD = 0.0002
+
+
+def scatter_gather(
+    run_on_shard: Callable[[int], ResultSet],
+    num_shards: int,
+    spec: MergeSpec,
+    *,
+    coordinator_overhead: float = DEFAULT_COORDINATOR_OVERHEAD,
+) -> ResultSet:
+    """Run a query on every shard and merge the partial results.
+
+    Shards execute sequentially in-process; the returned
+    ``elapsed_seconds`` is ``max(per-shard elapsed) + merge time +
+    coordinator overhead`` — the wall time of a cluster whose shards run in
+    parallel.  See the package docstring for why this simulation is used.
+    """
+    shard_results: list[ResultSet] = [run_on_shard(shard) for shard in range(num_shards)]
+    merge_started = time.perf_counter()
+    merged = merge_records(spec, [result.records for result in shard_results])
+    merge_elapsed = time.perf_counter() - merge_started
+
+    stats = QueryStats()
+    for result in shard_results:
+        stats.merge(result.stats)
+    elapsed = (
+        max(result.elapsed_seconds for result in shard_results)
+        + merge_elapsed
+        + coordinator_overhead
+    )
+    plan = shard_results[0].plan_text if shard_results else ""
+    return ResultSet(
+        records=merged,
+        stats=stats,
+        plan_text=f"scatter-gather[{num_shards} shards, {spec.kind}]\n{plan}",
+        elapsed_seconds=elapsed,
+    )
+
+
+def round_robin_shards(records: Sequence[dict[str, Any]], num_shards: int) -> list[list[dict[str, Any]]]:
+    """Partition records across shards round-robin (uniform placement)."""
+    shards: list[list[dict[str, Any]]] = [[] for _ in range(num_shards)]
+    for index, record in enumerate(records):
+        shards[index % num_shards].append(record)
+    return shards
+
+
+def shard_records(
+    records: Sequence[dict[str, Any]],
+    num_shards: int,
+    shard_key: str | None = None,
+) -> list[list[dict[str, Any]]]:
+    """Partition records by hash of *shard_key* (or round-robin when None).
+
+    Hash placement on the join column makes equi-joins co-located, the way
+    Greenplum's ``DISTRIBUTED BY`` and AsterixDB's hash-partitioned
+    datasets behave; the scatter-gather join merge is only correct for
+    co-located joins, so the benchmark loads data with
+    ``shard_key='unique1'``.
+    """
+    if shard_key is None:
+        return round_robin_shards(records, num_shards)
+    shards: list[list[dict[str, Any]]] = [[] for _ in range(num_shards)]
+    for record in records:
+        value = record.get(shard_key)
+        shards[hash(value) % num_shards].append(record)
+    return shards

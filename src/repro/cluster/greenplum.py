@@ -1,0 +1,90 @@
+"""Greenplum: sharded PostgreSQL with an older planner.
+
+The paper's Greenplum observations (Figures 9/10) come from it embedding
+PostgreSQL 9.5: no index-only scans (expressions 6/7) and no backward index
+scans (expression 9 table-scans instead).  This cluster wraps SQL nodes
+configured with :meth:`OptimizerFeatures.greenplum`, which switches exactly
+those two features off.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.cluster.base import scatter_gather, shard_records
+from repro.cluster.merge import spec_for_select
+from repro.sqlengine import OptimizerFeatures, SQLDatabase
+from repro.sqlengine.parser import parse
+from repro.sqlengine.result import ResultSet
+
+#: Greenplum's per-query dispatch overhead (motion planning, QD→QE setup).
+DEFAULT_PREP_OVERHEAD = 0.0002
+
+
+class GreenplumCluster:
+    """N PostgreSQL-9.5-like segments behind a scatter-gather coordinator."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        *,
+        features: OptimizerFeatures | None = None,
+        query_prep_overhead: float = DEFAULT_PREP_OVERHEAD,
+    ) -> None:
+        if num_nodes < 1:
+            raise ValueError("a cluster needs at least one node")
+        self.num_nodes = num_nodes
+        self.features = features if features is not None else OptimizerFeatures.greenplum()
+        self.nodes = [
+            SQLDatabase(
+                self.features,
+                query_prep_overhead=query_prep_overhead,
+                name=f"greenplum-seg{i}",
+            )
+            for i in range(num_nodes)
+        ]
+        self.name = f"greenplum[{num_nodes}]"
+
+    # ------------------------------------------------------------------
+    def create_table(self, name: str, columns: Iterable[str] | None = None, primary_key: str | None = None) -> None:
+        for node in self.nodes:
+            node.create_table(name, columns, primary_key)
+
+    def insert(
+        self,
+        table: str,
+        records: Iterable[dict[str, Any]],
+        shard_key: str | None = None,
+    ) -> int:
+        shards = shard_records(list(records), self.num_nodes, shard_key)
+        total = 0
+        for node, shard in zip(self.nodes, shards):
+            total += node.insert(table, shard)
+        return total
+
+    def create_index(self, table: str, column: str, **kwargs: Any) -> None:
+        for node in self.nodes:
+            node.create_index(table, column, **kwargs)
+
+    def analyze(self, table: str) -> None:
+        for node in self.nodes:
+            node.analyze(table)
+
+    @property
+    def catalog(self):
+        return self.nodes[0].catalog
+
+    def row_count(self, table: str) -> int:
+        return sum(node.row_count(table) for node in self.nodes)
+
+    # ------------------------------------------------------------------
+    def execute(self, query_text: str) -> ResultSet:
+        spec = spec_for_select(parse(query_text, "sql"))
+        return scatter_gather(
+            lambda shard: self.nodes[shard].execute(query_text),
+            self.num_nodes,
+            spec,
+        )
+
+    def explain(self, query_text: str) -> str:
+        return self.nodes[0].explain(query_text)

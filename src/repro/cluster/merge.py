@@ -1,0 +1,251 @@
+"""Query-aware merging of per-shard partial results.
+
+Given the query that ran on every shard, derive how to combine the shard
+outputs into the global answer:
+
+- scalar ``COUNT`` → sum of partial counts; ``MIN``/``MAX``/``SUM`` →
+  min/max/sum of partials;
+- ``GROUP BY`` aggregates → re-group merged records by the key columns,
+  combining each aggregate output column by its function (a count of
+  counts is a sum);
+- ``ORDER BY ... LIMIT k`` → k-way merge of the per-shard top-k lists;
+- plain record streams → concatenation (with LIMIT truncation).
+
+``AVG``/``STDDEV`` cannot be combined from per-shard finals; queries using
+them raise :class:`~repro.errors.UnsupportedOperationError` on clusters
+(the benchmark's 13 expressions never need them distributed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import UnsupportedOperationError
+from repro.sqlengine.ast_nodes import (
+    AGGREGATE_FUNCTIONS,
+    ColumnRef,
+    FuncCall,
+    SelectQuery,
+)
+from repro.storage.keys import index_key
+
+#: How each aggregate's per-shard finals combine into the global value.
+_COMBINERS: dict[str, Callable[[list[Any]], Any]] = {
+    "COUNT": lambda values: sum(v for v in values if v is not None),
+    "SUM": lambda values: sum(v for v in values if v is not None),
+    "MIN": lambda values: min((v for v in values if v is not None), default=None),
+    "MAX": lambda values: max((v for v in values if v is not None), default=None),
+}
+
+_NOT_DECOMPOSABLE = {"AVG", "STDDEV", "STDDEV_POP"}
+
+
+@dataclass
+class MergeSpec:
+    """How to combine shard outputs for one query."""
+
+    kind: str  # 'scalar_agg' | 'group_agg' | 'ordered_limit' | 'concat'
+    select_value: bool = False
+    # scalar_agg: output column name -> combiner
+    scalar_columns: dict[str, Callable[[list[Any]], Any]] = field(default_factory=dict)
+    # group_agg: key column names and agg column -> combiner
+    group_keys: tuple[str, ...] = ()
+    group_columns: dict[str, Callable[[list[Any]], Any]] = field(default_factory=dict)
+    # ordered_limit / concat
+    order_columns: tuple[tuple[str, bool], ...] = ()  # (column, descending)
+    limit: int | None = None
+
+
+def merge_records(spec: MergeSpec, shard_records: list[list[Any]]) -> list[Any]:
+    """Combine per-shard record lists according to *spec*."""
+    if spec.kind == "scalar_agg":
+        return _merge_scalar(spec, shard_records)
+    if spec.kind == "group_agg":
+        return _merge_groups(spec, shard_records)
+    merged: list[Any] = [record for records in shard_records for record in records]
+    if spec.kind == "ordered_limit" and spec.order_columns:
+        for column, descending in reversed(spec.order_columns):
+            merged.sort(
+                key=lambda record: index_key(_field(record, column)),
+                reverse=descending,
+            )
+    if spec.limit is not None:
+        merged = merged[: spec.limit]
+    return merged
+
+
+def _field(record: Any, column: str) -> Any:
+    if isinstance(record, dict):
+        return record.get(column)
+    return record
+
+
+def _merge_scalar(spec: MergeSpec, shard_records: list[list[Any]]) -> list[Any]:
+    partials: dict[str, list[Any]] = {name: [] for name in spec.scalar_columns}
+    for records in shard_records:
+        if not records:
+            continue
+        (record,) = records  # scalar aggregates yield exactly one row
+        for name in spec.scalar_columns:
+            partials[name].append(_field(record, name) if isinstance(record, dict) else record)
+    combined = {
+        name: combiner(partials[name]) for name, combiner in spec.scalar_columns.items()
+    }
+    if spec.select_value:
+        return [next(iter(combined.values()))]
+    return [combined]
+
+
+def _merge_groups(spec: MergeSpec, shard_records: list[list[Any]]) -> list[Any]:
+    groups: dict[tuple, dict[str, list[Any]]] = {}
+    key_values: dict[tuple, dict[str, Any]] = {}
+    for records in shard_records:
+        for record in records:
+            key = tuple(index_key(record.get(name)) for name in spec.group_keys)
+            if key not in groups:
+                groups[key] = {name: [] for name in spec.group_columns}
+                key_values[key] = {name: record.get(name) for name in spec.group_keys}
+            for name in spec.group_columns:
+                groups[key][name].append(record.get(name))
+    out = []
+    for key, partials in groups.items():
+        record = dict(key_values[key])
+        for name, combiner in spec.group_columns.items():
+            record[name] = combiner(partials[name])
+        out.append(record)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Spec derivation: SQL / SQL++
+# ----------------------------------------------------------------------
+
+
+def spec_for_select(ast: SelectQuery) -> MergeSpec:
+    """Derive the merge spec from a parsed SQL/SQL++ query."""
+    if ast.is_aggregate():
+        if ast.group_by:
+            return _group_spec(ast)
+        return _scalar_spec(ast)
+    order_columns = []
+    for item in ast.order_by:
+        if isinstance(item.expr, ColumnRef):
+            order_columns.append((item.expr.name, item.descending))
+    return MergeSpec(
+        kind="ordered_limit" if order_columns else "concat",
+        order_columns=tuple(order_columns),
+        limit=ast.limit,
+    )
+
+
+def _scalar_spec(ast: SelectQuery) -> MergeSpec:
+    columns: dict[str, Callable[[list[Any]], Any]] = {}
+    for item in ast.items:
+        expr = item.expr
+        if isinstance(expr, FuncCall) and expr.name.upper() in AGGREGATE_FUNCTIONS:
+            name = expr.name.upper()
+            if name in _NOT_DECOMPOSABLE:
+                raise UnsupportedOperationError(
+                    f"{name} cannot be combined from per-shard results"
+                )
+            columns[item.output_name()] = _COMBINERS[name]
+        else:
+            raise UnsupportedOperationError(
+                f"cannot merge non-aggregate output {expr} across shards"
+            )
+    return MergeSpec(kind="scalar_agg", select_value=ast.select_value, scalar_columns=columns)
+
+
+def _group_spec(ast: SelectQuery) -> MergeSpec:
+    keys: list[str] = []
+    columns: dict[str, Callable[[list[Any]], Any]] = {}
+    for item in ast.items:
+        expr = item.expr
+        if isinstance(expr, FuncCall) and expr.name.upper() in AGGREGATE_FUNCTIONS:
+            name = expr.name.upper()
+            if name in _NOT_DECOMPOSABLE:
+                raise UnsupportedOperationError(
+                    f"{name} cannot be combined from per-shard results"
+                )
+            columns[item.output_name()] = _COMBINERS[name]
+        elif isinstance(expr, ColumnRef):
+            keys.append(item.output_name())
+        else:
+            raise UnsupportedOperationError(
+                f"cannot merge group output expression {expr} across shards"
+            )
+    return MergeSpec(kind="group_agg", group_keys=tuple(keys), group_columns=columns)
+
+
+# ----------------------------------------------------------------------
+# Spec derivation: MongoDB aggregation pipelines
+# ----------------------------------------------------------------------
+
+_MONGO_COMBINERS = {
+    "$sum": _COMBINERS["SUM"],
+    "$max": _COMBINERS["MAX"],
+    "$min": _COMBINERS["MIN"],
+}
+
+
+def spec_for_pipeline(pipeline: list[dict[str, Any]]) -> MergeSpec:
+    """Derive the merge spec from an aggregation pipeline."""
+    for stage in pipeline:
+        if "$lookup" in stage:
+            raise UnsupportedOperationError(
+                "MongoDB only supports joining unsharded data; $lookup "
+                "cannot run against a sharded collection"
+            )
+    group_stage: dict[str, Any] | None = None
+    count_field: str | None = None
+    sort_spec: dict[str, int] | None = None
+    limit: int | None = None
+    for stage in pipeline:
+        if "$group" in stage:
+            group_stage = stage["$group"]
+            sort_spec = None
+        if "$count" in stage:
+            count_field = str(stage["$count"])
+        if "$sort" in stage:
+            sort_spec = stage["$sort"]
+        if "$limit" in stage:
+            limit = int(stage["$limit"])
+
+    if count_field is not None:
+        return MergeSpec(
+            kind="scalar_agg", scalar_columns={count_field: _COMBINERS["COUNT"]}
+        )
+    if group_stage is not None:
+        return _mongo_group_spec(group_stage)
+    order_columns = tuple(
+        (name, direction < 0) for name, direction in (sort_spec or {}).items()
+    )
+    return MergeSpec(
+        kind="ordered_limit" if order_columns else "concat",
+        order_columns=order_columns,
+        limit=limit,
+    )
+
+
+def _mongo_group_spec(group: dict[str, Any]) -> MergeSpec:
+    id_spec = group.get("_id")
+    columns: dict[str, Callable[[list[Any]], Any]] = {}
+    for name, acc in group.items():
+        if name == "_id":
+            continue
+        op = next(iter(acc))
+        if op == "$avg" or op == "$stdDevPop":
+            raise UnsupportedOperationError(
+                f"{op} cannot be combined from per-shard results"
+            )
+        combiner = _MONGO_COMBINERS.get(op)
+        if combiner is None:
+            raise UnsupportedOperationError(f"cannot merge accumulator {op} across shards")
+        columns[name] = combiner
+    if isinstance(id_spec, dict) and id_spec:
+        # The PolyFrame rewrite promotes _id members to top-level fields via
+        # $addFields, so merged records carry the key names directly.
+        keys = tuple(id_spec.keys())
+        return MergeSpec(kind="group_agg", group_keys=keys, group_columns=columns)
+    return MergeSpec(kind="scalar_agg", scalar_columns=columns)

@@ -1,0 +1,71 @@
+"""A sharded MongoDB cluster (mongos-style scatter-gather)."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.cluster.base import scatter_gather, shard_records
+from repro.cluster.merge import spec_for_pipeline
+from repro.docstore import MongoDatabase
+from repro.docstore.database import DEFAULT_PREP_OVERHEAD
+from repro.sqlengine.result import ResultSet
+
+
+class MongoDBCluster:
+    """N mongod shards behind a merging router.
+
+    Compatible with :class:`~repro.core.connectors.MongoDBConnector`
+    (``aggregate``, ``has_collection``, ``create_collection``).  As the
+    paper notes, ``$lookup`` only joins unsharded data, so expression 12
+    raises :class:`~repro.errors.UnsupportedOperationError` here.
+    """
+
+    def __init__(self, num_nodes: int, *, query_prep_overhead: float = DEFAULT_PREP_OVERHEAD) -> None:
+        if num_nodes < 1:
+            raise ValueError("a cluster needs at least one node")
+        self.num_nodes = num_nodes
+        self.nodes = [
+            MongoDatabase(query_prep_overhead=query_prep_overhead, name=f"mongod-{i}")
+            for i in range(num_nodes)
+        ]
+        self.name = f"mongodb-cluster[{num_nodes}]"
+
+    # ------------------------------------------------------------------
+    def create_collection(self, name: str) -> None:
+        for node in self.nodes:
+            node.create_collection(name)
+
+    def has_collection(self, name: str) -> bool:
+        return self.nodes[0].has_collection(name)
+
+    def insert_many(
+        self,
+        collection: str,
+        documents: Iterable[dict[str, Any]],
+        shard_key: str | None = None,
+    ) -> int:
+        shards = shard_records(list(documents), self.num_nodes, shard_key)
+        total = 0
+        for node, shard in zip(self.nodes, shards):
+            total += node.collection(collection).insert_many(shard)
+        return total
+
+    def create_index(self, collection: str, field: str) -> None:
+        for node in self.nodes:
+            node.collection(collection).create_index(field)
+
+    def estimated_document_count(self, collection: str) -> int:
+        return sum(node.estimated_document_count(collection) for node in self.nodes)
+
+    # ------------------------------------------------------------------
+    def aggregate(self, collection: str, pipeline: list[dict[str, Any]]) -> ResultSet:
+        if self.num_nodes == 1:
+            # A single shard holds all the data, so even $lookup is fine —
+            # this matches the paper running expression 12 on one node.
+            return self.nodes[0].aggregate(collection, pipeline)
+        spec = spec_for_pipeline(pipeline)
+        return scatter_gather(
+            lambda shard: self.nodes[shard].aggregate(collection, pipeline),
+            self.num_nodes,
+            spec,
+        )

@@ -1,0 +1,36 @@
+"""PolyFrame core: the paper's primary contribution.
+
+A pandas-like dataframe whose operations are incrementally translated into
+composable queries through pluggable language rewrite rules, evaluated
+lazily by whichever backend database the connector targets.
+"""
+
+from repro.core.frame import PolyFrame
+from repro.core.generic import describe, get_dummies, value_counts
+from repro.core.groupby import PolyFrameGroupBy
+from repro.core.rewrite import RewriteEngine, RewriteRules, load_builtin
+from repro.core.series import PolySeries
+from repro.core.connectors import (
+    AsterixDBConnector,
+    DatabaseConnector,
+    MongoDBConnector,
+    Neo4jConnector,
+    PostgresConnector,
+)
+
+__all__ = [
+    "AsterixDBConnector",
+    "DatabaseConnector",
+    "MongoDBConnector",
+    "Neo4jConnector",
+    "PolyFrame",
+    "PolyFrameGroupBy",
+    "PolySeries",
+    "PostgresConnector",
+    "RewriteEngine",
+    "RewriteRules",
+    "describe",
+    "get_dummies",
+    "load_builtin",
+    "value_counts",
+]

@@ -1,0 +1,23 @@
+"""Database connectors.
+
+A connector binds PolyFrame to one backend: it names the rewrite-rule
+language, performs per-query pre-processing (e.g. wrapping MongoDB stage
+text into a JSON pipeline), sends the final query, and post-processes
+results into plain records.  Implementing these three methods (plus
+initialization) is all a new backend needs — exactly the contract the
+paper describes for AFrame's abstract database connector.
+"""
+
+from repro.core.connectors.base import DatabaseConnector
+from repro.core.connectors.asterixdb import AsterixDBConnector
+from repro.core.connectors.postgres import PostgresConnector
+from repro.core.connectors.mongodb import MongoDBConnector
+from repro.core.connectors.neo4j import Neo4jConnector
+
+__all__ = [
+    "AsterixDBConnector",
+    "DatabaseConnector",
+    "MongoDBConnector",
+    "Neo4jConnector",
+    "PostgresConnector",
+]

@@ -1,0 +1,42 @@
+"""Connector for the embedded AsterixDB (SQL++) engine."""
+
+from __future__ import annotations
+
+from repro.core.connectors.base import DatabaseConnector
+from repro.sqlengine.result import ResultSet
+from repro.sqlpp import AsterixDB
+
+
+class AsterixDBConnector(DatabaseConnector):
+    """Sends SQL++ text to an :class:`~repro.sqlpp.AsterixDB` instance."""
+
+    language = "sqlpp"
+
+    def __init__(self, database: AsterixDB, rule_overrides: dict[str, str] | None = None) -> None:
+        super().__init__(rule_overrides)
+        self._db = database
+
+    def _execute(self, query: str, collection: str) -> ResultSet:
+        return self._db.execute(query)
+
+    def collection_exists(self, namespace: str, collection: str) -> bool:
+        return self._db.catalog.has_table(self.qualified_name(namespace, collection))
+
+    def explain(self, query: str) -> str:
+        """Backend plan for *query* (useful when inspecting optimizations)."""
+        return self._db.explain(query)
+
+
+    def _create_and_load(self, namespace, target, records):
+        """Persist into a new dataset keyed by a synthetic id."""
+        if not self._db.has_dataverse(namespace):
+            self._db.create_dataverse(namespace)
+        self._db.create_dataset(namespace, target, primary_key="_persist_id")
+        qualified = self.qualified_name(namespace, target)
+        self._db.load(
+            qualified,
+            [dict(record, _persist_id=index) for index, record in enumerate(records)],
+        )
+
+
+__all__ = ["AsterixDBConnector"]

@@ -1,0 +1,131 @@
+"""Abstract database connector.
+
+The paper: *"The database connector is an abstract class in AFrame that
+makes connections to database engines.  It also performs AFrame
+initialization, pre-processing of queries before sending them to the
+database, and post processing of queries' results from the database.  A new
+database connector can be included by providing an implementation of these
+three required methods."*
+"""
+
+from __future__ import annotations
+
+import abc
+import logging
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.rewrite import RewriteEngine
+from repro.sqlengine.result import ResultSet
+
+#: Query trace: enable with ``logging.getLogger('repro.polyframe').setLevel(DEBUG)``
+#: to see every query an action ships, with its timing and result size.
+logger = logging.getLogger("repro.polyframe")
+
+
+@dataclass(frozen=True)
+class SendRecord:
+    """Timing of one query sent through a connector.
+
+    ``real_seconds`` is the wall time this process spent executing the
+    query; ``reported_seconds`` is what the engine reports, which for the
+    cluster simulations is the *parallel* elapsed time an N-node cluster
+    would observe (shards run sequentially in-process).  The benchmark
+    runner uses the difference to report cluster timings correctly.
+    """
+
+    real_seconds: float
+    reported_seconds: float
+
+
+class DatabaseConnector(abc.ABC):
+    """Binds PolyFrame to one query-based database system.
+
+    Subclasses set :attr:`language` (which built-in rule set to load) and
+    implement :meth:`_execute`.  ``rule_overrides`` lets callers install
+    user-defined rewrites at connection time.
+    """
+
+    #: Name of the rewrite-rule language this connector speaks.
+    language: str = ""
+
+    def __init__(self, rule_overrides: dict[str, str] | None = None) -> None:
+        if not self.language:
+            raise TypeError("connector subclasses must set a language")
+        self.rewriter = RewriteEngine(self.language, rule_overrides)
+        self.send_log: list[SendRecord] = []
+
+    # ------------------------------------------------------------------
+    # The three required methods
+    # ------------------------------------------------------------------
+    def preprocess(self, query: str, collection: str) -> Any:
+        """Transform rewritten query text into what the engine accepts.
+
+        Default: pass the text through unchanged.
+        """
+        return query
+
+    def send(self, query: str, collection: str) -> ResultSet:
+        """Execute *query* (already rewritten) and return the raw result.
+
+        Wraps the backend call with timing bookkeeping (see
+        :class:`SendRecord`); backends implement :meth:`_execute`.
+        """
+        started = time.perf_counter()
+        result = self._execute(query, collection)
+        real = time.perf_counter() - started
+        self.send_log.append(SendRecord(real, result.elapsed_seconds))
+        if logger.isEnabledFor(logging.DEBUG):
+            logger.debug(
+                "%s <- %s (%d rows, %.2fms)\n%s",
+                self.name, collection, len(result.records), real * 1000, query,
+            )
+        return result
+
+    @abc.abstractmethod
+    def _execute(self, query: str, collection: str) -> ResultSet:
+        """Backend-specific execution of an already-rewritten query."""
+
+    # ------------------------------------------------------------------
+    # Result persistence (the configs' SAVE RESULTS vocabulary)
+    # ------------------------------------------------------------------
+    def persist(
+        self, query: str, source_collection: str, namespace: str, target: str
+    ) -> None:
+        """Save *query*'s results as a new dataset/collection *target*.
+
+        Default strategy: evaluate the query and bulk-load the records into
+        a newly created container.  Backends with a native save-results
+        operator (MongoDB's ``$out``) override this to push the write into
+        the query itself.
+        """
+        final = self.rewriter.apply("return_all", subquery=query)
+        records = self.postprocess(self.send(final, source_collection))
+        self._create_and_load(namespace, target, records)
+
+    def _create_and_load(
+        self, namespace: str, target: str, records: list[dict[str, Any]]
+    ) -> None:
+        raise NotImplementedError(
+            f"{self.name} does not implement result persistence"
+        )
+
+    def postprocess(self, result: ResultSet) -> list[dict[str, Any]]:
+        """Normalize engine output into a list of record dicts."""
+        return result.to_records()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    @abc.abstractmethod
+    def collection_exists(self, namespace: str, collection: str) -> bool:
+        """Verify the dataset exists (PolyFrame initialization check)."""
+
+    def qualified_name(self, namespace: str, collection: str) -> str:
+        """How this backend spells 'namespace.collection'."""
+        return f"{namespace}.{collection}" if namespace else collection

@@ -1,0 +1,38 @@
+"""Connector for the embedded Neo4j-like graph database."""
+
+from __future__ import annotations
+
+from repro.core.connectors.base import DatabaseConnector
+from repro.graphdb import Neo4jDatabase
+from repro.sqlengine.result import ResultSet
+
+
+class Neo4jConnector(DatabaseConnector):
+    """Sends Cypher text to a :class:`~repro.graphdb.Neo4jDatabase`.
+
+    The 'collection' is a node label; namespaces do not exist in Neo4j, so
+    the qualified name is just the label.
+    """
+
+    language = "cypher"
+
+    def __init__(self, database: Neo4jDatabase, rule_overrides: dict[str, str] | None = None) -> None:
+        super().__init__(rule_overrides)
+        self._db = database
+
+    def _execute(self, query: str, collection: str) -> ResultSet:
+        return self._db.execute(query)
+
+    def collection_exists(self, namespace: str, collection: str) -> bool:
+        return self._db.node_count(collection) > 0
+
+    def qualified_name(self, namespace: str, collection: str) -> str:
+        return collection
+
+
+    def _create_and_load(self, namespace, target, records):
+        """Persist as nodes under a new label."""
+        self._db.load(target, records)
+
+
+__all__ = ["Neo4jConnector"]

@@ -1,0 +1,36 @@
+"""Connector for the embedded PostgreSQL-like SQL engine."""
+
+from __future__ import annotations
+
+from repro.core.connectors.base import DatabaseConnector
+from repro.sqlengine import SQLDatabase
+from repro.sqlengine.result import ResultSet
+
+
+class PostgresConnector(DatabaseConnector):
+    """Sends SQL text to a :class:`~repro.sqlengine.SQLDatabase` instance."""
+
+    language = "sql"
+
+    def __init__(self, database: SQLDatabase, rule_overrides: dict[str, str] | None = None) -> None:
+        super().__init__(rule_overrides)
+        self._db = database
+
+    def _execute(self, query: str, collection: str) -> ResultSet:
+        return self._db.execute(query)
+
+    def collection_exists(self, namespace: str, collection: str) -> bool:
+        return self._db.catalog.has_table(self.qualified_name(namespace, collection))
+
+    def explain(self, query: str) -> str:
+        return self._db.explain(query)
+
+
+    def _create_and_load(self, namespace, target, records):
+        """Persist into a new table (CREATE TABLE AS ... semantics)."""
+        qualified = self.qualified_name(namespace, target)
+        self._db.create_table(qualified)
+        self._db.insert(qualified, records)
+
+
+__all__ = ["PostgresConnector"]

@@ -1,0 +1,226 @@
+"""PolyFrame: a lazily evaluated, retargetable dataframe.
+
+Transformations compose the underlying query through the connector's
+rewrite rules and return new PolyFrame objects — no data moves, no query
+runs.  Actions (``head``, ``len``, ``collect``, aggregates) apply a
+terminal rule, send the query through the database connector, and return
+results as an eager frame, "useful when further visualization is desired".
+"""
+
+from __future__ import annotations
+
+from typing import Any, TYPE_CHECKING
+
+from repro.eager import EagerFrame, frame_from_records
+from repro.errors import ConnectorError, RewriteError
+from repro.core.series import PolySeries
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.connectors.base import DatabaseConnector
+    from repro.core.groupby import PolyFrameGroupBy
+
+
+class PolyFrame:
+    """A dataframe whose contents live in a backend database.
+
+    Created from an existing dataset::
+
+        af = PolyFrame("Test", "Users", connector)
+        en = af[af["lang"] == "en"][["name", "address"]]
+        en.head(10)           # the only line that touches the database
+    """
+
+    def __init__(
+        self,
+        namespace: str,
+        collection: str,
+        connector: "DatabaseConnector",
+        query: str | None = None,
+        *,
+        validate: bool = True,
+    ) -> None:
+        self.namespace = namespace
+        self.collection = collection
+        self.connector = connector
+        if validate and query is None and not connector.collection_exists(namespace, collection):
+            raise ConnectorError(
+                f"dataset {namespace}.{collection} does not exist on "
+                f"{connector.name}"
+            )
+        if query is None:
+            query = self._rw.apply("q1", namespace=namespace, collection=collection)
+        self._query = query
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def query(self) -> str:
+        """The incrementally built underlying query."""
+        return self._query
+
+    @property
+    def _rw(self):
+        return self.connector.rewriter
+
+    def explain(self) -> str:
+        """The query an action would send (before terminal rules)."""
+        return self._query
+
+    def backend_plan(self) -> str:
+        """The backend's query plan for this frame's query, where exposed.
+
+        The SQL-family connectors surface their engines' EXPLAIN output
+        (logical + physical plan trees); other backends raise
+        :class:`~repro.errors.ConnectorError`.
+        """
+        explain = getattr(self.connector, "explain", None)
+        if explain is None:
+            raise ConnectorError(
+                f"{self.connector.name} does not expose a query plan"
+            )
+        final = self._rw.apply("return_all", subquery=self._query)
+        return explain(final)
+
+    def __repr__(self) -> str:
+        return (
+            f"PolyFrame({self.namespace!r}, {self.collection!r}, "
+            f"backend={self.connector.name})\n--- underlying query ---\n{self._query}"
+        )
+
+    def _with_query(self, query: str) -> "PolyFrame":
+        return PolyFrame(
+            self.namespace, self.collection, self.connector, query, validate=False
+        )
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def __getitem__(self, key: Any) -> "PolyFrame | PolySeries":
+        """Pandas-style indexing.
+
+        - ``af['col']`` → :class:`PolySeries` (projection)
+        - ``af[['a', 'b']]`` → PolyFrame projecting those attributes
+        - ``af[bool_series]`` → PolyFrame filtered by the series' predicate
+        """
+        if isinstance(key, str):
+            return self._column(key)
+        if isinstance(key, list):
+            return self._project(key)
+        if isinstance(key, PolySeries):
+            return self._filter(key)
+        raise TypeError(f"cannot index PolyFrame with {type(key).__name__}")
+
+    def _column(self, name: str) -> PolySeries:
+        statement = self._rw.apply("single_attribute", attribute=name)
+        query = self._rw.apply(
+            "q2",
+            subquery=self._query,
+            attribute_list=self._rw.apply("project_attribute", attribute=name),
+        )
+        return PolySeries(
+            self.connector,
+            self.collection,
+            self._query,
+            statement,
+            attribute=name,
+            query=query,
+        )
+
+    def _project(self, names: list[str]) -> "PolyFrame":
+        entries = [self._rw.apply("project_attribute", attribute=name) for name in names]
+        query = self._rw.apply(
+            "q2", subquery=self._query, attribute_list=self._rw.join_list(entries)
+        )
+        return self._with_query(query)
+
+    def _filter(self, mask: PolySeries) -> "PolyFrame":
+        # The mask's *statement* composes into the filter rule; its own
+        # query is discarded (the paper's footnote: dataframe 4 derives
+        # from 1 with the condition of 3).
+        query = self._rw.apply("q6", subquery=self._query, statement=mask.statement)
+        return self._with_query(query)
+
+    def sort_values(self, by: str, ascending: bool = True) -> "PolyFrame":
+        rule = "q5" if ascending else "q4"
+        attr_rule = "sort_asc_attr" if ascending else "sort_desc_attr"
+        rendered = self._rw.apply(attr_rule, attribute=by)
+        variables = {"subquery": self._query}
+        variables["sort_asc_attr" if ascending else "sort_desc_attr"] = rendered
+        return self._with_query(self._rw.apply(rule, **variables))
+
+    def groupby(self, by: str) -> "PolyFrameGroupBy":
+        from repro.core.groupby import PolyFrameGroupBy
+
+        return PolyFrameGroupBy(self, by)
+
+    def merge(
+        self,
+        other: "PolyFrame",
+        left_on: str,
+        right_on: str,
+        how: str = "inner",
+    ) -> "PolyFrame":
+        """Equi-join with another PolyFrame on the same backend."""
+        if how != "inner":
+            raise RewriteError(f"only inner joins are supported, got {how!r}")
+        if other.connector is not self.connector:
+            raise ConnectorError("cannot join frames from different connectors")
+        query = self._rw.apply(
+            "q10",
+            left_subquery=self._query,
+            right_subquery=other._query,
+            left_on=left_on,
+            right_on=right_on,
+            right_collection=other.collection,
+        )
+        return self._with_query(query)
+
+    join = merge
+
+    # ------------------------------------------------------------------
+    # Actions
+    # ------------------------------------------------------------------
+    def head(self, n: int = 5) -> EagerFrame:
+        """Fetch the first *n* rows as an eager frame."""
+        query = self._rw.apply("limit", subquery=self._query, num=n)
+        return self._send_frame(query)
+
+    def collect(self) -> EagerFrame:
+        """Fetch every row (``toPandas()`` in the paper's timing points)."""
+        query = self._rw.apply("return_all", subquery=self._query)
+        return self._send_frame(query)
+
+    toPandas = collect
+
+    def __len__(self) -> int:
+        query = self._rw.apply("q3", subquery=self._query)
+        result = self.connector.send(query, self.collection)
+        return int(result.scalar())
+
+    def describe(self) -> EagerFrame:
+        """Summary statistics per numeric attribute (a generic rule)."""
+        from repro.core.generic import describe
+
+        return describe(self)
+
+    @property
+    def columns(self) -> list[str]:
+        """Attribute names, inferred by sampling one record (an action)."""
+        sample = self.head(1)
+        return sample.columns
+
+    def persist(self, target: str, namespace: str | None = None) -> "PolyFrame":
+        """Save this frame's results as a new dataset and return a frame on it.
+
+        MongoDB persists natively through a ``$out`` pipeline stage (the
+        config's SAVE RESULTS rule); other backends evaluate the query and
+        bulk-load the results into a freshly created container.
+        """
+        target_namespace = namespace if namespace is not None else self.namespace
+        self.connector.persist(self._query, self.collection, target_namespace, target)
+        return PolyFrame(target_namespace, target, self.connector)
+
+    def _send_frame(self, query: str) -> EagerFrame:
+        result = self.connector.send(query, self.collection)
+        return frame_from_records(self.connector.postprocess(result))

@@ -1,0 +1,142 @@
+"""Generic rewrite rules: complex pandas functions built from basic rules.
+
+The paper: *"Generic rules are composed of several language-specific rules.
+We construct generic rules by decomposing Pandas' complex functions into a
+chain of basic Pandas operations which are then translated via the existing
+language-specific rewrite rules."*
+
+Implemented here:
+
+- :func:`describe` — per-attribute min/max/avg/count/std in one query,
+  chaining the FUNCTIONS rules through ``agg_alias_entry`` and ``q13``;
+- :func:`get_dummies` — one-hot encoding: a distinct-values query (``q14``)
+  followed by a computed projection (``q15``) with one equality statement
+  per category;
+- :func:`value_counts` — group-count (``q8``) ordered descending (``q4``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.eager import EagerFrame
+from repro.errors import RewriteError
+from repro.core.series import PolySeries
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.frame import PolyFrame
+
+_DESCRIBE_STATS = ("count", "min", "max", "avg", "std")
+
+
+def describe(frame: "PolyFrame", attributes: list[str] | None = None) -> EagerFrame:
+    """Aggregate statistics for each (numeric) attribute in one query."""
+    rw = frame.connector.rewriter
+    if attributes is None:
+        sample = frame.head(1)
+        attributes = [
+            name
+            for name in sample.columns
+            if sample.column_values(name)
+            and isinstance(sample.column_values(name)[0], (int, float))
+            and not isinstance(sample.column_values(name)[0], bool)
+        ]
+    if not attributes:
+        raise RewriteError("describe() found no numeric attributes to profile")
+
+    entries = []
+    for attribute in attributes:
+        for stat in _DESCRIBE_STATS:
+            agg_func = rw.apply(stat, attribute=attribute)
+            entries.append(
+                rw.apply(
+                    "agg_alias_entry",
+                    agg_func=agg_func,
+                    agg_alias=f"{stat}_{attribute}",
+                )
+            )
+    query = rw.apply("q13", subquery=frame.query, agg_list=rw.join_list(entries))
+    query = rw.apply("return_all", subquery=query)
+    result = frame.connector.send(query, frame.collection)
+    records = frame.connector.postprocess(result)
+    if len(records) != 1:
+        raise RewriteError(f"describe() expected one result row, got {len(records)}")
+    row = records[0]
+    columns: dict[str, list] = {"statistic": list(_DESCRIBE_STATS)}
+    for attribute in attributes:
+        columns[attribute] = [row.get(f"{stat}_{attribute}") for stat in _DESCRIBE_STATS]
+    return EagerFrame(columns)
+
+
+def get_dummies(series: PolySeries) -> "PolyFrame":
+    """One-hot encode a column: distinct values, then indicator statements.
+
+    Returns a lazy PolyFrame whose rows are 0/1 indicator records; call an
+    action (``head``/``collect``) to materialize.
+    """
+    from repro.core.frame import PolyFrame  # local import: cycle guard
+
+    if series.attribute is None:
+        raise RewriteError("get_dummies() requires a plain column")
+    rw = series._rw
+    categories = sorted(
+        {value for value in series.unique() if value is not None}, key=str
+    )
+    if not categories:
+        raise RewriteError(f"column {series.attribute!r} has no categories to encode")
+
+    entries = []
+    for value in categories:
+        statement = rw.apply(
+            "eq", left=series._left_operand(), right=rw.literal(value)
+        )
+        # Indicator columns keep pandas' ``{column}_{value}`` naming.
+        entries.append(
+            rw.apply(
+                "statement_alias",
+                statement=statement,
+                alias=f"{series.attribute}_{value}",
+            )
+        )
+    query = rw.apply(
+        "q15",
+        subquery=series._base_query,
+        statement_list=rw.join_list(entries),
+    )
+    return PolyFrame(
+        namespace="",
+        collection=series._collection,
+        connector=series._connector,
+        query=query,
+        validate=False,
+    )
+
+
+def value_counts(series: PolySeries) -> "PolyFrame":
+    """Counts per distinct value, most frequent first (lazy)."""
+    from repro.core.frame import PolyFrame
+
+    if series.attribute is None:
+        raise RewriteError("value_counts() requires a plain column")
+    rw = series._rw
+    alias = f"count_{series.attribute}"
+    agg_func = rw.apply("count", attribute=series.attribute)
+    grouped = rw.apply(
+        "q8",
+        subquery=series._base_query,
+        grp_attribute=series.attribute,
+        agg_func=agg_func,
+        agg_alias=alias,
+    )
+    ordered = rw.apply(
+        "q4",
+        subquery=grouped,
+        sort_desc_attr=rw.apply("sort_desc_attr", attribute=alias),
+    )
+    return PolyFrame(
+        namespace="",
+        collection=series._collection,
+        connector=series._connector,
+        query=ordered,
+        validate=False,
+    )

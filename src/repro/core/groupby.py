@@ -1,0 +1,100 @@
+"""Lazy group-by for PolyFrame.
+
+Supports the benchmark's two shapes:
+
+- ``af.groupby('oddOnePercent').agg('count')`` (expression 4)
+- ``af.groupby('twenty')['four'].agg('max')`` (expression 8)
+
+``agg`` is a *transformation*: it returns a new PolyFrame whose underlying
+query is the grouped aggregate; results only materialize on an action.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import RewriteError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.frame import PolyFrame
+
+#: pandas aggregate name → rewrite-rule function name
+_AGG_RULES = {
+    "count": "count",
+    "max": "max",
+    "min": "min",
+    "sum": "sum",
+    "mean": "avg",
+    "avg": "avg",
+    "std": "std",
+}
+
+
+class PolyFrameGroupBy:
+    """A pending group-by over one or more key columns."""
+
+    def __init__(
+        self,
+        frame: "PolyFrame",
+        by: "str | list[str]",
+        value_column: str | None = None,
+    ) -> None:
+        self._frame = frame
+        self._keys = [by] if isinstance(by, str) else list(by)
+        if not self._keys:
+            raise RewriteError("groupby() requires at least one key column")
+        self._value_column = value_column
+
+    def __getitem__(self, column: str) -> "PolyFrameGroupBy":
+        """Select the column the aggregate applies to."""
+        return PolyFrameGroupBy(self._frame, self._keys, value_column=column)
+
+    def agg(self, func: str) -> "PolyFrame":
+        """Apply *func* per group, returning a new lazy PolyFrame."""
+        try:
+            rule = _AGG_RULES[func]
+        except KeyError:
+            raise RewriteError(f"unsupported group aggregate {func!r}") from None
+        target = (
+            self._value_column if self._value_column is not None else self._keys[0]
+        )
+        rw = self._frame.connector.rewriter
+        agg_func = rw.apply(rule, attribute=target)
+        agg_alias = f"{func}_{target}"
+        if len(self._keys) == 1:
+            query = rw.apply(
+                "q8",
+                subquery=self._frame.query,
+                grp_attribute=self._keys[0],
+                agg_func=agg_func,
+                agg_alias=agg_alias,
+            )
+        else:
+            query = rw.apply(
+                "q16",
+                subquery=self._frame.query,
+                grp_select_list=rw.join_list(
+                    rw.apply("grp_select_entry", attribute=key) for key in self._keys
+                ),
+                grp_key_list=rw.join_list(
+                    rw.apply("grp_key_entry", attribute=key) for key in self._keys
+                ),
+                agg_func=agg_func,
+                agg_alias=agg_alias,
+            )
+        return self._frame._with_query(query)
+
+    def count(self) -> "PolyFrame":
+        return self.agg("count")
+
+    def max(self) -> "PolyFrame":
+        return self.agg("max")
+
+    def min(self) -> "PolyFrame":
+        return self.agg("min")
+
+    def sum(self) -> "PolyFrame":
+        return self.agg("sum")
+
+    def mean(self) -> "PolyFrame":
+        return self.agg("mean")

@@ -1,0 +1,16 @@
+"""PolyFrame's language rewrite component.
+
+A :class:`~repro.core.rewrite.rules.RewriteRules` object holds the
+language-specific rule templates loaded from a configuration file (the
+INI-style format shown in the paper's appendix); the
+:class:`~repro.core.rewrite.engine.RewriteEngine` performs ``$variable``
+substitution and exposes the rule vocabulary the PolyFrame core composes
+queries from.  Users may overlay custom rules (the paper's *User-Defined
+Rewrites*) on any of the built-in languages or define a new language
+entirely.
+"""
+
+from repro.core.rewrite.engine import RewriteEngine
+from repro.core.rewrite.rules import RewriteRules, builtin_config_path, load_builtin
+
+__all__ = ["RewriteEngine", "RewriteRules", "builtin_config_path", "load_builtin"]

@@ -1,0 +1,114 @@
+"""The rewrite engine: ``$variable`` substitution over rule templates.
+
+Substitution follows the paper's configuration conventions:
+
+- only the variables supplied by the caller are substituted; any other
+  ``$token`` in a template (``$match``, ``$eq``, Mongo field paths) passes
+  through untouched;
+- matching is longest-name-first at each position, so ``$attribute_alias``
+  is never clobbered by ``$attribute``;
+- ``"$$left"`` in a Mongo template renders a field path: the first ``$`` is
+  literal and ``$left`` is substituted, yielding ``"$lang"``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Iterable
+
+from repro.errors import RewriteError
+from repro.core.rewrite.rules import RewriteRules, load_builtin
+
+_NAME_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+
+def substitute(template: str, variables: dict[str, str]) -> str:
+    """Replace ``$name`` occurrences for the supplied *variables* only."""
+    names = sorted(variables, key=len, reverse=True)
+    out: list[str] = []
+    index = 0
+    length = len(template)
+    while index < length:
+        char = template[index]
+        if char != "$":
+            out.append(char)
+            index += 1
+            continue
+        rest = template[index + 1:]
+        replaced = False
+        for name in names:
+            if rest.startswith(name):
+                # Ensure the match ends at a name boundary so ``$agg`` never
+                # swallows the front of ``$agg_alias_x`` style tokens.
+                follow = rest[len(name):len(name) + 1]
+                if follow and (follow.isalnum() or follow == "_"):
+                    continue
+                out.append(str(variables[name]))
+                index += 1 + len(name)
+                replaced = True
+                break
+        if not replaced:
+            out.append(char)
+            index += 1
+    return "".join(out)
+
+
+class RewriteEngine:
+    """Applies a language's rewrite rules to build queries incrementally."""
+
+    def __init__(self, rules: "RewriteRules | str", overrides: dict[str, str] | None = None) -> None:
+        if isinstance(rules, str):
+            rules = load_builtin(rules)
+        if overrides:
+            rules = rules.with_overrides(overrides)
+        self.rules = rules
+
+    @property
+    def language(self) -> str:
+        return self.rules.language
+
+    # ------------------------------------------------------------------
+    def apply(self, rule_name: str, **variables: Any) -> str:
+        """Render one rule with the given variable bindings."""
+        rule = self.rules[rule_name]
+        rendered = substitute(rule.template, {k: str(v) for k, v in variables.items()})
+        return rendered
+
+    def has_rule(self, rule_name: str) -> bool:
+        return rule_name in self.rules
+
+    # ------------------------------------------------------------------
+    # Common composition helpers used by the PolyFrame core
+    # ------------------------------------------------------------------
+    def join_list(self, pieces: Iterable[str]) -> str:
+        """Join fragments with the language's ``attribute_separator`` rule."""
+        items = list(pieces)
+        if not items:
+            raise RewriteError("cannot join an empty fragment list")
+        out = items[0]
+        for right in items[1:]:
+            out = self.apply("attribute_separator", left=out, right=right)
+        return out
+
+    def literal(self, value: Any) -> str:
+        """Render a Python literal through the language's LITERALS rules."""
+        if value is None:
+            return self.apply("null")
+        if isinstance(value, bool):
+            rendered = self.apply("boolean", value="true" if value else "false")
+            # SQL dialects spell booleans upper-case; JSON wants lower-case.
+            if self.language in ("sql", "sqlpp"):
+                rendered = rendered.upper()
+            return rendered
+        if isinstance(value, (int, float)):
+            return self.apply("number", value=value)
+        if isinstance(value, str):
+            return self.apply("string", value=_escape_string(value, self.language))
+        raise RewriteError(f"cannot render a literal of type {type(value).__name__}")
+
+
+def _escape_string(value: str, language: str) -> str:
+    if language in ("sql", "sqlpp"):
+        return value.replace("'", "''")
+    # JSON-ish targets (mongo) and Cypher use double quotes.
+    return value.replace("\\", "\\\\").replace('"', '\\"')

@@ -1,0 +1,148 @@
+"""Parsing of language rewrite-rule configuration files.
+
+The format is the one used in the paper's appendix:
+
+- ``[SECTION]`` headers group rules,
+- ``key = template`` lines define a rule; a template may continue on
+  following lines that start with whitespace,
+- ``;`` starts a comment line.
+
+Rule names are unique across sections (as in the paper's configs), so the
+engine can address them flatly (``rules["q1"]``); the section is retained
+for documentation and introspection.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from importlib import resources
+from pathlib import Path
+
+from repro.errors import RewriteError
+
+BUILTIN_LANGUAGES = ("sqlpp", "sql", "mongo", "cypher")
+
+_SECTION_RE = re.compile(r"^\[(?P<name>[^\]]+)\]\s*$")
+_RULE_RE = re.compile(r"^(?P<key>[A-Za-z_][A-Za-z0-9_]*)\s*=\s?(?P<value>.*)$")
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One named rewrite template."""
+
+    name: str
+    section: str
+    template: str
+
+    def variables(self) -> set[str]:
+        """The ``$variable`` names referenced by this template."""
+        return set(re.findall(r"\$([A-Za-z_][A-Za-z0-9_]*)", self.template))
+
+
+class RewriteRules:
+    """A language's full rule set, addressable by rule name."""
+
+    def __init__(self, language: str, rules: dict[str, Rule]) -> None:
+        self.language = language
+        self._rules = dict(rules)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_text(cls, text: str, language: str = "custom") -> "RewriteRules":
+        """Parse a configuration file's contents."""
+        rules: dict[str, Rule] = {}
+        section = ""
+        current_key: str | None = None
+        pieces: list[str] = []
+
+        def flush() -> None:
+            nonlocal current_key, pieces
+            if current_key is not None:
+                rules[current_key] = Rule(current_key, section, "\n".join(pieces).rstrip())
+            current_key = None
+            pieces = []
+
+        for raw_line in text.splitlines():
+            line = raw_line.rstrip()
+            if not line.strip() or line.lstrip().startswith(";"):
+                continue
+            section_match = _SECTION_RE.match(line)
+            if section_match:
+                flush()
+                section = section_match.group("name")
+                continue
+            if not line[0].isspace():
+                rule_match = _RULE_RE.match(line)
+                if rule_match:
+                    flush()
+                    current_key = rule_match.group("key")
+                    pieces = [rule_match.group("value")]
+                    continue
+                raise RewriteError(f"cannot parse rule line: {line!r}")
+            if current_key is None:
+                raise RewriteError(f"continuation line outside a rule: {line!r}")
+            pieces.append(line.strip())
+        flush()
+        return cls(language, rules)
+
+    @classmethod
+    def from_file(cls, path: str | Path, language: str | None = None) -> "RewriteRules":
+        path = Path(path)
+        return cls.from_text(path.read_text(encoding="utf-8"), language or path.stem)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._rules
+
+    def __getitem__(self, name: str) -> Rule:
+        try:
+            return self._rules[name]
+        except KeyError:
+            raise RewriteError(
+                f"language {self.language!r} has no rewrite rule {name!r}"
+            ) from None
+
+    def get(self, name: str) -> Rule | None:
+        return self._rules.get(name)
+
+    def names(self) -> list[str]:
+        return list(self._rules)
+
+    def section(self, section: str) -> list[Rule]:
+        return [rule for rule in self._rules.values() if rule.section == section]
+
+    # ------------------------------------------------------------------
+    # User-defined rewrites
+    # ------------------------------------------------------------------
+    def with_overrides(self, overrides: dict[str, str]) -> "RewriteRules":
+        """A copy of this rule set with user-defined templates layered on.
+
+        This is the paper's *User-Defined Rewrites* mechanism: users can
+        replace any rule (or add new ones) to exploit a system's
+        language-specific capabilities without forking the whole config.
+        """
+        merged = dict(self._rules)
+        for name, template in overrides.items():
+            section = merged[name].section if name in merged else "USER"
+            merged[name] = Rule(name, section, template)
+        return RewriteRules(self.language, merged)
+
+
+def builtin_config_path(language: str) -> Path:
+    """Filesystem path of a built-in language configuration."""
+    if language not in BUILTIN_LANGUAGES:
+        raise RewriteError(
+            f"unknown built-in language {language!r}; choose from {BUILTIN_LANGUAGES}"
+        )
+    package = resources.files("repro.core.rewrite") / "configs" / f"{language}.ini"
+    return Path(str(package))
+
+
+def load_builtin(language: str) -> RewriteRules:
+    """Load one of the four built-in rule sets (sqlpp/sql/mongo/cypher)."""
+    return RewriteRules.from_file(builtin_config_path(language), language)

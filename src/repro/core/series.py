@@ -1,0 +1,325 @@
+"""PolySeries: a lazily evaluated column or derived expression.
+
+A series carries two representations, mirroring AFrame's design:
+
+- ``statement`` — the language fragment for composing into other
+  expressions (filters, logical combinations).  Built from the rewrite
+  rules' comparison/logical/arithmetic templates.
+- ``query`` — its own underlying query (a projection of the expression
+  over the parent frame's query), used when the series itself is the
+  target of an action (``head()``, aggregates).
+
+Both are plain strings in the backend's language: the core never inspects
+them, which is what makes PolyFrame retargetable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, TYPE_CHECKING
+
+from repro.eager import EagerFrame, frame_from_records
+from repro.errors import RewriteError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.connectors.base import DatabaseConnector
+
+_MAP_FUNCTIONS: dict[Any, str] = {
+    str.upper: "upper",
+    str.lower: "lower",
+    abs: "abs",
+    len: "length",
+}
+
+_COMPARISON_RULES = {
+    "==": "eq",
+    "!=": "ne",
+    ">": "gt",
+    "<": "lt",
+    ">=": "ge",
+    "<=": "le",
+}
+
+_ARITHMETIC_RULES = {
+    "+": "add",
+    "-": "sub",
+    "*": "mul",
+    "/": "div",
+    "%": "mod",
+}
+
+
+class PolySeries:
+    """A single lazily evaluated column expression."""
+
+    def __init__(
+        self,
+        connector: "DatabaseConnector",
+        collection: str,
+        base_query: str,
+        statement: str,
+        *,
+        attribute: str | None = None,
+        alias: str | None = None,
+        query: str | None = None,
+    ) -> None:
+        self._connector = connector
+        self._collection = collection
+        self._base_query = base_query
+        self.statement = statement
+        self.attribute = attribute
+        self.alias = alias or attribute or "value"
+        self._query = query
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def query(self) -> str:
+        """The series' own underlying query."""
+        if self._query is None:
+            raise RewriteError("series has no standalone query")
+        return self._query
+
+    @property
+    def _rw(self):
+        return self._connector.rewriter
+
+    @property
+    def _reference_style(self) -> str:
+        rule = self._rw.rules.get("reference_style")
+        return rule.template if rule is not None else "statement"
+
+    def __repr__(self) -> str:
+        return f"PolySeries({self.alias!r}, statement={self.statement!r})"
+
+    # ------------------------------------------------------------------
+    # Expression composition
+    # ------------------------------------------------------------------
+    def _left_operand(self) -> str:
+        """What comparison/arithmetic templates receive as ``$left``."""
+        if self._reference_style == "attribute":
+            if self.attribute is None:
+                raise RewriteError(
+                    f"the {self._rw.language} rewrite rules reference fields by "
+                    "name; only plain columns can be compared (the paper's "
+                    "MongoDB configuration has the same shape)"
+                )
+            return self.attribute
+        return self.statement
+
+    def _right_operand(self, other: Any) -> str:
+        if isinstance(other, PolySeries):
+            if self._reference_style == "attribute":
+                if other.attribute is None:
+                    raise RewriteError(
+                        "field-name rewrite rules require a plain column on "
+                        "the right-hand side"
+                    )
+                return f'"${other.attribute}"'  # a Mongo field path
+            return other.statement
+        return self._rw.literal(other)
+
+    def _derived(self, statement: str, alias: str) -> "PolySeries":
+        query = self._rw.apply(
+            "q9", subquery=self._base_query, statement=statement, alias=alias
+        )
+        return PolySeries(
+            self._connector,
+            self._collection,
+            self._base_query,
+            statement,
+            alias=alias,
+            query=query,
+        )
+
+    def _compare(self, op: str, other: Any) -> "PolySeries":
+        rule = _COMPARISON_RULES[op]
+        statement = self._rw.apply(
+            rule, left=self._left_operand(), right=self._right_operand(other)
+        )
+        return self._derived(statement, alias=f"{self.alias}_{rule}")
+
+    def __eq__(self, other: Any) -> "PolySeries":  # type: ignore[override]
+        return self._compare("==", other)
+
+    def __ne__(self, other: Any) -> "PolySeries":  # type: ignore[override]
+        return self._compare("!=", other)
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __gt__(self, other: Any) -> "PolySeries":
+        return self._compare(">", other)
+
+    def __lt__(self, other: Any) -> "PolySeries":
+        return self._compare("<", other)
+
+    def __ge__(self, other: Any) -> "PolySeries":
+        return self._compare(">=", other)
+
+    def __le__(self, other: Any) -> "PolySeries":
+        return self._compare("<=", other)
+
+    def _logical(self, rule: str, other: "PolySeries | None") -> "PolySeries":
+        if other is None:
+            statement = self._rw.apply(rule, left=self.statement)
+        else:
+            if not isinstance(other, PolySeries):
+                raise TypeError("logical operators require another PolySeries")
+            statement = self._rw.apply(rule, left=self.statement, right=other.statement)
+        return self._derived(statement, alias=f"{self.alias}_{rule}")
+
+    def __and__(self, other: "PolySeries") -> "PolySeries":
+        return self._logical("and", other)
+
+    def __or__(self, other: "PolySeries") -> "PolySeries":
+        return self._logical("or", other)
+
+    def __invert__(self) -> "PolySeries":
+        return self._logical("not", None)
+
+    def _arith(self, op: str, other: Any) -> "PolySeries":
+        rule = _ARITHMETIC_RULES[op]
+        statement = self._rw.apply(
+            rule, left=self._left_operand(), right=self._right_operand(other)
+        )
+        return self._derived(statement, alias=f"{self.alias}_{rule}")
+
+    def __add__(self, other: Any) -> "PolySeries":
+        return self._arith("+", other)
+
+    def __sub__(self, other: Any) -> "PolySeries":
+        return self._arith("-", other)
+
+    def __mul__(self, other: Any) -> "PolySeries":
+        return self._arith("*", other)
+
+    def __truediv__(self, other: Any) -> "PolySeries":
+        return self._arith("/", other)
+
+    def __mod__(self, other: Any) -> "PolySeries":
+        return self._arith("%", other)
+
+    # ------------------------------------------------------------------
+    # Pandas-style column methods (transformations)
+    # ------------------------------------------------------------------
+    def map(self, func: "Callable | str") -> "PolySeries":
+        """Apply a scalar function lazily (expression 5's ``str.upper``).
+
+        Accepts one of the supported callables (``str.upper``, ``str.lower``,
+        ``abs``, ``len``) or the rewrite-rule name directly.
+        """
+        rule = _MAP_FUNCTIONS.get(func, func if isinstance(func, str) else None)
+        if rule is None or not self._rw.has_rule(rule):
+            raise RewriteError(f"no scalar-function rewrite rule for {func!r}")
+        if self._reference_style == "attribute":
+            if self.attribute is None:
+                raise RewriteError("field-name rewrite rules can only map plain columns")
+            statement = self._rw.apply(rule, attribute=self.attribute)
+        else:
+            statement = self._rw.apply(rule, operand=self.statement)
+        derived = self._derived(statement, alias=self.alias)
+        # Mapping applies to the already projected column, mirroring the
+        # paper's two-stage translations (project, then compute).
+        derived._query = self._rw.apply(
+            "q9", subquery=self.query, statement=statement, alias=self.alias
+        )
+        return derived
+
+    def isin(self, values: list[Any]) -> "PolySeries":
+        """Boolean mask of membership in *values* (``Series.isin``).
+
+        Rendered through the ``isin`` comparison rule, so each backend gets
+        its native membership form (``IN (...)``, ``$in``, ``IN [...]``).
+        """
+        if not values:
+            raise RewriteError("isin() requires at least one value")
+        rendered = self._rw.join_list([self._rw.literal(value) for value in values])
+        statement = self._rw.apply("isin", left=self._left_operand(), list=rendered)
+        return self._derived(statement, alias=f"{self.alias}_isin")
+
+    def isna(self) -> "PolySeries":
+        """Boolean mask of absent values (expression 13)."""
+        statement = self._rw.apply("isnull", left=self._left_operand())
+        return self._derived(statement, alias=f"{self.alias}_isnull")
+
+    def notna(self) -> "PolySeries":
+        statement = self._rw.apply("notnull", left=self._left_operand())
+        return self._derived(statement, alias=f"{self.alias}_notnull")
+
+    # ------------------------------------------------------------------
+    # Actions
+    # ------------------------------------------------------------------
+    def head(self, n: int = 5) -> EagerFrame:
+        """Evaluate the series' query with a LIMIT and return results."""
+        query = self._rw.apply("limit", subquery=self.query, num=n)
+        result = self._connector.send(query, self._collection)
+        records = self._connector.postprocess(result)
+        frame = frame_from_records(records)
+        if frame.columns == ["value"]:
+            frame = frame.rename({"value": self.alias})
+        return frame
+
+    def _aggregate(self, func: str) -> Any:
+        if self.attribute is None:
+            raise RewriteError("aggregates require a plain column")
+        agg_func = self._rw.apply(func, attribute=self.attribute)
+        agg_alias = f"{func}_{self.attribute}"
+        query = self._rw.apply(
+            "q7",
+            subquery=self.query,
+            agg_func=agg_func,
+            agg_alias=agg_alias,
+        )
+        query = self._rw.apply("return_all", subquery=query)
+        result = self._connector.send(query, self._collection)
+        return result.scalar()
+
+    def max(self) -> Any:
+        return self._aggregate("max")
+
+    def min(self) -> Any:
+        return self._aggregate("min")
+
+    def mean(self) -> Any:
+        return self._aggregate("avg")
+
+    def sum(self) -> Any:
+        return self._aggregate("sum")
+
+    def count(self) -> Any:
+        return self._aggregate("count")
+
+    def std(self) -> Any:
+        return self._aggregate("std")
+
+    def unique(self) -> list[Any]:
+        """Distinct values of the column (a generic-rule building block)."""
+        if self.attribute is None:
+            raise RewriteError("unique() requires a plain column")
+        query = self._rw.apply("q14", subquery=self._base_query, attribute=self.attribute)
+        query = self._rw.apply("return_all", subquery=query)
+        result = self._connector.send(query, self._collection)
+        values = []
+        for record in result.records:
+            if isinstance(record, dict):
+                values.append(record.get(self.attribute))
+            else:
+                values.append(record)
+        return values
+
+    def nunique(self) -> int:
+        """Number of distinct values — a pure rule composition (q3 over q14).
+
+        No backend needs a dedicated rule: the count rule wraps the
+        distinct-values rule, exactly the generic-rule chaining the paper
+        describes.
+        """
+        if self.attribute is None:
+            raise RewriteError("nunique() requires a plain column")
+        distinct = self._rw.apply(
+            "q14", subquery=self._base_query, attribute=self.attribute
+        )
+        query = self._rw.apply("q3", subquery=distinct)
+        result = self._connector.send(query, self._collection)
+        return int(result.scalar())

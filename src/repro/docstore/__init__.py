@@ -1,0 +1,21 @@
+"""The MongoDB stand-in: a document store with an aggregation pipeline.
+
+PolyFrame talks to MongoDB exclusively through aggregation pipelines (the
+only composable form of its query language), and the paper documents the
+consequences, all reproduced here:
+
+- a leading ``$match`` / ``$sort`` can use indexes (including backward index
+  scans for ``$sort: -1`` + ``$limit`` — expression 9),
+- the *metadata fast count* that serves ``count()`` outside a pipeline is
+  **not** available inside one, so expression 1 scans (unlike Neo4j),
+- ``$lookup`` implements joins as index nested-loops and only works on
+  unsharded collections (expression 12 cannot run sharded),
+- missing values are not recorded in indexes, and in BSON comparison order
+  ``missing < null`` — which is why PolyFrame's expression-13 rewrite is
+  ``{"$lt": ["$tenPercent", null]}``.
+"""
+
+from repro.docstore.database import MongoDatabase
+from repro.docstore.collection import Collection
+
+__all__ = ["Collection", "MongoDatabase"]

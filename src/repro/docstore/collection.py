@@ -1,0 +1,100 @@
+"""Document collections: heap storage, single-field indexes, metadata counts."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+from repro.errors import CatalogError
+from repro.storage.btree import BPlusTree
+from repro.storage.heap import RowHeap
+from repro.storage.keys import SENTINEL_MISSING, index_key
+from repro.docstore.exprs import get_path
+
+
+class Collection:
+    """One document collection.
+
+    Documents are dicts; an ``_id`` is assigned on insert when absent (and
+    indexed uniquely, as in MongoDB).  Secondary indexes are single-field
+    B+ trees that — following the paper's observation — do **not** record
+    documents whose field is missing or null.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._heap = RowHeap()
+        self._indexes: dict[str, BPlusTree] = {}
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def insert_many(self, documents: Iterable[dict[str, Any]]) -> int:
+        """Insert documents, assigning ``_id`` and maintaining indexes."""
+        count = 0
+        for document in documents:
+            doc = dict(document)
+            if "_id" not in doc:
+                doc["_id"] = self._next_id
+                self._next_id += 1
+            rid = self._heap.insert(doc)
+            for field, tree in self._indexes.items():
+                value = get_path(doc, field)
+                if value is SENTINEL_MISSING or value is None:
+                    continue
+                tree.insert(index_key(value), rid)
+            count += 1
+        return count
+
+    def create_index(self, field: str) -> None:
+        """Build a secondary index over *field* (missing/null not indexed)."""
+        if field in self._indexes:
+            raise CatalogError(f"index on {field!r} already exists")
+        tree = BPlusTree()
+        for rid, doc in self._heap.scan():
+            value = get_path(doc, field)
+            if value is SENTINEL_MISSING or value is None:
+                continue
+            tree.insert(index_key(value), rid)
+        self._indexes[field] = tree
+
+    def drop_index(self, field: str) -> None:
+        if field not in self._indexes:
+            raise CatalogError(f"no index on {field!r}")
+        del self._indexes[field]
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def estimated_document_count(self) -> int:
+        """O(1) metadata count.
+
+        Available to clients directly (``db.collection.count()``), but — as
+        the paper notes — *not* usable from inside an aggregation pipeline,
+        which is why PolyFrame-on-MongoDB scans for expression 1.
+        """
+        return len(self._heap)
+
+    def scan(self) -> Iterator[dict[str, Any]]:
+        """Full collection scan in insertion order."""
+        yield from self._heap.scan_records()
+
+    def has_index(self, field: str) -> bool:
+        return field in self._indexes
+
+    def index(self, field: str) -> BPlusTree:
+        try:
+            return self._indexes[field]
+        except KeyError:
+            raise CatalogError(f"no index on {field!r}") from None
+
+    def fetch(self, rid: int) -> dict[str, Any]:
+        return self._heap.fetch(rid)
+
+    def index_lookup(self, field: str, value: Any) -> Iterator[dict[str, Any]]:
+        """Point probe through an index, fetching matching documents."""
+        for rid in self.index(field).search(index_key(value)):
+            yield self._heap.fetch(rid)

@@ -1,0 +1,91 @@
+"""The document database facade (MongoDB stand-in)."""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Iterable
+
+from repro.errors import CatalogError
+from repro.docstore.collection import Collection
+from repro.docstore.pipeline import PipelineExecutor
+from repro.sqlengine.result import QueryStats, ResultSet
+
+#: Simulated fixed per-command overhead (driver round trip + cursor setup).
+DEFAULT_PREP_OVERHEAD = 0.0001
+
+
+class MongoDatabase:
+    """A database of document collections executing aggregation pipelines.
+
+    Usage::
+
+        db = MongoDatabase()
+        db.create_collection("Users")
+        db.collection("Users").insert_many(docs)
+        result = db.aggregate("Users", [{"$match": {}}, {"$limit": 10}])
+    """
+
+    def __init__(
+        self,
+        *,
+        query_prep_overhead: float = DEFAULT_PREP_OVERHEAD,
+        name: str = "mongodb",
+    ) -> None:
+        self.name = name
+        self.query_prep_overhead = query_prep_overhead
+        self._collections: dict[str, Collection] = {}
+
+    # ------------------------------------------------------------------
+    # Collections
+    # ------------------------------------------------------------------
+    def create_collection(self, name: str) -> Collection:
+        if name in self._collections:
+            raise CatalogError(f"collection {name!r} already exists")
+        collection = Collection(name)
+        self._collections[name] = collection
+        return collection
+
+    def collection(self, name: str) -> Collection:
+        try:
+            return self._collections[name]
+        except KeyError:
+            raise CatalogError(f"unknown collection {name!r}") from None
+
+    def has_collection(self, name: str) -> bool:
+        return name in self._collections
+
+    def drop_collection(self, name: str) -> None:
+        if name not in self._collections:
+            raise CatalogError(f"unknown collection {name!r}")
+        del self._collections[name]
+
+    def replace_collection(self, name: str, documents: Iterable[dict[str, Any]]) -> None:
+        """Atomically replace *name* with *documents* (used by ``$out``)."""
+        collection = Collection(name)
+        collection.insert_many(documents)
+        self._collections[name] = collection
+
+    def list_collection_names(self) -> list[str]:
+        return sorted(self._collections)
+
+    # ------------------------------------------------------------------
+    # Commands
+    # ------------------------------------------------------------------
+    def estimated_document_count(self, name: str) -> int:
+        """The metadata fast count — *not* reachable from a pipeline."""
+        return self.collection(name).estimated_document_count()
+
+    def aggregate(self, name: str, pipeline: list[dict[str, Any]]) -> ResultSet:
+        """Run an aggregation pipeline, returning a ResultSet."""
+        started = time.perf_counter()
+        if self.query_prep_overhead > 0:
+            time.sleep(self.query_prep_overhead)
+        stats = QueryStats()
+        executor = PipelineExecutor(self)
+        records = executor.execute(self.collection(name), pipeline, stats)
+        return ResultSet(
+            records=records,
+            stats=stats,
+            plan_text=f"aggregate({name}, {len(pipeline)} stages)",
+            elapsed_seconds=time.perf_counter() - started,
+        )

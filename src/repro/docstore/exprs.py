@@ -1,0 +1,166 @@
+"""Aggregation-expression evaluation for the document store.
+
+Implements the operator subset PolyFrame's MongoDB rewrite rules emit
+(see the paper's Appendix C): field paths (``"$attr"``), pipeline variables
+(``"$$var"``), comparison / logical / arithmetic operators, string and type
+conversion operators.
+
+Absent fields evaluate to the MISSING sentinel.  Comparisons use a total
+BSON-like order in which ``missing < null < booleans < numbers < strings``
+(via :func:`repro.storage.keys.index_key`), which makes
+``{"$lt": ["$field", None]}`` true exactly for missing fields — the trick
+PolyFrame's expression-13 rewrite relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.errors import ExecutionError
+from repro.storage.keys import SENTINEL_MISSING, index_key
+
+
+def get_path(document: Mapping[str, Any], path: str) -> Any:
+    """Resolve a (possibly dotted) field path; absent yields MISSING."""
+    current: Any = document
+    for part in path.split("."):
+        if not isinstance(current, Mapping) or part not in current:
+            return SENTINEL_MISSING
+        current = current[part]
+    return current
+
+
+class ExprEvaluator:
+    """Evaluates aggregation expressions against one document."""
+
+    def __init__(self, variables: Mapping[str, Any] | None = None) -> None:
+        self._variables = dict(variables or {})
+
+    def with_variables(self, variables: Mapping[str, Any]) -> "ExprEvaluator":
+        merged = dict(self._variables)
+        merged.update(variables)
+        return ExprEvaluator(merged)
+
+    # ------------------------------------------------------------------
+    def evaluate(self, expr: Any, doc: Mapping[str, Any]) -> Any:
+        if isinstance(expr, str):
+            if expr.startswith("$$"):
+                name = expr[2:].split(".", 1)[0]
+                if name not in self._variables:
+                    raise ExecutionError(f"undefined pipeline variable {expr!r}")
+                value = self._variables[name]
+                rest = expr[2 + len(name):]
+                if rest.startswith("."):
+                    return get_path(value, rest[1:]) if isinstance(value, Mapping) else SENTINEL_MISSING
+                return value
+            if expr.startswith("$"):
+                return get_path(doc, expr[1:])
+            return expr
+        if isinstance(expr, dict):
+            if len(expr) == 1:
+                op, operand = next(iter(expr.items()))
+                if op.startswith("$"):
+                    return self._operator(op, operand, doc)
+            # A document literal with computed members.
+            return {key: self.evaluate(value, doc) for key, value in expr.items()}
+        if isinstance(expr, list):
+            return [self.evaluate(item, doc) for item in expr]
+        return expr  # numeric / boolean / None literal
+
+    # ------------------------------------------------------------------
+    def _operator(self, op: str, operand: Any, doc: Mapping[str, Any]) -> Any:
+        if op in _COMPARISONS:
+            left, right = self._pair(operand, doc)
+            return _COMPARISONS[op](_order_key(left), _order_key(right))
+        if op == "$and":
+            return all(_truthy(self.evaluate(item, doc)) for item in operand)
+        if op == "$or":
+            return any(_truthy(self.evaluate(item, doc)) for item in operand)
+        if op == "$not":
+            inner = operand[0] if isinstance(operand, list) else operand
+            return not _truthy(self.evaluate(inner, doc))
+        if op in _ARITHMETIC:
+            values = [self.evaluate(item, doc) for item in operand]
+            if any(value is SENTINEL_MISSING or value is None for value in values):
+                return None
+            return _ARITHMETIC[op](values)
+        if op == "$toUpper":
+            value = self.evaluate(operand, doc)
+            return "" if value in (None, SENTINEL_MISSING) else str(value).upper()
+        if op == "$toLower":
+            value = self.evaluate(operand, doc)
+            return "" if value in (None, SENTINEL_MISSING) else str(value).lower()
+        if op == "$toInt":
+            value = self.evaluate(operand, doc)
+            return None if value in (None, SENTINEL_MISSING) else int(float(value))
+        if op == "$toString":
+            value = self.evaluate(operand, doc)
+            return None if value in (None, SENTINEL_MISSING) else str(value)
+        if op == "$abs":
+            value = self.evaluate(operand, doc)
+            return None if value in (None, SENTINEL_MISSING) else abs(value)
+        if op == "$ifNull":
+            first = self.evaluate(operand[0], doc)
+            if first in (None, SENTINEL_MISSING):
+                return self.evaluate(operand[1], doc)
+            return first
+        if op == "$concat":
+            values = [self.evaluate(item, doc) for item in operand]
+            if any(value in (None, SENTINEL_MISSING) for value in values):
+                return None
+            return "".join(str(value) for value in values)
+        if op == "$in":
+            value = self.evaluate(operand[0], doc)
+            members = self.evaluate(operand[1], doc)
+            if not isinstance(members, list):
+                raise ExecutionError("$in requires an array as its second operand")
+            target = _order_key(value)
+            return any(_order_key(member) == target for member in members)
+        if op == "$literal":
+            return operand
+        raise ExecutionError(f"unknown aggregation operator {op!r}")
+
+    def _pair(self, operand: Any, doc: Mapping[str, Any]) -> tuple[Any, Any]:
+        if not isinstance(operand, list) or len(operand) != 2:
+            raise ExecutionError("comparison operators take a two-element array")
+        return self.evaluate(operand[0], doc), self.evaluate(operand[1], doc)
+
+
+def _order_key(value: Any) -> tuple:
+    """Total order over values, missing lowest (BSON-like)."""
+    return index_key(value)
+
+
+def _truthy(value: Any) -> bool:
+    if value is SENTINEL_MISSING or value is None:
+        return False
+    return bool(value)
+
+
+_COMPARISONS = {
+    "$eq": lambda a, b: a == b,
+    "$ne": lambda a, b: a != b,
+    "$gt": lambda a, b: a > b,
+    "$gte": lambda a, b: a >= b,
+    "$lt": lambda a, b: a < b,
+    "$lte": lambda a, b: a <= b,
+}
+
+
+def _arith(func):
+    def apply(values: list[Any]) -> Any:
+        result = values[0]
+        for value in values[1:]:
+            result = func(result, value)
+        return result
+
+    return apply
+
+
+_ARITHMETIC = {
+    "$add": _arith(lambda a, b: a + b),
+    "$subtract": _arith(lambda a, b: a - b),
+    "$multiply": _arith(lambda a, b: a * b),
+    "$divide": _arith(lambda a, b: a / b),
+    "$mod": _arith(lambda a, b: a % b),
+}

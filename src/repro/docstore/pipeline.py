@@ -1,0 +1,587 @@
+"""Aggregation pipeline execution with a pipeline-scoped optimizer.
+
+The optimizer reproduces MongoDB's documented pipeline behaviour:
+
+- leading no-op ``{"$match": {}}`` stages (which PolyFrame always emits as
+  the dataset anchor) are elided;
+- a leading ``$match`` with an equality/range predicate on an indexed field
+  becomes an index scan with the remainder as residual filter;
+- a leading ``$sort`` on an indexed field becomes an index-ordered scan —
+  descending uses a backward scan — and a downstream ``$limit`` bounds it
+  (expression 9's fast path);
+- everything deeper in the pipeline executes stage by stage, which is why
+  the metadata fast-count cannot help expression 1 here.
+
+``$lookup`` in its ``let``/``pipeline`` form is executed as an index
+nested-loop join when the sub-pipeline is a single ``$expr`` equality on an
+indexed field, matching the paper's expression-12 observation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, Iterator, TYPE_CHECKING
+
+from repro.errors import ExecutionError, UnsupportedOperationError
+from repro.docstore.collection import Collection
+from repro.docstore.exprs import ExprEvaluator, get_path
+from repro.sqlengine.result import QueryStats
+from repro.storage.keys import SENTINEL_MISSING, index_key
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.docstore.database import MongoDatabase
+
+_SOURCE_TRANSPARENT_STAGES = ("$project", "$addFields")
+
+
+class PipelineExecutor:
+    """Runs one aggregation pipeline against a collection."""
+
+    def __init__(self, database: "MongoDatabase") -> None:
+        self._db = database
+
+    def execute(
+        self,
+        collection: Collection,
+        stages: list[dict[str, Any]],
+        stats: QueryStats,
+    ) -> list[Any]:
+        stages = [dict(stage) for stage in stages]
+        source, remaining = self._choose_source(collection, stages, stats)
+        docs: Iterable[Any] = source
+        for stage in remaining:
+            docs = self._apply_stage(collection, docs, stage, stats)
+        return list(docs)
+
+    # ------------------------------------------------------------------
+    # Source selection (the index-capable pipeline prefix)
+    # ------------------------------------------------------------------
+    def _choose_source(
+        self,
+        collection: Collection,
+        stages: list[dict[str, Any]],
+        stats: QueryStats,
+    ) -> tuple[Iterator[dict[str, Any]], list[dict[str, Any]]]:
+        index = 0
+        while index < len(stages) and stages[index] == {"$match": {}}:
+            index += 1
+        stages = stages[index:]
+
+        if stages and "$match" in stages[0]:
+            chosen = self._try_index_match(collection, stages[0]["$match"], stats)
+            if chosen is not None:
+                source, fully_consumed = chosen
+                # A partially indexable $match (e.g. $and of equalities)
+                # keeps the whole stage as a residual re-check.
+                remaining = stages[1:] if fully_consumed else stages
+                return source, remaining
+
+        if stages and "$sort" in stages[0]:
+            chosen = self._try_index_sort(collection, stages, stats)
+            if chosen is not None:
+                return chosen
+
+        return self._full_scan(collection, stats), stages
+
+    def _full_scan(self, collection: Collection, stats: QueryStats) -> Iterator[dict[str, Any]]:
+        stats.full_scans += 1
+        for doc in collection.scan():
+            stats.heap_fetches += 1
+            yield doc
+
+    def _try_index_match(
+        self, collection: Collection, match: dict[str, Any], stats: QueryStats
+    ) -> tuple[Iterator[dict[str, Any]], bool] | None:
+        """Serve an equality $match from an index when possible.
+
+        Returns ``(document iterator, fully_consumed)``; ``fully_consumed``
+        is False when the probe covers only part of the predicate (an
+        ``$and`` of equalities — expression 3's shape) and the stage must
+        be re-applied as a residual filter.
+        """
+        equalities, exhaustive = self._extract_equalities(match)
+        for field, value in equalities:
+            if not collection.has_index(field):
+                continue
+
+            def probe(field: str = field, value: Any = value) -> Iterator[dict[str, Any]]:
+                for rid in collection.index(field).search(index_key(value)):
+                    stats.index_entries += 1
+                    stats.heap_fetches += 1
+                    yield collection.fetch(rid)
+
+            fully_consumed = exhaustive and len(equalities) == 1
+            return probe(), fully_consumed
+        return None
+
+    def _extract_equalities(
+        self, match: dict[str, Any]
+    ) -> tuple[list[tuple[str, Any]], bool]:
+        """Field-equals-constant conjuncts of a $match, plus exhaustiveness."""
+        if len(match) != 1:
+            return [], False
+        key, condition = next(iter(match.items()))
+        if key == "$expr":
+            return self._expr_equalities(condition)
+        if not key.startswith("$") and not isinstance(condition, dict):
+            return [(key, condition)], True
+        return [], False
+
+    def _expr_equalities(self, expr: Any) -> tuple[list[tuple[str, Any]], bool]:
+        if not isinstance(expr, dict) or len(expr) != 1:
+            return [], False
+        op, operand = next(iter(expr.items()))
+        if op == "$eq":
+            left, right = operand
+            if (
+                isinstance(left, str)
+                and left.startswith("$")
+                and not left.startswith("$$")
+                and not (isinstance(right, (str, dict)) and str(right).startswith("$"))
+            ):
+                return [(left[1:], right)], True
+            return [], False
+        if op == "$and":
+            found: list[tuple[str, Any]] = []
+            for member in operand:
+                member_eqs, _ = self._expr_equalities(member)
+                found.extend(member_eqs)
+            # $and is never exhaustive here: other conjuncts must re-check.
+            return found, False
+        return [], False
+
+    def _try_index_sort(
+        self,
+        collection: Collection,
+        stages: list[dict[str, Any]],
+        stats: QueryStats,
+    ) -> tuple[Iterator[dict[str, Any]], list[dict[str, Any]]] | None:
+        """Serve a leading $sort (with downstream $limit) by index order."""
+        sort_spec = stages[0]["$sort"]
+        if len(sort_spec) != 1:
+            return None
+        field, direction = next(iter(sort_spec.items()))
+        if not collection.has_index(field):
+            return None
+        limit: int | None = None
+        for stage in stages[1:]:
+            if "$limit" in stage:
+                limit = int(stage["$limit"])
+                break
+            if not any(name in stage for name in _SOURCE_TRANSPARENT_STAGES):
+                break
+
+        def ordered() -> Iterator[dict[str, Any]]:
+            produced = 0
+            for _key, rid in collection.index(field).scan(reverse=direction < 0):
+                stats.index_entries += 1
+                stats.heap_fetches += 1
+                yield collection.fetch(rid)
+                produced += 1
+                if limit is not None and produced >= limit:
+                    return
+
+        return ordered(), stages[1:]
+
+    # ------------------------------------------------------------------
+    # Stage execution
+    # ------------------------------------------------------------------
+    def _apply_stage(
+        self,
+        collection: Collection,
+        docs: Iterable[dict[str, Any]],
+        stage: dict[str, Any],
+        stats: QueryStats,
+    ) -> Iterable[Any]:
+        if len(stage) != 1:
+            raise ExecutionError(f"pipeline stage must have one operator: {stage}")
+        op, spec = next(iter(stage.items()))
+        if op == "$match":
+            return self._stage_match(docs, spec)
+        if op == "$project":
+            return self._stage_project(docs, spec)
+        if op == "$addFields":
+            return self._stage_add_fields(docs, spec)
+        if op == "$group":
+            return self._stage_group(docs, spec)
+        if op == "$sort":
+            return self._stage_sort(docs, spec)
+        if op == "$limit":
+            return self._stage_limit(docs, int(spec))
+        if op == "$skip":
+            return self._stage_skip(docs, int(spec))
+        if op == "$count":
+            return self._stage_count(docs, str(spec))
+        if op == "$unwind":
+            return self._stage_unwind(docs, spec)
+        if op == "$lookup":
+            return self._stage_lookup(docs, spec, stats)
+        if op == "$out":
+            return self._stage_out(docs, spec)
+        raise ExecutionError(f"unsupported pipeline stage {op!r}")
+
+    def _stage_match(self, docs: Iterable[dict], spec: dict) -> Iterator[dict]:
+        evaluator = ExprEvaluator()
+        for doc in docs:
+            if _matches(evaluator, doc, spec):
+                yield doc
+
+    def _stage_project(self, docs: Iterable[dict], spec: dict) -> Iterator[dict]:
+        evaluator = ExprEvaluator()
+        exclusion_only = all(value in (0, False) for value in spec.values())
+        for doc in docs:
+            if exclusion_only:
+                yield {key: value for key, value in doc.items() if key not in spec}
+                continue
+            out: dict[str, Any] = {}
+            if "_id" in doc and spec.get("_id", 1) not in (0, False):
+                out["_id"] = doc["_id"]
+            for key, value in spec.items():
+                if key == "_id":
+                    continue
+                if value in (1, True):
+                    resolved = get_path(doc, key)
+                    if resolved is not SENTINEL_MISSING:
+                        out[key] = resolved
+                elif value in (0, False):
+                    out.pop(key, None)
+                else:
+                    computed = evaluator.evaluate(value, doc)
+                    if computed is not SENTINEL_MISSING:
+                        out[key] = computed
+            yield out
+
+    def _stage_add_fields(self, docs: Iterable[dict], spec: dict) -> Iterator[dict]:
+        evaluator = ExprEvaluator()
+        for doc in docs:
+            out = dict(doc)
+            for key, value in spec.items():
+                computed = evaluator.evaluate(value, doc)
+                if computed is not SENTINEL_MISSING:
+                    out[key] = computed
+            yield out
+
+    def _stage_group(self, docs: Iterable[dict], spec: dict) -> Iterator[dict]:
+        evaluator = ExprEvaluator()
+        id_spec = spec.get("_id", None)
+        accumulators = {key: value for key, value in spec.items() if key != "_id"}
+        groups: dict[Any, dict[str, "_Accumulator"]] = {}
+        group_ids: dict[Any, Any] = {}
+        for doc in docs:
+            group_id = evaluator.evaluate(id_spec, doc) if id_spec is not None else None
+            key = _hashable(group_id)
+            if key not in groups:
+                groups[key] = {
+                    name: _make_accumulator(agg) for name, agg in accumulators.items()
+                }
+                group_ids[key] = group_id
+            for name, agg_spec in accumulators.items():
+                agg_op, agg_expr = next(iter(agg_spec.items()))
+                value = evaluator.evaluate(agg_expr, doc)
+                groups[key][name].add(value)
+        for key, accs in groups.items():
+            out = {"_id": group_ids[key]}
+            for name, acc in accs.items():
+                out[name] = acc.result()
+            yield out
+
+    def _stage_sort(self, docs: Iterable[dict], spec: dict) -> Iterator[dict]:
+        materialized = list(docs)
+        for field, direction in reversed(list(spec.items())):
+            materialized.sort(
+                key=lambda doc: index_key(_missing_to_none(get_path(doc, field))),
+                reverse=direction < 0,
+            )
+        yield from materialized
+
+    def _stage_limit(self, docs: Iterable[dict], limit: int) -> Iterator[dict]:
+        produced = 0
+        for doc in docs:
+            if produced >= limit:
+                return
+            yield doc
+            produced += 1
+
+    def _stage_skip(self, docs: Iterable[dict], count: int) -> Iterator[dict]:
+        skipped = 0
+        for doc in docs:
+            if skipped < count:
+                skipped += 1
+                continue
+            yield doc
+
+    def _stage_count(self, docs: Iterable[dict], name: str) -> Iterator[dict]:
+        total = sum(1 for _doc in docs)
+        yield {name: total}
+
+    def _stage_unwind(self, docs: Iterable[dict], spec: Any) -> Iterator[dict]:
+        if isinstance(spec, str):
+            spec = {"path": spec}
+        path = spec["path"]
+        if not path.startswith("$"):
+            raise ExecutionError("$unwind path must start with '$'")
+        field = path[1:]
+        preserve = bool(spec.get("preserveNullAndEmptyArrays", False))
+        for doc in docs:
+            value = get_path(doc, field)
+            if isinstance(value, list):
+                if not value and preserve:
+                    yield doc
+                for item in value:
+                    out = dict(doc)
+                    out[field] = item
+                    yield out
+            elif value is SENTINEL_MISSING or value is None:
+                if preserve:
+                    yield doc
+            else:
+                yield doc
+
+    def _stage_lookup(
+        self, docs: Iterable[dict], spec: dict, stats: QueryStats
+    ) -> Iterator[dict]:
+        foreign = self._db.collection(spec["from"])
+        if getattr(foreign, "sharded", False):
+            raise UnsupportedOperationError(
+                "$lookup requires the foreign collection to be unsharded"
+            )
+        as_field = spec["as"]
+        if "pipeline" in spec:
+            yield from self._lookup_pipeline(docs, foreign, spec, as_field, stats)
+            return
+        local_field = spec["localField"]
+        foreign_field = spec["foreignField"]
+        use_index = foreign.has_index(foreign_field)
+        for doc in docs:
+            value = get_path(doc, local_field)
+            matches: list[dict]
+            if value is SENTINEL_MISSING or value is None:
+                matches = []
+            elif use_index:
+                matches = []
+                for match in foreign.index_lookup(foreign_field, value):
+                    stats.index_entries += 1
+                    stats.heap_fetches += 1
+                    matches.append(match)
+            else:
+                matches = [
+                    other for other in foreign.scan()
+                    if get_path(other, foreign_field) == value
+                ]
+                stats.heap_fetches += len(foreign)
+            out = dict(doc)
+            out[as_field] = matches
+            yield out
+
+    def _lookup_pipeline(
+        self,
+        docs: Iterable[dict],
+        foreign: Collection,
+        spec: dict,
+        as_field: str,
+        stats: QueryStats,
+    ) -> Iterator[dict]:
+        let_spec = spec.get("let", {})
+        sub_pipeline = spec["pipeline"]
+        probe_field = _index_probe_field(sub_pipeline, let_spec, foreign)
+        base_evaluator = ExprEvaluator()
+        for doc in docs:
+            variables = {
+                name: base_evaluator.evaluate(expr, doc) for name, expr in let_spec.items()
+            }
+            if probe_field is not None:
+                var_name = probe_field[1]
+                value = variables.get(var_name, SENTINEL_MISSING)
+                matches = []
+                if value is not SENTINEL_MISSING and value is not None:
+                    for match in foreign.index_lookup(probe_field[0], value):
+                        stats.index_entries += 1
+                        stats.heap_fetches += 1
+                        matches.append(match)
+            else:
+                evaluator = ExprEvaluator(variables)
+                matches = [
+                    other for other in foreign.scan()
+                    if all(
+                        _matches(evaluator, other, stage.get("$match", {}))
+                        for stage in sub_pipeline
+                        if "$match" in stage
+                    )
+                ]
+                stats.heap_fetches += len(foreign)
+            out = dict(doc)
+            out[as_field] = matches
+            yield out
+
+    def _stage_out(self, docs: Iterable[dict], target: Any) -> Iterator[dict]:
+        name = target if isinstance(target, str) else target["coll"]
+        materialized = list(docs)
+        self._db.replace_collection(name, materialized)
+        return iter(())
+
+
+# ----------------------------------------------------------------------
+# Matching and accumulators
+# ----------------------------------------------------------------------
+
+
+def _matches(evaluator: ExprEvaluator, doc: dict, spec: dict) -> bool:
+    """Evaluate a $match specification against one document."""
+    for key, condition in spec.items():
+        if key == "$expr":
+            value = evaluator.evaluate(condition, doc)
+            if value is SENTINEL_MISSING or value is None or not value:
+                return False
+        elif isinstance(condition, dict) and any(k.startswith("$") for k in condition):
+            value = get_path(doc, key)
+            for op, operand in condition.items():
+                result = evaluator.evaluate({op: [_wrap_literal(value), operand]}, doc)
+                if not result:
+                    return False
+        else:
+            if get_path(doc, key) != condition:
+                return False
+    return True
+
+
+def _wrap_literal(value: Any) -> Any:
+    if value is SENTINEL_MISSING:
+        return {"$literal": SENTINEL_MISSING}
+    if isinstance(value, (str, dict, list)):
+        return {"$literal": value}
+    return value
+
+
+def _index_probe_field(
+    sub_pipeline: list[dict], let_spec: dict, foreign: Collection
+) -> tuple[str, str] | None:
+    """Detect ``[{$match:{}}..., {$match:{$expr:{$eq:["$f","$$v"]}}}]``.
+
+    Returns ``(foreign_field, variable_name)`` when the sub-pipeline is an
+    index-probeable correlated equality — MongoDB's index nested-loop join.
+    """
+    effective = [stage for stage in sub_pipeline if stage != {"$match": {}}]
+    if len(effective) != 1 or "$match" not in effective[0]:
+        return None
+    match = effective[0]["$match"]
+    if list(match) != ["$expr"]:
+        return None
+    expr = match["$expr"]
+    if not (isinstance(expr, dict) and list(expr) == ["$eq"]):
+        return None
+    left, right = expr["$eq"]
+    if (
+        isinstance(left, str)
+        and left.startswith("$")
+        and not left.startswith("$$")
+        and isinstance(right, str)
+        and right.startswith("$$")
+    ):
+        field, var = left[1:], right[2:]
+        if var in let_spec and foreign.has_index(field):
+            return field, var
+    return None
+
+
+class _Accumulator:
+    def add(self, value: Any) -> None:
+        raise NotImplementedError
+
+    def result(self) -> Any:
+        raise NotImplementedError
+
+
+class _SumAcc(_Accumulator):
+    def __init__(self) -> None:
+        self.total = 0
+
+    def add(self, value: Any) -> None:
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            self.total += value
+
+    def result(self) -> Any:
+        return self.total
+
+
+class _MinMaxAcc(_Accumulator):
+    def __init__(self, is_min: bool) -> None:
+        self.is_min = is_min
+        self.best: Any = None
+
+    def add(self, value: Any) -> None:
+        if value is SENTINEL_MISSING or value is None:
+            return
+        if self.best is None:
+            self.best = value
+        elif self.is_min and index_key(value) < index_key(self.best):
+            self.best = value
+        elif not self.is_min and index_key(value) > index_key(self.best):
+            self.best = value
+
+    def result(self) -> Any:
+        return self.best
+
+
+class _AvgAcc(_Accumulator):
+    def __init__(self) -> None:
+        self.total = 0.0
+        self.count = 0
+
+    def add(self, value: Any) -> None:
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            self.total += value
+            self.count += 1
+
+    def result(self) -> Any:
+        return self.total / self.count if self.count else None
+
+
+class _StdAcc(_Accumulator):
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self.m2 = 0.0
+
+    def add(self, value: Any) -> None:
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            return
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (value - self.mean)
+
+    def result(self) -> Any:
+        if self.count == 0:
+            return None
+        return math.sqrt(self.m2 / self.count)
+
+
+def _make_accumulator(spec: dict) -> _Accumulator:
+    if len(spec) != 1:
+        raise ExecutionError(f"accumulator must have one operator: {spec}")
+    op = next(iter(spec))
+    if op == "$sum":
+        return _SumAcc()
+    if op == "$max":
+        return _MinMaxAcc(is_min=False)
+    if op == "$min":
+        return _MinMaxAcc(is_min=True)
+    if op == "$avg":
+        return _AvgAcc()
+    if op == "$stdDevPop":
+        return _StdAcc()
+    raise ExecutionError(f"unsupported accumulator {op!r}")
+
+
+def _hashable(value: Any) -> Any:
+    if isinstance(value, dict):
+        return tuple(sorted((k, _hashable(v)) for k, v in value.items()))
+    if isinstance(value, list):
+        return tuple(_hashable(v) for v in value)
+    if value is SENTINEL_MISSING:
+        return ("__missing__",)
+    return value
+
+
+def _missing_to_none(value: Any) -> Any:
+    return None if value is SENTINEL_MISSING else value

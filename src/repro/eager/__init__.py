@@ -1,0 +1,43 @@
+"""An eager, in-memory, single-threaded dataframe — the Pandas stand-in.
+
+The paper's single-node evaluation compares PolyFrame's lazy query-based
+evaluation against Pandas' eager in-memory evaluation.  Since the point of
+the comparison is *evaluation strategy*, this package provides a faithful
+eager baseline with pandas semantics for every operation the DataFrame
+benchmark exercises:
+
+- ``read_json`` materializes the whole file into memory before anything runs
+  (DataFrame-creation time dominates total runtime, as in the paper),
+- every transformation materializes its intermediate result immediately
+  (the cost the paper observes for expressions 5 and 10), and
+- all allocations are charged against an optional process-wide memory budget,
+  reproducing Pandas' out-of-memory failures on the M/L/XL dataset sizes.
+
+Public API mirrors the pandas surface used by the benchmark::
+
+    from repro import eager
+    df = eager.read_json(path)
+    df[df["ten"] == 4].head()
+    eager.merge(df, df2, left_on="unique1", right_on="unique1")
+    eager.get_dummies(df["string4"])
+"""
+
+from repro.eager.frame import EagerFrame
+from repro.eager.groupby import EagerGroupBy
+from repro.eager.io import frame_from_records, read_json
+from repro.eager.memory import MemoryAccountant, memory_budget
+from repro.eager.reshape import get_dummies
+from repro.eager.merge import merge
+from repro.eager.series import EagerSeries
+
+__all__ = [
+    "EagerFrame",
+    "EagerGroupBy",
+    "EagerSeries",
+    "MemoryAccountant",
+    "frame_from_records",
+    "get_dummies",
+    "memory_budget",
+    "merge",
+    "read_json",
+]

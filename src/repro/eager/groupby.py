@@ -1,0 +1,127 @@
+"""Eager group-by: hash-partition rows, then aggregate per group.
+
+Supports the two benchmark shapes:
+
+- ``df.groupby('oddOnePercent').agg('count')`` (expression 4), and
+- ``df.groupby('twenty')['four'].agg('max')`` (expression 8).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.eager.series import EagerSeries
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.eager.frame import EagerFrame
+
+
+class EagerGroupBy:
+    """Grouping of an :class:`EagerFrame` by one or more key columns."""
+
+    def __init__(
+        self,
+        frame: "EagerFrame",
+        by: "str | list[str]",
+        value_column: str | None = None,
+    ) -> None:
+        self._frame = frame
+        self._keys = [by] if isinstance(by, str) else list(by)
+        self._by = self._keys[0]
+        self._value_column = value_column
+
+    def __getitem__(self, column: str) -> "EagerGroupBy":
+        """Select the column that subsequent aggregates apply to."""
+        if column not in self._frame:
+            raise KeyError(f"no column named {column!r}")
+        return EagerGroupBy(self._frame, self._keys, value_column=column)
+
+    def groups(self) -> dict[Any, list[int]]:
+        """Map of group key → row indices; eagerly materialized.
+
+        Rows with any absent key are dropped, matching pandas' default
+        ``dropna=True`` group-by behaviour.  Multi-key groupings use tuple
+        keys.
+        """
+        columns = [self._frame.column_values(name) for name in self._keys]
+        out: dict[Any, list[int]] = {}
+        for index in range(len(self._frame)):
+            values = tuple(column[index] for column in columns)
+            if any(value is None for value in values):
+                continue
+            key = values[0] if len(values) == 1 else values
+            out.setdefault(key, []).append(index)
+        return out
+
+    def agg(self, func: str) -> "EagerFrame":
+        """Aggregate each group with *func* and return a result frame.
+
+        Without a selected value column, *func* applies to every non-key
+        column (pandas' ``DataFrameGroupBy.agg('count')``).  With one, the
+        result has the key column plus one aggregated column named
+        ``{func}_{column}``.
+        """
+        from repro.eager.frame import EagerFrame  # local import: cycle guard
+
+        groups = self.groups()
+        ordered_keys = sorted(groups, key=_sort_key)
+        if self._value_column is not None:
+            return self._agg_single(EagerFrame, groups, ordered_keys, func)
+        return self._agg_all(EagerFrame, groups, ordered_keys, func)
+
+    def _key_columns(self, ordered_keys) -> dict[str, list[Any]]:
+        if len(self._keys) == 1:
+            return {self._by: list(ordered_keys)}
+        return {
+            name: [key[position] for key in ordered_keys]
+            for position, name in enumerate(self._keys)
+        }
+
+    def _agg_single(self, frame_cls, groups, ordered_keys, func: str):
+        values = self._frame.column_values(self._value_column)
+        out = self._key_columns(ordered_keys)
+        out[f"{func}_{self._value_column}"] = [
+            EagerSeries([values[index] for index in groups[key]]).agg(func)
+            for key in ordered_keys
+        ]
+        return frame_cls(out)
+
+    def _agg_all(self, frame_cls, groups, ordered_keys, func: str):
+        columns = [name for name in self._frame.columns if name not in self._keys]
+        out: dict[str, list[Any]] = self._key_columns(ordered_keys)
+        for name in columns:
+            values = self._frame.column_values(name)
+            try:
+                out[name] = [
+                    EagerSeries([values[index] for index in groups[key]]).agg(func)
+                    for key in ordered_keys
+                ]
+            except TypeError:
+                # Numeric aggregates drop non-numeric columns, as pandas'
+                # numeric_only behaviour does.
+                continue
+        return frame_cls(out)
+
+    def count(self) -> "EagerFrame":
+        return self.agg("count")
+
+    def max(self) -> "EagerFrame":
+        return self.agg("max")
+
+    def min(self) -> "EagerFrame":
+        return self.agg("min")
+
+    def sum(self) -> "EagerFrame":
+        return self.agg("sum")
+
+    def mean(self) -> "EagerFrame":
+        return self.agg("mean")
+
+
+def _sort_key(value: Any) -> tuple:
+    """Deterministic cross-type ordering for group keys."""
+    if isinstance(value, bool):
+        return (0, int(value))
+    if isinstance(value, (int, float)):
+        return (1, value)
+    return (2, str(value))

@@ -1,0 +1,68 @@
+"""Eager joins: the ``pd.merge`` equivalent used by benchmark expression 12.
+
+Implements an in-memory hash join (build on the smaller input, probe with the
+larger), producing the inner-join result with pandas' column-collision
+suffixes (``_x``/``_y``).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.eager.frame import EagerFrame
+
+
+def merge(
+    left: EagerFrame,
+    right: EagerFrame,
+    left_on: str,
+    right_on: str,
+    how: str = "inner",
+) -> EagerFrame:
+    """Join two frames on equality of ``left_on`` / ``right_on``.
+
+    Only ``how='inner'`` is supported — the only variant the DataFrame
+    benchmark uses.  Rows with an absent join key never match (pandas drops
+    NaN keys from equi-joins).
+    """
+    if how != "inner":
+        raise ValueError(f"only inner joins are supported, got {how!r}")
+    if left_on not in left:
+        raise KeyError(f"left frame has no column {left_on!r}")
+    if right_on not in right:
+        raise KeyError(f"right frame has no column {right_on!r}")
+
+    build_is_left = len(left) <= len(right)
+    build, probe = (left, right) if build_is_left else (right, left)
+    build_on, probe_on = (left_on, right_on) if build_is_left else (right_on, left_on)
+
+    table: dict[Any, list[int]] = {}
+    for index, key in enumerate(build.column_values(build_on)):
+        if key is None:
+            continue
+        table.setdefault(key, []).append(index)
+
+    left_rows: list[int] = []
+    right_rows: list[int] = []
+    for probe_index, key in enumerate(probe.column_values(probe_on)):
+        if key is None:
+            continue
+        for build_index in table.get(key, ()):
+            if build_is_left:
+                left_rows.append(build_index)
+                right_rows.append(probe_index)
+            else:
+                left_rows.append(probe_index)
+                right_rows.append(build_index)
+
+    columns: dict[str, list[Any]] = {}
+    shared = set(left.columns) & set(right.columns)
+    for name in left.columns:
+        out_name = f"{name}_x" if name in shared else name
+        values = left.column_values(name)
+        columns[out_name] = [values[index] for index in left_rows]
+    for name in right.columns:
+        out_name = f"{name}_y" if name in shared else name
+        values = right.column_values(name)
+        columns[out_name] = [values[index] for index in right_rows]
+    return EagerFrame(columns)

@@ -1,0 +1,47 @@
+"""Reshaping helpers: ``get_dummies`` (one-hot encoding).
+
+``get_dummies`` is one of the paper's examples of a *generic* rewrite rule —
+a complex pandas function decomposed into a chain of basic operations.  The
+eager baseline implements it directly so PolyFrame's generic-rule output can
+be validated against it.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.eager.frame import EagerFrame
+from repro.eager.series import EagerSeries
+
+
+def get_dummies(data: "EagerSeries | EagerFrame", prefix: str | None = None) -> EagerFrame:
+    """One-hot encode a series (or every string column of a frame).
+
+    Output columns are named ``{prefix}_{value}`` (prefix defaults to the
+    series name) and hold 0/1 indicators, sorted by value for determinism.
+    Absent values produce all-zero rows, matching pandas' default.
+    """
+    if isinstance(data, EagerFrame):
+        pieces: dict[str, list[Any]] = {}
+        for name in data.columns:
+            values = data.column_values(name)
+            if not any(isinstance(value, str) for value in values):
+                pieces[name] = list(values)
+                continue
+            encoded = get_dummies(EagerSeries(values, name=name))
+            for col in encoded.columns:
+                pieces[col] = encoded.column_values(col)
+        return EagerFrame(pieces)
+
+    if not isinstance(data, EagerSeries):
+        raise TypeError(f"cannot one-hot encode {type(data).__name__}")
+
+    label = prefix if prefix is not None else (data.name or "value")
+    categories = sorted(
+        {value for value in data if value is not None}, key=lambda v: str(v)
+    )
+    columns = {
+        f"{label}_{category}": [1 if value == category else 0 for value in data]
+        for category in categories
+    }
+    return EagerFrame(columns)

@@ -1,0 +1,240 @@
+"""Eagerly evaluated one-dimensional column with pandas semantics.
+
+``None`` plays the role of pandas' ``NaN``: comparisons against it are
+False, aggregates skip it, and :meth:`EagerSeries.isna` detects it.  Every
+operation materializes its full result immediately — by design, since this
+series is the paper's eager-evaluation baseline.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Iterator
+
+from repro.eager.memory import GLOBAL_ACCOUNTANT, estimate_column_bytes
+
+
+class EagerSeries:
+    """A named, positionally indexed column of Python values."""
+
+    def __init__(self, values: list[Any], name: str | None = None, *, _charge: bool = True) -> None:
+        self._values = list(values)
+        self.name = name
+        if _charge:
+            GLOBAL_ACCOUNTANT.track(self, estimate_column_bytes(self._values))
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._values)
+
+    def __repr__(self) -> str:
+        preview = ", ".join(repr(value) for value in self._values[:6])
+        suffix = ", ..." if len(self._values) > 6 else ""
+        return f"EagerSeries(name={self.name!r}, n={len(self)}, [{preview}{suffix}])"
+
+    def __eq__(self, other: Any) -> "EagerSeries":  # type: ignore[override]
+        return self._compare(other, lambda a, b: a == b)
+
+    def __ne__(self, other: Any) -> "EagerSeries":  # type: ignore[override]
+        return self._compare(other, lambda a, b: a != b)
+
+    def __hash__(self) -> int:  # series are mutable containers
+        return id(self)
+
+    def __gt__(self, other: Any) -> "EagerSeries":
+        return self._compare(other, lambda a, b: a > b)
+
+    def __lt__(self, other: Any) -> "EagerSeries":
+        return self._compare(other, lambda a, b: a < b)
+
+    def __ge__(self, other: Any) -> "EagerSeries":
+        return self._compare(other, lambda a, b: a >= b)
+
+    def __le__(self, other: Any) -> "EagerSeries":
+        return self._compare(other, lambda a, b: a <= b)
+
+    def _compare(self, other: Any, op: Callable[[Any, Any], bool]) -> "EagerSeries":
+        """Element-wise comparison; absent values compare False (pandas NaN)."""
+        if isinstance(other, EagerSeries):
+            if len(other) != len(self):
+                raise ValueError("series length mismatch in comparison")
+            pairs = zip(self._values, other._values)
+            values = [
+                False if a is None or b is None else op(a, b) for a, b in pairs
+            ]
+        else:
+            values = [
+                False if a is None or other is None else op(a, other)
+                for a in self._values
+            ]
+        return EagerSeries(values, name=self.name)
+
+    # ------------------------------------------------------------------
+    # Boolean algebra (for mask composition)
+    # ------------------------------------------------------------------
+    def __and__(self, other: "EagerSeries") -> "EagerSeries":
+        return self._binary_bool(other, lambda a, b: bool(a) and bool(b))
+
+    def __or__(self, other: "EagerSeries") -> "EagerSeries":
+        return self._binary_bool(other, lambda a, b: bool(a) or bool(b))
+
+    def __invert__(self) -> "EagerSeries":
+        return EagerSeries([not bool(value) for value in self._values], name=self.name)
+
+    def _binary_bool(self, other: "EagerSeries", op: Callable[[Any, Any], bool]) -> "EagerSeries":
+        if not isinstance(other, EagerSeries):
+            raise TypeError("boolean operators require another EagerSeries")
+        if len(other) != len(self):
+            raise ValueError("series length mismatch in boolean operator")
+        return EagerSeries(
+            [op(a, b) for a, b in zip(self._values, other._values)], name=self.name
+        )
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: Any) -> "EagerSeries":
+        return self._arith(other, lambda a, b: a + b)
+
+    def __sub__(self, other: Any) -> "EagerSeries":
+        return self._arith(other, lambda a, b: a - b)
+
+    def __mul__(self, other: Any) -> "EagerSeries":
+        return self._arith(other, lambda a, b: a * b)
+
+    def __truediv__(self, other: Any) -> "EagerSeries":
+        return self._arith(other, lambda a, b: a / b)
+
+    def __mod__(self, other: Any) -> "EagerSeries":
+        return self._arith(other, lambda a, b: a % b)
+
+    def _arith(self, other: Any, op: Callable[[Any, Any], Any]) -> "EagerSeries":
+        """Element-wise arithmetic; absent operands propagate None."""
+        if isinstance(other, EagerSeries):
+            if len(other) != len(self):
+                raise ValueError("series length mismatch in arithmetic")
+            pairs = zip(self._values, other._values)
+            values = [None if a is None or b is None else op(a, b) for a, b in pairs]
+        else:
+            values = [
+                None if a is None or other is None else op(a, other)
+                for a in self._values
+            ]
+        return EagerSeries(values, name=self.name)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def values(self) -> list[Any]:
+        """The underlying value list (not a copy; treat as read-only)."""
+        return self._values
+
+    def tolist(self) -> list[Any]:
+        return list(self._values)
+
+    def head(self, n: int = 5) -> "EagerSeries":
+        return EagerSeries(self._values[:n], name=self.name)
+
+    def map(self, func: Callable[[Any], Any]) -> "EagerSeries":
+        """Apply *func* to every element, materializing the whole result.
+
+        This is the eager cost the paper measures with expression 5: the map
+        runs over all rows even when only ``head()`` of the result is used.
+        """
+        return EagerSeries(
+            [None if value is None else func(value) for value in self._values],
+            name=self.name,
+        )
+
+    def isin(self, values: list[Any]) -> "EagerSeries":
+        """Boolean mask of membership in *values* (pandas ``Series.isin``)."""
+        members = set(values)
+        return EagerSeries(
+            [value in members if value is not None else False for value in self._values],
+            name=self.name,
+        )
+
+    def isna(self) -> "EagerSeries":
+        """Boolean mask of absent values (expression 13)."""
+        return EagerSeries([value is None for value in self._values], name=self.name)
+
+    def notna(self) -> "EagerSeries":
+        return EagerSeries([value is not None for value in self._values], name=self.name)
+
+    def unique(self) -> list[Any]:
+        """Distinct values in first-seen order (includes None if present)."""
+        seen: dict[Any, None] = {}
+        for value in self._values:
+            if value not in seen:
+                seen[value] = None
+        return list(seen)
+
+    def value_counts(self) -> dict[Any, int]:
+        """Counts of non-absent values, most frequent first."""
+        counts: dict[Any, int] = {}
+        for value in self._values:
+            if value is None:
+                continue
+            counts[value] = counts.get(value, 0) + 1
+        return dict(sorted(counts.items(), key=lambda item: (-item[1], str(item[0]))))
+
+    # ------------------------------------------------------------------
+    # Aggregates (absent values are skipped, as in pandas)
+    # ------------------------------------------------------------------
+    def _present(self) -> list[Any]:
+        return [value for value in self._values if value is not None]
+
+    def max(self) -> Any:
+        present = self._present()
+        return max(present) if present else None
+
+    def min(self) -> Any:
+        present = self._present()
+        return min(present) if present else None
+
+    def sum(self) -> Any:
+        present = self._present()
+        return sum(present) if present else 0
+
+    def count(self) -> int:
+        """Number of non-absent values."""
+        return len(self._present())
+
+    def mean(self) -> float | None:
+        present = self._present()
+        if not present:
+            return None
+        return sum(present) / len(present)
+
+    def std(self) -> float | None:
+        """Population standard deviation, matching the engines' STDDEV."""
+        present = self._present()
+        if not present:
+            return None
+        mu = sum(present) / len(present)
+        return math.sqrt(sum((value - mu) ** 2 for value in present) / len(present))
+
+    def nunique(self) -> int:
+        return len({value for value in self._values if value is not None})
+
+    def agg(self, name: str) -> Any:
+        """Dispatch a named aggregate (``'max'``, ``'min'``, ...)."""
+        table = {
+            "max": self.max,
+            "min": self.min,
+            "sum": self.sum,
+            "count": self.count,
+            "mean": self.mean,
+            "avg": self.mean,
+            "std": self.std,
+        }
+        try:
+            return table[name]()
+        except KeyError:
+            raise ValueError(f"unknown aggregate {name!r}") from None

@@ -1,0 +1,74 @@
+"""Exception hierarchy shared by every subsystem in the PolyFrame reproduction.
+
+Each embedded database engine, the PolyFrame core, and the benchmark harness
+raise exceptions from this module so that callers can catch a single family
+of errors (``ReproError``) or a precise subclass.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class StorageError(ReproError):
+    """A storage-layer invariant was violated (heap, index, catalog)."""
+
+
+class CatalogError(StorageError):
+    """A table, dataset, collection, or index name could not be resolved."""
+
+
+class DuplicateKeyError(StorageError):
+    """An insert violated a unique (primary key) constraint."""
+
+
+class QueryError(ReproError):
+    """Base class for query language front-end errors."""
+
+
+class LexerError(QueryError):
+    """The query text contained a character sequence that cannot be tokenized."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class ParseError(QueryError):
+    """The token stream did not match the language grammar."""
+
+
+class PlanningError(QueryError):
+    """A parsed query could not be converted into an executable plan."""
+
+
+class ExecutionError(ReproError):
+    """A runtime failure occurred while executing a physical plan."""
+
+
+class UnsupportedOperationError(ReproError):
+    """The requested operation exists in the paper's scope but is not valid here.
+
+    The canonical example is MongoDB's ``$lookup`` against a sharded
+    collection: the paper notes that MongoDB only joins unsharded data, so the
+    sharded document store raises this error for expression 12.
+    """
+
+
+class RewriteError(ReproError):
+    """A language rewrite rule was missing or its substitution failed."""
+
+
+class ConnectorError(ReproError):
+    """A database connector could not complete a request."""
+
+
+class MemoryBudgetExceeded(MemoryError, ReproError):
+    """The eager (Pandas-like) frame exceeded its configured memory budget.
+
+    Mirrors the out-of-memory failures the paper reports for Pandas on the
+    M, L, and XL dataset sizes.  Subclasses :class:`MemoryError` so generic
+    OOM handling also catches it.
+    """

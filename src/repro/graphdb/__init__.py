@@ -1,0 +1,22 @@
+"""The Neo4j stand-in: a labeled-node graph store speaking a Cypher subset.
+
+Storage layout reproduces the Neo4j traits the paper's analysis leans on:
+
+- a transactional **count store** keeps per-label node counts, so
+  ``MATCH (t:Label) RETURN COUNT(*)`` is an O(1) metadata lookup
+  (expression 1, where Neo4j is fastest at every size);
+- node properties live in **fixed-size property records**; string values
+  live in a **separate string store** and the property record holds only a
+  pointer — scans that touch numeric attributes never read string data,
+  which is why Neo4j "scans shorter records" on the string-heavy Wisconsin
+  rows (the executor counts ``string_store_reads`` to make this auditable);
+- label + property **indexes** exist, but absent values are not indexed
+  (expression 13 cannot use an index, unlike PostgreSQL);
+- there is no sharded clustering in the community edition, so the graph
+  engine has no cluster wrapper (excluded from Figures 9/10, as in the
+  paper).
+"""
+
+from repro.graphdb.engine import Neo4jDatabase
+
+__all__ = ["Neo4jDatabase"]

@@ -1,0 +1,72 @@
+"""The graph database facade (Neo4j stand-in)."""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Iterable
+
+from repro.graphdb.cypher_parser import parse
+from repro.graphdb.executor import CypherExecutor
+from repro.graphdb.store import GraphStore
+from repro.sqlengine.result import QueryStats, ResultSet
+
+#: Simulated fixed per-query overhead (Cypher compile + Bolt round trip).
+DEFAULT_PREP_OVERHEAD = 0.00015
+
+
+class Neo4jDatabase:
+    """A labeled-node graph database speaking a Cypher subset.
+
+    Usage::
+
+        db = Neo4jDatabase()
+        db.load("Users", records)           # one node per record
+        db.create_index("Users", "unique1")
+        result = db.execute("MATCH(t: Users) RETURN COUNT(*) AS t")
+    """
+
+    def __init__(
+        self,
+        *,
+        query_prep_overhead: float = DEFAULT_PREP_OVERHEAD,
+        name: str = "neo4j",
+    ) -> None:
+        self.name = name
+        self.query_prep_overhead = query_prep_overhead
+        self.store = GraphStore()
+
+    # ------------------------------------------------------------------
+    def load(self, label: str, records: Iterable[dict[str, Any]]) -> int:
+        """Create one node per record under *label*."""
+        count = 0
+        for record in records:
+            self.store.create_node(label, record)
+            count += 1
+        return count
+
+    def create_index(self, label: str, prop: str) -> None:
+        self.store.create_index(label, prop)
+
+    def drop_index(self, label: str, prop: str) -> None:
+        self.store.drop_index(label, prop)
+
+    def node_count(self, label: str) -> int:
+        """Count-store lookup (O(1))."""
+        return self.store.counts.node_count(label)
+
+    # ------------------------------------------------------------------
+    def execute(self, cypher: str) -> ResultSet:
+        """Parse and run a Cypher query."""
+        started = time.perf_counter()
+        if self.query_prep_overhead > 0:
+            time.sleep(self.query_prep_overhead)
+        query = parse(cypher)
+        stats = QueryStats()
+        executor = CypherExecutor(self.store, stats)
+        records = executor.run(query)
+        return ResultSet(
+            records=records,
+            stats=stats,
+            plan_text=f"cypher({len(query.clauses)} clauses)",
+            elapsed_seconds=time.perf_counter() - started,
+        )

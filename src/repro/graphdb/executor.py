@@ -1,0 +1,777 @@
+"""Cypher execution over the graph store.
+
+The executor reproduces the Neo4j behaviours the paper's results depend on:
+
+- ``MATCH (t:L) RETURN COUNT(*)`` answers from the count store (O(1));
+- a ``WITH t WHERE ...`` immediately after a MATCH is merged into the MATCH
+  (Neo4j's planner does the same), so indexed predicates become index seeks;
+- ``WITH t ORDER BY t.p DESC ... RETURN t LIMIT k`` over an indexed property
+  becomes a bounded, backward index scan;
+- a second MATCH pattern joined by a property-equality WHERE becomes an
+  index nested-loop join (expression 12);
+- property reads go through the store's record layout, so numeric
+  predicates never touch the string store (auditable via
+  ``stats.string_store_reads``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Any, Iterator
+
+from repro.errors import ExecutionError
+from repro.graphdb.cypher_ast import (
+    AGGREGATES,
+    Bin,
+    CypherExpr,
+    CypherQuery,
+    Func,
+    IsNull,
+    Lit,
+    MapLiteral,
+    MapProjection,
+    MatchClause,
+    OrderKey,
+    Pattern,
+    Prop,
+    Un,
+    Var,
+    WithClause,
+    WithItem,
+)
+from repro.graphdb.store import GraphStore
+from repro.sqlengine.result import QueryStats
+from repro.storage.keys import SENTINEL_MISSING, index_key
+
+
+class NodeHandle:
+    """A lazily read node: property access goes through the record layout."""
+
+    __slots__ = ("store", "node_id")
+
+    def __init__(self, store: GraphStore, node_id: int) -> None:
+        self.store = store
+        self.node_id = node_id
+
+    def get(self, name: str) -> Any:
+        value = self.store.read_property(self.node_id, name)
+        # Cypher surfaces absent properties as null.
+        return None if value is SENTINEL_MISSING else value
+
+    def materialize(self) -> dict[str, Any]:
+        return self.store.node_properties(self.node_id)
+
+    def __repr__(self) -> str:
+        return f"NodeHandle({self.node_id})"
+
+
+Row = dict[str, Any]
+
+
+class CypherExecutor:
+    """Executes one parsed Cypher query."""
+
+    def __init__(self, store: GraphStore, stats: QueryStats) -> None:
+        self._store = store
+        self._stats = stats
+
+    # ==================================================================
+    def run(self, query: CypherQuery) -> list[Any]:
+        clauses = _normalize(query)
+        fast_count = self._try_count_store(clauses)
+        if fast_count is not None:
+            return fast_count
+
+        string_reads_before = self._store.strings.reads
+        # Clauses chain as lazy generators (Neo4j's row pipeline), so a
+        # trailing LIMIT stops upstream work — expressions 2, 5, and 10
+        # never touch more than a handful of nodes.
+        rows: Iterator[Row] = iter([{}])
+        bound_vars: set[str] = set()
+        final_items: tuple[WithItem, ...] | None = None
+        for clause in clauses:
+            if isinstance(clause, _MatchStep):
+                rows = self._execute_match(rows, clause, bound_vars)
+                bound_vars = bound_vars | {pattern.var for pattern in clause.patterns}
+            else:
+                assert isinstance(clause, WithClause)
+                rows = self._execute_with(rows, clause)
+                bound_vars = {item.output_name() for item in clause.items}
+                if clause.is_return:
+                    final_items = clause.items
+        if final_items is None:
+            raise ExecutionError("query has no RETURN clause")
+        out = [self._materialize_output(row, final_items) for row in rows]
+        self._stats.string_store_reads += self._store.strings.reads - string_reads_before
+        return out
+
+    # ------------------------------------------------------------------
+    # Count-store fast path
+    # ------------------------------------------------------------------
+    def _try_count_store(self, clauses: list[Any]) -> list[Any] | None:
+        if len(clauses) != 2:
+            return None
+        match, ret = clauses
+        if not isinstance(match, _MatchStep) or not isinstance(ret, WithClause):
+            return None
+        if (
+            len(match.patterns) == 1
+            and match.patterns[0].label is not None
+            and match.where is None
+            and match.order is None
+            and ret.is_return
+            and ret.where is None
+            and not ret.order_by
+            and len(ret.items) == 1
+        ):
+            expr = ret.items[0].expr
+            if isinstance(expr, Func) and expr.name.lower() == "count" and expr.star:
+                count = self._store.counts.node_count(match.patterns[0].label)
+                return [count]
+        return None
+
+    # ------------------------------------------------------------------
+    # MATCH
+    # ------------------------------------------------------------------
+    def _execute_match(
+        self, rows: Iterator[Row], step: "_MatchStep", outer_vars: set[str]
+    ) -> Iterator[Row]:
+        conjuncts = _conjuncts(step.where) if step.where is not None else []
+        bound = set(outer_vars)
+        for pattern in step.patterns:
+            rows, conjuncts = self._bind_pattern(rows, pattern, conjuncts, step, bound)
+            bound.add(pattern.var)
+        if conjuncts:
+            predicate = _conjoin(conjuncts)
+            rows = (
+                row for row in rows if self._truthy(self._eval(predicate, row))
+            )
+        if step.order is not None and not step.order_served:
+            # The ORDER BY folded into this step could not ride an index;
+            # sort explicitly (Neo4j's fallback Sort operator).
+            var, prop, descending = step.order
+            materialized = list(rows)
+            materialized.sort(
+                key=lambda row: index_key(self._eval(Prop(var, prop), row)),
+                reverse=descending,
+            )
+            rows = iter(materialized)
+        return rows
+
+    def _bind_pattern(
+        self,
+        rows: Iterator[Row],
+        pattern: Pattern,
+        conjuncts: list[CypherExpr],
+        step: "_MatchStep",
+        bound_vars: set[str],
+    ) -> tuple[Iterator[Row], list[CypherExpr]]:
+        if pattern.var in bound_vars:
+            # Re-matching an already bound variable (``MATCH (t), (r:L)``)
+            # adds no bindings.
+            return rows, conjuncts
+
+        # Index nested-loop join: new.p = bound.q on an indexed property.
+        if pattern.label is not None and bound_vars:
+            join = self._find_join_conjunct(pattern, bound_vars, conjuncts)
+            if join is not None:
+                position, new_prop, bound_expr = join
+                remaining = conjuncts[:position] + conjuncts[position + 1:]
+                return self._index_join(rows, pattern, new_prop, bound_expr), remaining
+
+        # Seeding scan: pick an index seek / range when the predicate allows.
+        candidates, remaining = self._seed_candidates(pattern, conjuncts, step)
+        if not bound_vars:
+            # Consume the seed row stream (a single empty row) eagerly; the
+            # candidate walk itself stays lazy.
+            def seed() -> Iterator[Row]:
+                for node_id in candidates:
+                    yield {pattern.var: NodeHandle(self._store, node_id)}
+
+            return seed(), remaining
+
+        def expand() -> Iterator[Row]:
+            node_ids = list(candidates)  # re-iterated per outer row
+            for row in rows:
+                for node_id in node_ids:
+                    merged = dict(row)
+                    merged[pattern.var] = NodeHandle(self._store, node_id)
+                    yield merged
+
+        return expand(), remaining
+
+    def _find_join_conjunct(
+        self, pattern: Pattern, bound_vars: set[str], conjuncts: list[CypherExpr]
+    ) -> tuple[int, str, CypherExpr] | None:
+        for position, part in enumerate(conjuncts):
+            if not (isinstance(part, Bin) and part.op == "="):
+                continue
+            left, right = part.left, part.right
+            for new_side, bound_side in ((left, right), (right, left)):
+                if (
+                    isinstance(new_side, Prop)
+                    and new_side.var == pattern.var
+                    and isinstance(bound_side, Prop)
+                    and bound_side.var in bound_vars
+                    and self._store.has_index(pattern.label, new_side.name)
+                ):
+                    return position, new_side.name, bound_side
+        return None
+
+    def _index_join(
+        self, rows: Iterator[Row], pattern: Pattern, prop: str, bound_expr: CypherExpr
+    ) -> Iterator[Row]:
+        tree = self._store.index(pattern.label, prop)
+        for row in rows:
+            value = self._eval(bound_expr, row)
+            if value is None:
+                continue
+            for node_id in tree.search(index_key(value)):
+                self._stats.index_entries += 1
+                merged = dict(row)
+                merged[pattern.var] = NodeHandle(self._store, node_id)
+                yield merged
+
+    def _seed_candidates(
+        self, pattern: Pattern, conjuncts: list[CypherExpr], step: "_MatchStep"
+    ) -> tuple[Iterator[int], list[CypherExpr]]:
+        label = pattern.label
+        if label is None:
+            raise ExecutionError(f"pattern ({pattern.var}) must carry a label")
+
+        # Equality seek.
+        for position, part in enumerate(conjuncts):
+            matched = _match_prop_literal(part, pattern.var)
+            if matched is None:
+                continue
+            op, prop, value = matched
+            if op == "=" and self._store.has_index(label, prop):
+                remaining = conjuncts[:position] + conjuncts[position + 1:]
+                return self._index_seek(label, prop, value), remaining
+        # Range scan (collect both bounds on one property).
+        bounds: dict[str, dict[str, Any]] = {}
+        for part in conjuncts:
+            matched = _match_prop_literal(part, pattern.var)
+            if matched is None:
+                continue
+            op, prop, value = matched
+            if op in (">", ">=", "<", "<=") and self._store.has_index(label, prop):
+                entry = bounds.setdefault(prop, {})
+                if op in (">", ">="):
+                    entry["low"] = value
+                    entry["low_inc"] = op == ">="
+                else:
+                    entry["high"] = value
+                    entry["high_inc"] = op == "<="
+        for prop, entry in bounds.items():
+            if "low" in entry or "high" in entry:
+                remaining = [
+                    part
+                    for part in conjuncts
+                    if not (
+                        (m := _match_prop_literal(part, pattern.var)) is not None
+                        and m[1] == prop
+                        and m[0] in (">", ">=", "<", "<=")
+                    )
+                ]
+                return (
+                    self._index_range(label, prop, entry),
+                    remaining,
+                )
+
+        # Ordered scan (ORDER BY ... LIMIT pushed into the match).
+        if step.order is not None:
+            order_var, order_prop, descending = step.order
+            if order_var == pattern.var and self._store.has_index(label, order_prop):
+                step.order_served = True
+                return (
+                    self._index_ordered(label, order_prop, descending, step.limit_hint),
+                    conjuncts,
+                )
+
+        return self._label_scan(label), conjuncts
+
+    def _label_scan(self, label: str) -> Iterator[int]:
+        self._stats.full_scans += 1
+        for node_id in self._store.label_scan(label):
+            self._stats.heap_fetches += 1
+            yield node_id
+
+    def _index_seek(self, label: str, prop: str, value: Any) -> Iterator[int]:
+        for node_id in self._store.index(label, prop).search(index_key(value)):
+            self._stats.index_entries += 1
+            yield node_id
+
+    def _index_range(self, label: str, prop: str, entry: dict[str, Any]) -> Iterator[int]:
+        low = index_key(entry["low"]) if "low" in entry else (2,)
+        high = index_key(entry["high"]) if "high" in entry else None
+        for _key, node_id in self._store.index(label, prop).scan(
+            low,
+            high,
+            low_inclusive=entry.get("low_inc", True),
+            high_inclusive=entry.get("high_inc", True),
+        ):
+            self._stats.index_entries += 1
+            yield node_id
+
+    def _index_ordered(
+        self, label: str, prop: str, descending: bool, limit: int | None
+    ) -> Iterator[int]:
+        produced = 0
+        for _key, node_id in self._store.index(label, prop).scan(reverse=descending):
+            self._stats.index_entries += 1
+            yield node_id
+            produced += 1
+            if limit is not None and produced >= limit:
+                return
+
+    # ------------------------------------------------------------------
+    # WITH / RETURN
+    # ------------------------------------------------------------------
+    def _execute_with(self, rows: Iterator[Row], clause: WithClause) -> Iterator[Row]:
+        if clause.has_aggregates():
+            rows = iter(self._aggregate(list(rows), clause.items))
+        else:
+            rows = (self._project_row(row, clause.items) for row in rows)
+        if clause.where is not None:
+            rows = (
+                row for row in rows if self._truthy(self._eval(clause.where, row))
+            )
+        if clause.order_by:
+            rows = iter(self._order(list(rows), clause.order_by))
+        if clause.distinct:
+            rows = self._distinct(rows)
+        if clause.limit is not None:
+            rows = itertools.islice(rows, clause.limit)
+        return rows
+
+    def _distinct(self, rows: Iterator[Row]) -> Iterator[Row]:
+        seen: set = set()
+        for row in rows:
+            key = _hashable(self._plain(row))
+            if key not in seen:
+                seen.add(key)
+                yield row
+
+    def _project_row(self, row: Row, items: tuple[WithItem, ...]) -> Row:
+        out: Row = {}
+        for item in items:
+            out[item.output_name()] = self._eval(item.expr, row)
+        return out
+
+    def _order(self, rows: list[Row], keys: tuple[OrderKey, ...]) -> list[Row]:
+        for key in reversed(keys):
+            rows.sort(
+                key=lambda row: index_key(self._eval(key.expr, row)),
+                reverse=key.descending,
+            )
+        return rows
+
+    # ------------------------------------------------------------------
+    # Implicit grouping (Cypher aggregates)
+    # ------------------------------------------------------------------
+    def _aggregate(self, rows: list[Row], items: tuple[WithItem, ...]) -> list[Row]:
+        group_exprs: list[CypherExpr] = []
+        agg_calls: list[Func] = []
+
+        def classify(expr: CypherExpr) -> None:
+            if isinstance(expr, Func) and expr.name.lower() in AGGREGATES:
+                agg_calls.append(expr)
+            elif isinstance(expr, (MapLiteral, MapProjection)):
+                entries = expr.entries
+                for _key, value in entries:
+                    classify(value)
+                if isinstance(expr, MapProjection) and (expr.include_all or expr.extra_vars):
+                    group_exprs.append(Var(expr.var))
+            elif isinstance(expr, Bin):
+                classify(expr.left)
+                classify(expr.right)
+            elif isinstance(expr, (Un, IsNull)):
+                classify(expr.operand)
+            elif not isinstance(expr, Lit):
+                group_exprs.append(expr)
+
+        for item in items:
+            classify(item.expr)
+
+        groups: dict[tuple, tuple[list["_Acc"], Row]] = {}
+        for row in rows:
+            key = tuple(_hashable(self._plain_value(self._eval(e, row))) for e in group_exprs)
+            entry = groups.get(key)
+            if entry is None:
+                entry = ([_make_acc(call) for call in agg_calls], row)
+                groups[key] = entry
+            accs, _rep = entry
+            for call, acc in zip(agg_calls, accs):
+                if call.star:
+                    acc.add_row()
+                else:
+                    acc.add_row()
+                    acc.add(self._eval(call.args[0], row))
+        if not group_exprs and not groups:
+            groups[()] = ([_make_acc(call) for call in agg_calls], {})
+        out: list[Row] = []
+        for accs, representative in groups.values():
+            results = {id(call): acc.result() for call, acc in zip(agg_calls, accs)}
+            projected: Row = {}
+            for item in items:
+                projected[item.output_name()] = self._eval(
+                    item.expr, representative, agg_results=results
+                )
+            out.append(projected)
+        return out
+
+    # ------------------------------------------------------------------
+    # Expression evaluation
+    # ------------------------------------------------------------------
+    def _eval(self, expr: CypherExpr, row: Row, agg_results: dict[int, Any] | None = None) -> Any:
+        if agg_results is not None and isinstance(expr, Func) and expr.name.lower() in AGGREGATES:
+            return agg_results[id(expr)]
+        if isinstance(expr, Lit):
+            return expr.value
+        if isinstance(expr, Var):
+            if expr.name not in row:
+                raise ExecutionError(f"unbound variable {expr.name!r}")
+            return row[expr.name]
+        if isinstance(expr, Prop):
+            base = row.get(expr.var)
+            if base is None:
+                return None
+            if isinstance(base, NodeHandle):
+                return base.get(expr.name)
+            if isinstance(base, dict):
+                return base.get(expr.name)
+            raise ExecutionError(f"cannot access property on {type(base).__name__}")
+        if isinstance(expr, Bin):
+            return self._eval_bin(expr, row, agg_results)
+        if isinstance(expr, Un):
+            value = self._eval(expr.operand, row, agg_results)
+            if expr.op == "NOT":
+                return None if value is None else not bool(value)
+            return None if value is None else -value
+        if isinstance(expr, IsNull):
+            value = self._eval(expr.operand, row, agg_results)
+            result = value is None
+            return not result if expr.negated else result
+        if isinstance(expr, MapLiteral):
+            return {
+                key: self._plain_value(self._eval(value, row, agg_results))
+                for key, value in expr.entries
+            }
+        if isinstance(expr, MapProjection):
+            return self._eval_map_projection(expr, row, agg_results)
+        if isinstance(expr, Func):
+            return self._eval_func(expr, row, agg_results)
+        raise ExecutionError(f"cannot evaluate {type(expr).__name__}")
+
+    def _eval_bin(self, expr: Bin, row: Row, agg_results) -> Any:
+        if expr.op in ("AND", "OR"):
+            left = self._eval(expr.left, row, agg_results)
+            right = self._eval(expr.right, row, agg_results)
+            if expr.op == "AND":
+                if left is False or right is False:
+                    return False
+                if left is None or right is None:
+                    return None
+                return bool(left) and bool(right)
+            if left is True or right is True:
+                return True
+            if left is None or right is None:
+                return None
+            return bool(left) or bool(right)
+        left = self._eval(expr.left, row, agg_results)
+        right = self._eval(expr.right, row, agg_results)
+        if left is None or right is None:
+            return None
+        if expr.op == "=":
+            return left == right
+        if expr.op == "!=":
+            return left != right
+        if expr.op in (">", "<", ">=", "<="):
+            lk, rk = index_key(left), index_key(right)
+            return {">": lk > rk, "<": lk < rk, ">=": lk >= rk, "<=": lk <= rk}[expr.op]
+        try:
+            if expr.op == "+":
+                return left + right
+            if expr.op == "-":
+                return left - right
+            if expr.op == "*":
+                return left * right
+            if expr.op == "/":
+                return left / right
+            if expr.op == "%":
+                return left % right
+        except (TypeError, ZeroDivisionError):
+            return None
+        raise ExecutionError(f"unknown operator {expr.op!r}")
+
+    def _eval_map_projection(self, expr: MapProjection, row: Row, agg_results) -> dict[str, Any]:
+        base = row.get(expr.var)
+        out: dict[str, Any] = {}
+        if expr.include_all:
+            if isinstance(base, NodeHandle):
+                out.update(base.materialize())
+            elif isinstance(base, dict):
+                out.update(base)
+        for key, value in expr.entries:
+            out[key] = self._plain_value(self._eval(value, row, agg_results))
+        for name in expr.extra_vars:
+            out[name] = self._plain_value(row.get(name))
+        return out
+
+    def _eval_func(self, expr: Func, row: Row, agg_results) -> Any:
+        name = expr.name.lower()
+        if name in AGGREGATES:
+            raise ExecutionError(f"aggregate {expr.name} outside aggregation context")
+        args = [self._eval(arg, row, agg_results) for arg in expr.args]
+        if name == "upper":
+            return None if args[0] is None else str(args[0]).upper()
+        if name == "lower":
+            return None if args[0] is None else str(args[0]).lower()
+        if name in ("tointeger", "toint"):
+            return None if args[0] is None else int(float(args[0]))
+        if name == "tostring":
+            return None if args[0] is None else str(args[0])
+        if name == "abs":
+            return None if args[0] is None else abs(args[0])
+        if name == "size":
+            return None if args[0] is None else len(args[0])
+        # apoc.convert.* arrives as nested idents; parser flattens to one name.
+        raise ExecutionError(f"unknown function {expr.name!r}")
+
+    # ------------------------------------------------------------------
+    def _truthy(self, value: Any) -> bool:
+        return value is True
+
+    def _plain(self, row: Row) -> dict[str, Any]:
+        return {key: self._plain_value(value) for key, value in row.items()}
+
+    def _plain_value(self, value: Any) -> Any:
+        if isinstance(value, NodeHandle):
+            return value.materialize()
+        return value
+
+    def _materialize_output(self, row: Row, items: tuple[WithItem, ...]) -> Any:
+        if len(items) == 1:
+            return self._plain_value(row[items[0].output_name()])
+        return {item.output_name(): self._plain_value(row[item.output_name()]) for item in items}
+
+
+# ----------------------------------------------------------------------
+# Clause normalization
+# ----------------------------------------------------------------------
+
+
+class _MatchStep:
+    """A MATCH with merged predicates and order/limit hints."""
+
+    def __init__(self, clause: MatchClause) -> None:
+        self.patterns = clause.patterns
+        self.where = clause.where
+        self.order: tuple[str, str, bool] | None = None  # (var, prop, desc)
+        self.order_served = False  # True once an index provides the order
+        self.limit_hint: int | None = None
+
+    def merge_where(self, predicate: CypherExpr) -> None:
+        self.where = predicate if self.where is None else Bin("AND", self.where, predicate)
+
+
+def _normalize(query: CypherQuery) -> list[Any]:
+    """Merge passthrough ``WITH t [WHERE/ORDER BY]`` clauses into MATCH steps."""
+    steps: list[Any] = []
+    clauses = list(query.clauses)
+    index = 0
+    while index < len(clauses):
+        clause = clauses[index]
+        if isinstance(clause, MatchClause):
+            step = _MatchStep(clause)
+            # Consecutive MATCH clauses merge into one step (expression 12's
+            # ``MATCH (t:data) MATCH (t), (r:other) WHERE ...``).
+            next_index = index + 1
+            while next_index < len(clauses) and isinstance(clauses[next_index], MatchClause):
+                extra = clauses[next_index]
+                step.patterns = step.patterns + extra.patterns
+                if extra.where is not None:
+                    step.merge_where(extra.where)
+                next_index += 1
+            # Fold passthrough WITHs (WHERE / ORDER BY hints) into the match.
+            while next_index < len(clauses):
+                peek = clauses[next_index]
+                if not isinstance(peek, WithClause) or peek.is_return:
+                    break
+                if not peek.is_passthrough() or peek.has_aggregates() or peek.limit is not None:
+                    break
+                if peek.where is not None:
+                    step.merge_where(peek.where)
+                if peek.order_by:
+                    if len(peek.order_by) == 1 and isinstance(peek.order_by[0].expr, Prop):
+                        order = peek.order_by[0]
+                        step.order = (order.expr.var, order.expr.name, order.descending)
+                    else:
+                        break
+                next_index += 1
+            # A trailing passthrough RETURN with LIMIT bounds an ordered scan.
+            if (
+                step.order is not None
+                and next_index < len(clauses)
+                and isinstance(clauses[next_index], WithClause)
+                and clauses[next_index].is_return
+                and clauses[next_index].is_passthrough()
+                and clauses[next_index].limit is not None
+            ):
+                step.limit_hint = clauses[next_index].limit
+            steps.append(step)
+            index = next_index
+            continue
+        steps.append(clause)
+        index += 1
+    return steps
+
+
+# ----------------------------------------------------------------------
+# Predicate helpers and accumulators
+# ----------------------------------------------------------------------
+
+
+def _conjuncts(expr: CypherExpr) -> list[CypherExpr]:
+    if isinstance(expr, Bin) and expr.op == "AND":
+        return _conjuncts(expr.left) + _conjuncts(expr.right)
+    return [expr]
+
+
+def _conjoin(parts: list[CypherExpr]) -> CypherExpr:
+    out = parts[0]
+    for part in parts[1:]:
+        out = Bin("AND", out, part)
+    return out
+
+
+def _match_prop_literal(expr: CypherExpr, var: str) -> tuple[str, str, Any] | None:
+    flipped = {">": "<", "<": ">", ">=": "<=", "<=": ">=", "=": "="}
+    if not isinstance(expr, Bin) or expr.op not in flipped:
+        return None
+    left, right = expr.left, expr.right
+    if isinstance(left, Prop) and left.var == var and isinstance(right, Lit):
+        return expr.op, left.name, right.value
+    if isinstance(right, Prop) and right.var == var and isinstance(left, Lit):
+        return flipped[expr.op], right.name, left.value
+    return None
+
+
+class _Acc:
+    def add(self, value: Any) -> None:
+        raise NotImplementedError
+
+    def add_row(self) -> None:
+        pass
+
+    def result(self) -> Any:
+        raise NotImplementedError
+
+
+class _CountAcc(_Acc):
+    def __init__(self, star: bool) -> None:
+        self.star = star
+        self.rows = 0
+        self.values = 0
+
+    def add(self, value: Any) -> None:
+        if value is not None:
+            self.values += 1
+
+    def add_row(self) -> None:
+        self.rows += 1
+
+    def result(self) -> int:
+        return self.rows if self.star else self.values
+
+
+class _MinMaxAcc(_Acc):
+    def __init__(self, is_min: bool) -> None:
+        self.is_min = is_min
+        self.best: Any = None
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        if self.best is None:
+            self.best = value
+        elif self.is_min and index_key(value) < index_key(self.best):
+            self.best = value
+        elif not self.is_min and index_key(value) > index_key(self.best):
+            self.best = value
+
+    def result(self) -> Any:
+        return self.best
+
+
+class _SumAcc(_Acc):
+    def __init__(self) -> None:
+        self.total = 0
+
+    def add(self, value: Any) -> None:
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            self.total += value
+
+    def result(self) -> Any:
+        return self.total
+
+
+class _AvgAcc(_Acc):
+    def __init__(self) -> None:
+        self.total = 0.0
+        self.count = 0
+
+    def add(self, value: Any) -> None:
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            self.total += value
+            self.count += 1
+
+    def result(self) -> Any:
+        return self.total / self.count if self.count else None
+
+
+class _StdAcc(_Acc):
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self.m2 = 0.0
+
+    def add(self, value: Any) -> None:
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            return
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (value - self.mean)
+
+    def result(self) -> Any:
+        return math.sqrt(self.m2 / self.count) if self.count else None
+
+
+def _make_acc(call: Func) -> _Acc:
+    name = call.name.lower()
+    if name == "count":
+        return _CountAcc(call.star)
+    if name == "min":
+        return _MinMaxAcc(is_min=True)
+    if name == "max":
+        return _MinMaxAcc(is_min=False)
+    if name == "sum":
+        return _SumAcc()
+    if name == "avg":
+        return _AvgAcc()
+    if name in ("stdevp", "stdev"):
+        return _StdAcc()
+    raise ExecutionError(f"unknown aggregate {call.name!r}")
+
+
+def _hashable(value: Any) -> Any:
+    if isinstance(value, dict):
+        return tuple(sorted((k, _hashable(v)) for k, v in value.items()))
+    if isinstance(value, list):
+        return tuple(_hashable(v) for v in value)
+    if isinstance(value, NodeHandle):
+        return ("__node__", value.node_id)
+    return value

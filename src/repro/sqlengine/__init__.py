@@ -1,0 +1,33 @@
+"""An embedded SQL database engine (the PostgreSQL stand-in).
+
+The engine accepts the nested SQL text that PolyFrame's rewrite rules
+generate, parses it into an AST, plans it, optimizes it (subquery
+flattening, predicate pushdown, index selection — including the index-only
+and backward index scans the paper credits to PostgreSQL 12), and executes
+it over :mod:`repro.storage` structures with a pull-based iterator model.
+
+The same front end, with ``dialect='sqlpp'``, parses SQL++ for the
+AsterixDB-like engine in :mod:`repro.sqlpp`.
+
+Entry point::
+
+    from repro.sqlengine import SQLDatabase
+    db = SQLDatabase()
+    db.create_table("Test.Users", primary_key="id")
+    db.insert("Test.Users", [{"id": 1, "lang": "en", "name": "a"}])
+    result = db.execute("SELECT t.name FROM (SELECT * FROM Test.Users t) t LIMIT 10")
+"""
+
+from repro.sqlengine.engine import OptimizerFeatures, SQLDatabase
+from repro.sqlengine.lexer import tokenize
+from repro.sqlengine.parser import parse
+from repro.sqlengine.result import QueryStats, ResultSet
+
+__all__ = [
+    "OptimizerFeatures",
+    "QueryStats",
+    "ResultSet",
+    "SQLDatabase",
+    "parse",
+    "tokenize",
+]

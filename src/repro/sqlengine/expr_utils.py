@@ -1,0 +1,103 @@
+"""Expression analysis and rewriting helpers shared by optimizer passes."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sqlengine.ast_nodes import (
+    BinaryOp,
+    ColumnRef,
+    Expression,
+    FuncCall,
+    IsAbsent,
+    Literal,
+    Star,
+    UnaryOp,
+)
+
+
+def conjuncts(expr: Expression) -> list[Expression]:
+    """Split an AND tree into its leaves."""
+    if isinstance(expr, BinaryOp) and expr.op == "AND":
+        return conjuncts(expr.left) + conjuncts(expr.right)
+    return [expr]
+
+
+def conjoin(exprs: list[Expression]) -> Optional[Expression]:
+    """Rebuild a conjunction from *exprs* (None when empty)."""
+    if not exprs:
+        return None
+    out = exprs[0]
+    for item in exprs[1:]:
+        out = BinaryOp("AND", out, item)
+    return out
+
+
+def rewrite_qualifier(expr: Expression, old: str, new: str) -> Expression:
+    """Rename every reference to binding *old* into *new*."""
+    if isinstance(expr, ColumnRef):
+        if expr.qualifier == old:
+            return ColumnRef(expr.name, qualifier=new)
+        if expr.qualifier is None and expr.name == old:
+            return ColumnRef(new)
+        return expr
+    if isinstance(expr, Star):
+        return Star(qualifier=new) if expr.qualifier == old else expr
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(
+            expr.op,
+            rewrite_qualifier(expr.left, old, new),
+            rewrite_qualifier(expr.right, old, new),
+        )
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, rewrite_qualifier(expr.operand, old, new))
+    if isinstance(expr, IsAbsent):
+        return IsAbsent(rewrite_qualifier(expr.operand, old, new), expr.mode, expr.negated)
+    if isinstance(expr, FuncCall):
+        return FuncCall(
+            expr.name,
+            tuple(rewrite_qualifier(arg, old, new) for arg in expr.args),
+            star=expr.star,
+            distinct=expr.distinct,
+        )
+    return expr
+
+
+def columns_used(expr: Expression) -> set[tuple[Optional[str], str]]:
+    """All ``(qualifier, column)`` pairs referenced by *expr*."""
+    out: set[tuple[Optional[str], str]] = set()
+
+    def walk(node: Expression) -> None:
+        if isinstance(node, ColumnRef):
+            out.add((node.qualifier, node.name))
+        elif isinstance(node, BinaryOp):
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, UnaryOp):
+            walk(node.operand)
+        elif isinstance(node, IsAbsent):
+            walk(node.operand)
+        elif isinstance(node, FuncCall):
+            for arg in node.args:
+                walk(arg)
+
+    walk(expr)
+    return out
+
+
+def match_column_literal(
+    expr: Expression,
+) -> Optional[tuple[str, Optional[str], str, object]]:
+    """Match ``col OP literal`` (either side); returns (op, qualifier, column, value).
+
+    The operator is normalized so the column is always on the left.
+    """
+    flipped = {">": "<", "<": ">", ">=": "<=", "<=": ">=", "=": "=", "!=": "!="}
+    if not isinstance(expr, BinaryOp) or expr.op not in flipped:
+        return None
+    left, right = expr.left, expr.right
+    if isinstance(left, ColumnRef) and isinstance(right, Literal):
+        return (expr.op, left.qualifier, left.name, right.value)
+    if isinstance(left, Literal) and isinstance(right, ColumnRef):
+        return (flipped[expr.op], right.qualifier, right.name, left.value)
+    return None

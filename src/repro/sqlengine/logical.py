@@ -1,0 +1,239 @@
+"""Logical query plans.
+
+Two tuple shapes flow through a plan, mirroring SQL semantics:
+
+- *environment* streams (``env``): dicts mapping FROM-clause binding aliases
+  to records.  Scans, joins, filters, and sorts produce environments.
+- *record* streams: plain records (or bare values for SQL++'s
+  ``SELECT VALUE``).  Projections and aggregations produce records; they are
+  the output shape of a SELECT block.
+
+A derived table (subquery in FROM) converts a record stream back into an
+environment stream under a new alias (:class:`DerivedBind`) — this is the
+structural seam PolyFrame's incremental query formation creates at every
+step, and the seam the optimizer's flattening rules dissolve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.sqlengine.ast_nodes import Expression, OrderItem, SelectItem
+
+
+class LogicalPlan:
+    """Base class for logical plan nodes."""
+
+    def children(self) -> tuple["LogicalPlan", ...]:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line node summary used by EXPLAIN output."""
+        raise NotImplementedError
+
+    def tree_string(self, indent: int = 0) -> str:
+        lines = ["  " * indent + self.describe()]
+        lines.extend(child.tree_string(indent + 1) for child in self.children())
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Environment-producing nodes
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Scan(LogicalPlan):
+    """Scan a base table, binding each record under *alias*."""
+
+    table: str
+    alias: str
+
+    def children(self) -> tuple[LogicalPlan, ...]:
+        return ()
+
+    def describe(self) -> str:
+        return f"Scan {self.table} AS {self.alias}"
+
+
+@dataclass(frozen=True)
+class DerivedBind(LogicalPlan):
+    """Bind each record of a subquery's output under *alias*."""
+
+    child: LogicalPlan  # record-producing
+    alias: str
+
+    def children(self) -> tuple[LogicalPlan, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"DerivedBind AS {self.alias}"
+
+
+@dataclass(frozen=True)
+class Rebind(LogicalPlan):
+    """Rename an environment binding (introduced by subquery flattening)."""
+
+    child: LogicalPlan  # env-producing
+    old: str
+    new: str
+
+    def children(self) -> tuple[LogicalPlan, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Rebind {self.old} -> {self.new}"
+
+
+@dataclass(frozen=True)
+class ColumnRestrict(LogicalPlan):
+    """Narrow the record under *alias* to *columns* (flattened projection)."""
+
+    child: LogicalPlan  # env-producing
+    alias: str
+    columns: tuple[str, ...]
+
+    def children(self) -> tuple[LogicalPlan, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"ColumnRestrict {self.alias}({', '.join(self.columns)})"
+
+
+@dataclass(frozen=True)
+class Filter(LogicalPlan):
+    """Keep environments whose predicate evaluates to TRUE."""
+
+    child: LogicalPlan  # env-producing
+    predicate: Expression
+
+    def children(self) -> tuple[LogicalPlan, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Filter {self.predicate}"
+
+
+@dataclass(frozen=True)
+class Join(LogicalPlan):
+    """Inner/left join of two environment streams on a condition."""
+
+    left: LogicalPlan
+    right: LogicalPlan
+    condition: Expression
+    kind: str = "inner"
+
+    def children(self) -> tuple[LogicalPlan, ...]:
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        return f"Join[{self.kind}] ON {self.condition}"
+
+
+@dataclass(frozen=True)
+class Sort(LogicalPlan):
+    """Order the environment stream; ``limit_hint`` enables top-k plans."""
+
+    child: LogicalPlan  # env-producing
+    keys: tuple[OrderItem, ...]
+    limit_hint: Optional[int] = None
+
+    def children(self) -> tuple[LogicalPlan, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        keys = ", ".join(
+            f"{key.expr}{' DESC' if key.descending else ''}" for key in self.keys
+        )
+        hint = f" (top {self.limit_hint})" if self.limit_hint is not None else ""
+        return f"Sort {keys}{hint}"
+
+    def with_limit_hint(self, limit: int) -> "Sort":
+        return replace(self, limit_hint=limit)
+
+
+# ----------------------------------------------------------------------
+# Record-producing nodes
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Project(LogicalPlan):
+    """Evaluate the SELECT list over each environment.
+
+    ``select_value=True`` (SQL++) emits the bare value of the single item
+    instead of wrapping it in a record.
+    """
+
+    child: LogicalPlan  # env-producing
+    items: tuple[SelectItem, ...]
+    select_value: bool = False
+    distinct: bool = False
+
+    def children(self) -> tuple[LogicalPlan, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        head = "ProjectValue" if self.select_value else "Project"
+        cols = ", ".join(
+            str(item.expr) + (f" AS {item.alias}" if item.alias else "")
+            for item in self.items
+        )
+        return f"{head} {cols}"
+
+
+@dataclass(frozen=True)
+class Aggregate(LogicalPlan):
+    """Grouped or scalar aggregation with the SELECT list as output shape."""
+
+    child: LogicalPlan  # env-producing
+    group_by: tuple[Expression, ...]
+    items: tuple[SelectItem, ...]
+    select_value: bool = False
+
+    def children(self) -> tuple[LogicalPlan, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        keys = ", ".join(str(expr) for expr in self.group_by) or "<scalar>"
+        cols = ", ".join(str(item.expr) for item in self.items)
+        return f"Aggregate[{keys}] {cols}"
+
+
+@dataclass(frozen=True)
+class RecordSort(LogicalPlan):
+    """Order a record stream by expressions over the output columns.
+
+    Used when ORDER BY follows an aggregation (e.g. ``value_counts``
+    ordering groups by their count) — the sort keys resolve against the
+    aggregate's output records rather than a FROM binding.
+    """
+
+    child: LogicalPlan  # record-producing
+    keys: tuple[OrderItem, ...]
+
+    def children(self) -> tuple[LogicalPlan, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        keys = ", ".join(
+            f"{key.expr}{' DESC' if key.descending else ''}" for key in self.keys
+        )
+        return f"RecordSort {keys}"
+
+
+@dataclass(frozen=True)
+class Limit(LogicalPlan):
+    """Truncate the record stream (with optional offset)."""
+
+    child: LogicalPlan  # record-producing
+    count: int
+    offset: int = 0
+
+    def children(self) -> tuple[LogicalPlan, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        suffix = f" OFFSET {self.offset}" if self.offset else ""
+        return f"Limit {self.count}{suffix}"

@@ -1,0 +1,84 @@
+"""AST → logical plan conversion.
+
+The planner is deliberately mechanical: it preserves the nested structure
+PolyFrame generated (every derived table becomes a :class:`DerivedBind`).
+Dissolving that nesting is the optimizer's job — keeping the two phases
+separate is what lets the ablation benchmark show what happens on a target
+system *without* an effective optimizer, which the paper calls out as a
+requirement.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PlanningError
+from repro.sqlengine.ast_nodes import (
+    FromItem,
+    JoinRef,
+    SelectQuery,
+    SubqueryRef,
+    TableRef,
+)
+from repro.sqlengine.logical import (
+    Aggregate,
+    DerivedBind,
+    Filter,
+    Join,
+    Limit,
+    LogicalPlan,
+    Project,
+    RecordSort,
+    Scan,
+    Sort,
+)
+
+
+def plan_query(query: SelectQuery) -> LogicalPlan:
+    """Convert a parsed SELECT into a record-producing logical plan."""
+    if query.from_item is None:
+        raise PlanningError("SELECT without FROM is not supported")
+    plan = _plan_from(query.from_item)
+
+    if query.where is not None:
+        plan = Filter(plan, query.where)
+
+    if query.is_aggregate():
+        plan = Aggregate(
+            child=plan,
+            group_by=query.group_by,
+            items=query.items,
+            select_value=query.select_value,
+        )
+        if query.order_by:
+            plan = RecordSort(plan, query.order_by)
+    else:
+        if query.group_by:
+            raise PlanningError("GROUP BY requires aggregate functions")
+        if query.order_by:
+            plan = Sort(plan, query.order_by)
+        plan = Project(
+            child=plan,
+            items=query.items,
+            select_value=query.select_value,
+            distinct=query.distinct,
+        )
+
+    if query.limit is not None or query.offset is not None:
+        plan = Limit(plan, query.limit if query.limit is not None else -1, query.offset or 0)
+    return plan
+
+
+def _plan_from(item: FromItem) -> LogicalPlan:
+    if isinstance(item, TableRef):
+        return Scan(table=item.name, alias=item.binding())
+    if isinstance(item, SubqueryRef):
+        return DerivedBind(child=plan_query(item.query), alias=item.alias)
+    if isinstance(item, JoinRef):
+        if item.kind not in ("inner",):
+            raise PlanningError(f"{item.kind} joins are not supported")
+        return Join(
+            left=_plan_from(item.left),
+            right=_plan_from(item.right),
+            condition=item.condition,
+            kind=item.kind,
+        )
+    raise PlanningError(f"unknown FROM item {type(item).__name__}")

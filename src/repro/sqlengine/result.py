@@ -1,0 +1,68 @@
+"""Query results and execution statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class QueryStats:
+    """Work counters recorded while executing a physical plan.
+
+    The test suite uses these to assert plan shape rather than timing:
+    an index-only plan has ``heap_fetches == 0``; a plan that avoided a full
+    scan has ``full_scans == 0``.
+    """
+
+    heap_fetches: int = 0
+    index_entries: int = 0
+    full_scans: int = 0
+    string_store_reads: int = 0  # used by the graph engine's record layout
+
+    def merge(self, other: "QueryStats") -> None:
+        self.heap_fetches += other.heap_fetches
+        self.index_entries += other.index_entries
+        self.full_scans += other.full_scans
+        self.string_store_reads += other.string_store_reads
+
+
+@dataclass
+class ResultSet:
+    """Materialized output of one query execution."""
+
+    records: list[Any] = field(default_factory=list)
+    stats: QueryStats = field(default_factory=QueryStats)
+    plan_text: str = ""
+    elapsed_seconds: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def scalar(self) -> Any:
+        """The single value of a one-row, one-column result.
+
+        Accepts either a bare value (SQL++ ``SELECT VALUE``) or a one-entry
+        record (``SELECT COUNT(*) ...``).
+        """
+        if len(self.records) != 1:
+            raise ValueError(f"expected exactly one row, got {len(self.records)}")
+        record = self.records[0]
+        if isinstance(record, dict):
+            if len(record) != 1:
+                raise ValueError(f"expected a single column, got {sorted(record)}")
+            return next(iter(record.values()))
+        return record
+
+    def to_records(self) -> list[dict[str, Any]]:
+        """Records as dicts; bare values become ``{'value': v}`` rows."""
+        out: list[dict[str, Any]] = []
+        for record in self.records:
+            if isinstance(record, dict):
+                out.append(record)
+            else:
+                out.append({"value": record})
+        return out

@@ -1,0 +1,34 @@
+"""Shared storage substrate used by every embedded database engine.
+
+The four backends in this reproduction (SQL, SQL++, document store, graph
+store) all sit on the same primitives:
+
+- :class:`~repro.storage.heap.RowHeap` — an append-only record heap addressed
+  by row id.
+- :class:`~repro.storage.btree.BPlusTree` — an order-configurable B+ tree used
+  for primary and secondary indexes, supporting duplicate keys and forward /
+  backward range scans.
+- :class:`~repro.storage.catalog.Catalog` — name resolution for tables and
+  their indexes.
+- :class:`~repro.storage.stats.TableStats` — per-table statistics consumed by
+  the query optimizers.
+"""
+
+from repro.storage.btree import BPlusTree
+from repro.storage.catalog import Catalog, IndexInfo, TableInfo
+from repro.storage.heap import RowHeap
+from repro.storage.keys import KeyOrder, SENTINEL_MISSING, index_key
+from repro.storage.stats import ColumnStats, TableStats
+
+__all__ = [
+    "BPlusTree",
+    "Catalog",
+    "ColumnStats",
+    "IndexInfo",
+    "KeyOrder",
+    "RowHeap",
+    "SENTINEL_MISSING",
+    "TableStats",
+    "TableInfo",
+    "index_key",
+]

@@ -1,0 +1,397 @@
+"""A B+ tree supporting duplicate keys and bidirectional range scans.
+
+This is the index structure behind every engine in the reproduction:
+
+- the SQL engine's primary and secondary indexes (including the *index-only*
+  and *backward index scan* plans the paper attributes to PostgreSQL 12),
+- the SQL++ engine's primary-key and secondary indexes,
+- the document store's single-field indexes, and
+- the graph store's label/property indexes.
+
+Keys are the normalized tuples produced by :func:`repro.storage.keys.index_key`
+so heterogeneous and absent values order deterministically.  Duplicate keys
+are stored as a list of payloads per key slot (rid lists), which is how
+PostgreSQL's B-tree handled duplicates before v12's deduplication.
+
+The implementation is a textbook B+ tree: internal nodes hold separator keys
+and children, leaves hold ``(key, [payloads])`` pairs and are doubly linked so
+scans can run in both directions without re-descending.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Any, Iterator
+
+from repro.errors import StorageError
+
+DEFAULT_ORDER = 64
+
+
+class _Node:
+    """Common shape for internal and leaf nodes."""
+
+    __slots__ = ("keys",)
+
+    def __init__(self) -> None:
+        self.keys: list[Any] = []
+
+
+class _Internal(_Node):
+    __slots__ = ("children",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.children: list[_Node] = []
+
+
+class _Leaf(_Node):
+    __slots__ = ("values", "next", "prev")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.values: list[list[Any]] = []
+        self.next: _Leaf | None = None
+        self.prev: _Leaf | None = None
+
+
+class BPlusTree:
+    """An in-memory B+ tree index.
+
+    Parameters
+    ----------
+    order:
+        Maximum number of children per internal node.  Leaves hold up to
+        ``order - 1`` distinct keys.  The default (64) keeps trees shallow for
+        the dataset sizes used by the benchmark harness.
+    unique:
+        When True, inserting a key that is already present raises
+        :class:`~repro.errors.StorageError`; used for primary-key indexes.
+    """
+
+    def __init__(self, order: int = DEFAULT_ORDER, unique: bool = False) -> None:
+        if order < 3:
+            raise ValueError("B+ tree order must be at least 3")
+        self._order = order
+        self._unique = unique
+        self._root: _Node = _Leaf()
+        self._size = 0  # number of (key, payload) pairs
+        self._distinct = 0  # number of distinct keys
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Total number of stored payloads (not distinct keys)."""
+        return self._size
+
+    @property
+    def distinct_keys(self) -> int:
+        """Number of distinct keys currently stored."""
+        return self._distinct
+
+    @property
+    def unique(self) -> bool:
+        return self._unique
+
+    @property
+    def order(self) -> int:
+        return self._order
+
+    def height(self) -> int:
+        """Depth of the tree (a lone leaf has height 1)."""
+        node = self._root
+        depth = 1
+        while isinstance(node, _Internal):
+            node = node.children[0]
+            depth += 1
+        return depth
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, key: Any, payload: Any) -> None:
+        """Insert *payload* under *key*, splitting nodes as required."""
+        split = self._insert(self._root, key, payload)
+        if split is not None:
+            sep, right = split
+            new_root = _Internal()
+            new_root.keys = [sep]
+            new_root.children = [self._root, right]
+            self._root = new_root
+
+    def _insert(self, node: _Node, key: Any, payload: Any) -> tuple[Any, _Node] | None:
+        if isinstance(node, _Leaf):
+            return self._insert_leaf(node, key, payload)
+        assert isinstance(node, _Internal)
+        idx = bisect_right(node.keys, key)
+        split = self._insert(node.children[idx], key, payload)
+        if split is None:
+            return None
+        sep, right = split
+        node.keys.insert(idx, sep)
+        node.children.insert(idx + 1, right)
+        if len(node.children) <= self._order:
+            return None
+        return self._split_internal(node)
+
+    def _insert_leaf(self, leaf: _Leaf, key: Any, payload: Any) -> tuple[Any, _Node] | None:
+        idx = bisect_left(leaf.keys, key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            if self._unique:
+                raise StorageError(f"duplicate key in unique index: {key!r}")
+            leaf.values[idx].append(payload)
+            self._size += 1
+            return None
+        leaf.keys.insert(idx, key)
+        leaf.values.insert(idx, [payload])
+        self._size += 1
+        self._distinct += 1
+        if len(leaf.keys) < self._order:
+            return None
+        return self._split_leaf(leaf)
+
+    def _split_leaf(self, leaf: _Leaf) -> tuple[Any, _Node]:
+        mid = len(leaf.keys) // 2
+        right = _Leaf()
+        right.keys = leaf.keys[mid:]
+        right.values = leaf.values[mid:]
+        leaf.keys = leaf.keys[:mid]
+        leaf.values = leaf.values[:mid]
+        right.next = leaf.next
+        if right.next is not None:
+            right.next.prev = right
+        right.prev = leaf
+        leaf.next = right
+        return right.keys[0], right
+
+    def _split_internal(self, node: _Internal) -> tuple[Any, _Node]:
+        mid = len(node.keys) // 2
+        sep = node.keys[mid]
+        right = _Internal()
+        right.keys = node.keys[mid + 1:]
+        right.children = node.children[mid + 1:]
+        node.keys = node.keys[:mid]
+        node.children = node.children[:mid + 1]
+        return sep, right
+
+    def delete(self, key: Any, payload: Any) -> bool:
+        """Remove one ``(key, payload)`` pair; returns False if absent.
+
+        Underflow is tolerated (nodes are not rebalanced on delete); lookups
+        and scans remain correct, which is sufficient for the workloads in
+        this reproduction where deletes are rare.
+        """
+        leaf, idx = self._find_leaf(key)
+        if idx is None:
+            return False
+        bucket = leaf.values[idx]
+        try:
+            bucket.remove(payload)
+        except ValueError:
+            return False
+        self._size -= 1
+        if not bucket:
+            leaf.keys.pop(idx)
+            leaf.values.pop(idx)
+            self._distinct -= 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def _descend(self, key: Any) -> _Leaf:
+        node = self._root
+        while isinstance(node, _Internal):
+            idx = bisect_right(node.keys, key)
+            node = node.children[idx]
+        assert isinstance(node, _Leaf)
+        return node
+
+    def _find_leaf(self, key: Any) -> tuple[_Leaf, int | None]:
+        leaf = self._descend(key)
+        idx = bisect_left(leaf.keys, key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            return leaf, idx
+        return leaf, None
+
+    def search(self, key: Any) -> list[Any]:
+        """Return all payloads stored under *key* (empty list if absent)."""
+        leaf, idx = self._find_leaf(key)
+        if idx is None:
+            return []
+        return list(leaf.values[idx])
+
+    def contains(self, key: Any) -> bool:
+        _, idx = self._find_leaf(key)
+        return idx is not None
+
+    def min_key(self) -> Any:
+        """Smallest key in the tree, or None when empty."""
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[0]
+        assert isinstance(node, _Leaf)
+        return node.keys[0] if node.keys else None
+
+    def max_key(self) -> Any:
+        """Largest key in the tree, or None when empty."""
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[-1]
+        assert isinstance(node, _Leaf)
+        return node.keys[-1] if node.keys else None
+
+    # ------------------------------------------------------------------
+    # Range scans
+    # ------------------------------------------------------------------
+    def scan(
+        self,
+        low: Any = None,
+        high: Any = None,
+        *,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+        reverse: bool = False,
+    ) -> Iterator[tuple[Any, Any]]:
+        """Yield ``(key, payload)`` pairs with keys inside ``[low, high]``.
+
+        ``low``/``high`` of None mean unbounded on that side.  ``reverse=True``
+        walks the leaf chain backwards — the *backward index scan* the paper
+        credits for PostgreSQL's expression-9 performance.
+        """
+        if reverse:
+            yield from self._scan_backward(low, high, low_inclusive, high_inclusive)
+        else:
+            yield from self._scan_forward(low, high, low_inclusive, high_inclusive)
+
+    def _scan_forward(self, low, high, low_inc, high_inc) -> Iterator[tuple[Any, Any]]:
+        if low is None:
+            leaf: _Leaf | None = self._leftmost_leaf()
+            idx = 0
+        else:
+            leaf = self._descend(low)
+            idx = bisect_left(leaf.keys, low) if low_inc else bisect_right(leaf.keys, low)
+        while leaf is not None:
+            while idx < len(leaf.keys):
+                key = leaf.keys[idx]
+                if high is not None:
+                    if high_inc:
+                        if key > high:
+                            return
+                    elif key >= high:
+                        return
+                for payload in leaf.values[idx]:
+                    yield key, payload
+                idx += 1
+            leaf = leaf.next
+            idx = 0
+
+    def _scan_backward(self, low, high, low_inc, high_inc) -> Iterator[tuple[Any, Any]]:
+        if high is None:
+            leaf: _Leaf | None = self._rightmost_leaf()
+            idx = len(leaf.keys) - 1 if leaf is not None and leaf.keys else -1
+        else:
+            leaf = self._descend(high)
+            idx = (bisect_right(leaf.keys, high) if high_inc else bisect_left(leaf.keys, high)) - 1
+            if idx < 0:
+                leaf = leaf.prev
+                idx = len(leaf.keys) - 1 if leaf is not None else -1
+        while leaf is not None:
+            while idx >= 0:
+                key = leaf.keys[idx]
+                if low is not None:
+                    if low_inc:
+                        if key < low:
+                            return
+                    elif key <= low:
+                        return
+                for payload in reversed(leaf.values[idx]):
+                    yield key, payload
+                idx -= 1
+            leaf = leaf.prev
+            idx = len(leaf.keys) - 1 if leaf is not None else -1
+
+    def count_entries(self) -> int:
+        """Count stored payloads by walking the leaf chain.
+
+        Touches only index pages (never payload targets), which is how a
+        COUNT(*) served from a primary-key index behaves: O(leaves) page
+        reads instead of O(rows) record fetches.
+        """
+        total = 0
+        leaf: _Leaf | None = self._leftmost_leaf()
+        while leaf is not None:
+            total += sum(len(bucket) for bucket in leaf.values)
+            leaf = leaf.next
+        return total
+
+    def items(self, reverse: bool = False) -> Iterator[tuple[Any, Any]]:
+        """Full ordered iteration over every ``(key, payload)`` pair."""
+        return self.scan(reverse=reverse)
+
+    def keys(self) -> Iterator[Any]:
+        """Iterate distinct keys in ascending order."""
+        leaf: _Leaf | None = self._leftmost_leaf()
+        while leaf is not None:
+            yield from leaf.keys
+            leaf = leaf.next
+
+    def _leftmost_leaf(self) -> _Leaf:
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[0]
+        assert isinstance(node, _Leaf)
+        return node
+
+    def _rightmost_leaf(self) -> _Leaf:
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[-1]
+        assert isinstance(node, _Leaf)
+        return node
+
+    # ------------------------------------------------------------------
+    # Validation (used by the property-based test suite)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Raise :class:`StorageError` if any structural invariant is broken."""
+        self._check_node(self._root, None, None, is_root=True)
+        keys = [key for key, _ in self.items()]
+        if keys != sorted(keys):
+            raise StorageError("leaf chain is not globally sorted")
+
+    def _check_node(self, node: _Node, low, high, is_root: bool = False) -> None:
+        if node.keys != sorted(node.keys):
+            raise StorageError("node keys are not sorted")
+        for key in node.keys:
+            if low is not None and key < low:
+                raise StorageError("key below subtree lower bound")
+            if high is not None and key >= high and isinstance(node, _Internal):
+                raise StorageError("separator above subtree upper bound")
+        if isinstance(node, _Internal):
+            if len(node.children) != len(node.keys) + 1:
+                raise StorageError("internal child/key count mismatch")
+            if not is_root and len(node.children) > self._order:
+                raise StorageError("internal node overflow")
+            bounds = [low, *node.keys, high]
+            for child, (lo, hi) in zip(node.children, zip(bounds, bounds[1:])):
+                self._check_node(child, lo, hi)
+        else:
+            assert isinstance(node, _Leaf)
+            if len(node.keys) != len(node.values):
+                raise StorageError("leaf key/value count mismatch")
+            if any(not bucket for bucket in node.values):
+                raise StorageError("leaf holds an empty payload bucket")
+
+
+def bulk_load(pairs: list[tuple[Any, Any]], order: int = DEFAULT_ORDER, unique: bool = False) -> BPlusTree:
+    """Build a tree from ``(key, payload)`` pairs.
+
+    Pairs are inserted in key order, which keeps splits right-leaning and the
+    resulting tree compact; semantically identical to repeated ``insert``.
+    """
+    tree = BPlusTree(order=order, unique=unique)
+    for key, payload in sorted(pairs, key=lambda pair: pair[0]):
+        tree.insert(key, payload)
+    return tree

@@ -1,0 +1,68 @@
+"""Append-only record heap.
+
+Every engine stores its base data in a :class:`RowHeap`: a mapping from a
+monotonically assigned integer row id (rid) to a record dict.  Indexes store
+rids as payloads, and physical scan operators iterate rids in insertion
+order, mirroring a heap file walked page by page.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+from repro.errors import StorageError
+
+
+class RowHeap:
+    """An append-only heap of dict records addressed by rid."""
+
+    def __init__(self) -> None:
+        self._rows: dict[int, dict[str, Any]] = {}
+        self._next_rid = 0
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def insert(self, record: dict[str, Any]) -> int:
+        """Append *record* and return its rid."""
+        if not isinstance(record, dict):
+            raise StorageError(f"heap records must be dicts, got {type(record).__name__}")
+        rid = self._next_rid
+        self._next_rid += 1
+        self._rows[rid] = record
+        return rid
+
+    def insert_many(self, records: list[dict[str, Any]]) -> list[int]:
+        """Append many records, returning their rids in order."""
+        return [self.insert(record) for record in records]
+
+    def fetch(self, rid: int) -> dict[str, Any]:
+        """Return the record stored at *rid*."""
+        try:
+            return self._rows[rid]
+        except KeyError:
+            raise StorageError(f"no record at rid {rid}") from None
+
+    def delete(self, rid: int) -> dict[str, Any]:
+        """Remove and return the record at *rid*."""
+        try:
+            return self._rows.pop(rid)
+        except KeyError:
+            raise StorageError(f"no record at rid {rid}") from None
+
+    def scan(self) -> Iterator[tuple[int, dict[str, Any]]]:
+        """Yield ``(rid, record)`` in insertion (heap) order."""
+        yield from self._rows.items()
+
+    def scan_records(self) -> Iterator[dict[str, Any]]:
+        """Yield records only, in insertion order."""
+        yield from self._rows.values()
+
+    def rids(self) -> Iterator[int]:
+        yield from self._rows.keys()
+
+    def filter(self, predicate: Callable[[dict[str, Any]], bool]) -> Iterator[tuple[int, dict[str, Any]]]:
+        """Yield ``(rid, record)`` pairs satisfying *predicate*."""
+        for rid, record in self._rows.items():
+            if predicate(record):
+                yield rid, record

@@ -1,0 +1,32 @@
+"""Scalable Wisconsin benchmark data generation (paper Table II).
+
+The DataFrame benchmark issues its expressions against synthetically
+generated Wisconsin data, which allows precise control of selectivity
+percentages and uniform value distributions.  Following the paper's
+modification, the generator can omit an attribute from a known fraction of
+records to model missing data (expression 13).
+"""
+
+from repro.wisconsin.generator import (
+    WISCONSIN_ATTRIBUTES,
+    WisconsinGenerator,
+    wisconsin_records,
+)
+from repro.wisconsin.loaders import (
+    load_asterixdb,
+    load_mongodb,
+    load_neo4j,
+    load_postgres,
+    BENCHMARK_INDEX_COLUMNS,
+)
+
+__all__ = [
+    "BENCHMARK_INDEX_COLUMNS",
+    "WISCONSIN_ATTRIBUTES",
+    "WisconsinGenerator",
+    "load_asterixdb",
+    "load_mongodb",
+    "load_neo4j",
+    "load_postgres",
+    "wisconsin_records",
+]

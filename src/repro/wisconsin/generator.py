@@ -1,0 +1,164 @@
+"""The Wisconsin benchmark data generator.
+
+Attribute semantics follow Table II of the paper (and DeWitt's original
+specification):
+
+==============  =====================  ==================================
+attribute       domain                 value
+==============  =====================  ==================================
+unique1         0..MAX-1               unique, random
+unique2         0..MAX-1               unique, sequential (declared key)
+two             0..1                   unique1 mod 2
+four            0..3                   unique1 mod 4
+ten             0..9                   unique1 mod 10
+twenty          0..19                  unique1 mod 20
+onePercent      0..99                  unique1 mod 100
+tenPercent      0..9                   unique1 mod 10
+twentyPercent   0..4                   unique1 mod 5
+fiftyPercent    0..1                   unique1 mod 2
+unique3         0..MAX-1               unique1
+evenOnePercent  0,2,..,198             onePercent * 2
+oddOnePercent   1,3,..,199             (onePercent * 2) + 1
+stringu1        per template           derived from unique1
+stringu2        per template           derived from unique2
+string4         per template           cyclic: A, H, O, V
+==============  =====================  ==================================
+
+String attributes use the classic 52-character template: seven significant
+characters encoding the number in base 26, padded with ``x`` — long enough
+that row stores carry real string weight per record, which is what gives
+the graph store's separate string store its scan advantage.
+
+Missing data: the paper modified the dataset so some attributes have
+missing values.  ``missing_attribute``/``missing_fraction`` omit the
+attribute from records where ``unique1 mod round(1/fraction) == 0``,
+making expression 13's selectivity exact and deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+from typing import Any, Iterator
+
+WISCONSIN_ATTRIBUTES = (
+    "unique1", "unique2", "two", "four", "ten", "twenty", "onePercent",
+    "tenPercent", "twentyPercent", "fiftyPercent", "unique3",
+    "evenOnePercent", "oddOnePercent", "stringu1", "stringu2", "string4",
+)
+
+_STRING_LENGTH = 52
+_SIGNIFICANT = 7
+_STRING4_CYCLE = ("A", "H", "O", "V")
+
+
+def _unique_string(value: int) -> str:
+    """Encode *value* in base 26 over 7 chars, padded with 'x' to 52."""
+    chars = ["A"] * _SIGNIFICANT
+    index = _SIGNIFICANT - 1
+    while value > 0 and index >= 0:
+        chars[index] = chr(ord("A") + value % 26)
+        value //= 26
+        index -= 1
+    return "".join(chars) + "x" * (_STRING_LENGTH - _SIGNIFICANT)
+
+
+def _string4(sequence: int) -> str:
+    letter = _STRING4_CYCLE[sequence % len(_STRING4_CYCLE)]
+    return letter * 4 + "x" * (_STRING_LENGTH - 4)
+
+
+class WisconsinGenerator:
+    """Generates Wisconsin benchmark records deterministically from a seed."""
+
+    def __init__(
+        self,
+        num_records: int,
+        *,
+        seed: int = 2021,
+        missing_attribute: str | None = "tenPercent",
+        missing_fraction: float = 0.1,
+    ) -> None:
+        if num_records <= 0:
+            raise ValueError("num_records must be positive")
+        if missing_fraction and not 0 < missing_fraction <= 1:
+            raise ValueError("missing_fraction must be in (0, 1]")
+        self.num_records = num_records
+        self.seed = seed
+        self.missing_attribute = missing_attribute
+        self.missing_modulus = (
+            round(1 / missing_fraction) if missing_attribute and missing_fraction else 0
+        )
+        self._rng = random.Random(seed)
+
+    def _permutation(self) -> list[int]:
+        values = list(range(self.num_records))
+        random.Random(self.seed).shuffle(values)
+        return values
+
+    def generate(self) -> Iterator[dict[str, Any]]:
+        """Yield records in ``unique2`` (sequential key) order."""
+        permutation = self._permutation()
+        for unique2, unique1 in enumerate(permutation):
+            one_percent = unique1 % 100
+            record: dict[str, Any] = {
+                "unique1": unique1,
+                "unique2": unique2,
+                "two": unique1 % 2,
+                "four": unique1 % 4,
+                "ten": unique1 % 10,
+                "twenty": unique1 % 20,
+                "onePercent": one_percent,
+                "tenPercent": unique1 % 10,
+                "twentyPercent": unique1 % 5,
+                "fiftyPercent": unique1 % 2,
+                "unique3": unique1,
+                "evenOnePercent": one_percent * 2,
+                "oddOnePercent": one_percent * 2 + 1,
+                "stringu1": _unique_string(unique1),
+                "stringu2": _unique_string(unique2),
+                "string4": _string4(unique2),
+            }
+            if self.missing_modulus and unique1 % self.missing_modulus == 0:
+                del record[self.missing_attribute]
+            yield record
+
+    def records(self) -> list[dict[str, Any]]:
+        """Materialize the whole dataset."""
+        return list(self.generate())
+
+    # ------------------------------------------------------------------
+    # JSON output (the benchmark's file format)
+    # ------------------------------------------------------------------
+    def write_json(self, path: str | os.PathLike) -> int:
+        """Write JSON-lines (one record per line); returns bytes written."""
+        written = 0
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in self.generate():
+                line = json.dumps(record) + "\n"
+                handle.write(line)
+                written += len(line)
+        return written
+
+    def estimated_json_bytes(self) -> int:
+        """Approximate serialized size without writing the file."""
+        sample = next(iter(self.generate()))
+        return (len(json.dumps(sample)) + 1) * self.num_records
+
+
+def wisconsin_records(
+    num_records: int,
+    *,
+    seed: int = 2021,
+    missing_attribute: str | None = "tenPercent",
+    missing_fraction: float = 0.1,
+) -> list[dict[str, Any]]:
+    """Convenience wrapper: a materialized Wisconsin dataset."""
+    generator = WisconsinGenerator(
+        num_records,
+        seed=seed,
+        missing_attribute=missing_attribute,
+        missing_fraction=missing_fraction,
+    )
+    return generator.records()

@@ -1,0 +1,93 @@
+"""Shared fixtures: small datasets and pre-loaded engines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    AsterixDBConnector,
+    MongoDBConnector,
+    Neo4jConnector,
+    PolyFrame,
+    PostgresConnector,
+)
+from repro.docstore import MongoDatabase
+from repro.graphdb import Neo4jDatabase
+from repro.sqlengine import SQLDatabase
+from repro.sqlpp import AsterixDB
+from repro.wisconsin import loaders, wisconsin_records
+
+RECORDS = 600  # small enough for fast tests, big enough for selectivity
+
+
+@pytest.fixture(scope="session")
+def wisconsin():
+    """A small, deterministic Wisconsin dataset (with missing tenPercent)."""
+    return wisconsin_records(RECORDS)
+
+
+@pytest.fixture(scope="session")
+def people():
+    """A simple heterogeneous dataset used by non-benchmark tests."""
+    records = []
+    for i in range(200):
+        record = {
+            "id": i,
+            "lang": ["en", "fr", "de"][i % 3],
+            "name": f"user{i}",
+            "age": i % 40,
+        }
+        if i % 5 != 0:
+            record["score"] = i % 11
+        records.append(record)
+    return records
+
+
+@pytest.fixture(scope="session")
+def asterixdb(wisconsin):
+    db = AsterixDB(query_prep_overhead=0.0)
+    loaders.load_asterixdb(db, "Bench", "data", wisconsin)
+    loaders.load_asterixdb(db, "Bench", "data2", wisconsin)
+    return db
+
+
+@pytest.fixture(scope="session")
+def postgres(wisconsin):
+    db = SQLDatabase(name="postgres")
+    loaders.load_postgres(db, "Bench", "data", wisconsin)
+    loaders.load_postgres(db, "Bench", "data2", wisconsin)
+    return db
+
+
+@pytest.fixture(scope="session")
+def mongodb(wisconsin):
+    db = MongoDatabase(query_prep_overhead=0.0)
+    loaders.load_mongodb(db, "data", wisconsin)
+    loaders.load_mongodb(db, "data2", wisconsin)
+    return db
+
+
+@pytest.fixture(scope="session")
+def neo4j(wisconsin):
+    db = Neo4jDatabase(query_prep_overhead=0.0)
+    loaders.load_neo4j(db, "data", wisconsin)
+    loaders.load_neo4j(db, "data2", wisconsin)
+    return db
+
+
+@pytest.fixture(scope="session")
+def all_connectors(asterixdb, postgres, mongodb, neo4j):
+    return {
+        "asterixdb": AsterixDBConnector(asterixdb),
+        "postgres": PostgresConnector(postgres),
+        "mongodb": MongoDBConnector(mongodb),
+        "neo4j": Neo4jConnector(neo4j),
+    }
+
+
+@pytest.fixture(scope="session")
+def all_frames(all_connectors):
+    return {
+        name: PolyFrame("Bench", "data", connector)
+        for name, connector in all_connectors.items()
+    }

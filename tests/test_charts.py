@@ -1,0 +1,70 @@
+"""Tests for the ASCII chart renderers."""
+
+from __future__ import annotations
+
+from repro.bench.charts import _bar, bar_chart, series_chart
+from repro.bench.runner import Measurement, STATUS_OK, STATUS_OOM
+
+
+def measurement(system, expr_id, expression_seconds, status=STATUS_OK):
+    return Measurement(
+        system=system,
+        dataset="XS",
+        expression_id=expr_id,
+        status=status,
+        creation_seconds=0.001,
+        expression_seconds=expression_seconds,
+    )
+
+
+class TestBar:
+    def test_empty_and_full(self):
+        assert _bar(0.0, 10) == ""
+        assert _bar(1.0, 10) == "█" * 10
+        assert _bar(2.0, 10) == "█" * 10  # clamped
+
+    def test_partial_cells(self):
+        half = _bar(0.55, 10)
+        assert 5 <= len(half) <= 6
+
+
+class TestBarChart:
+    def test_renders_all_systems(self):
+        ms = [
+            measurement("A", 1, 0.001),
+            measurement("B", 1, 0.01),
+            measurement("A", 2, 0.002),
+            measurement("B", 2, 0.02),
+        ]
+        chart = bar_chart(ms, timing="expression", title="demo")
+        assert "demo" in chart
+        assert chart.count("E1") == 1 and chart.count("E2") == 1
+        assert "10.00ms" in chart
+
+    def test_failed_cells_show_status(self):
+        ms = [measurement("A", 1, 0.001), measurement("B", 1, 0.0, STATUS_OOM)]
+        chart = bar_chart(ms)
+        assert "[oom]" in chart
+
+    def test_longer_times_get_longer_bars(self):
+        ms = [measurement("fast", 1, 0.0005), measurement("slow", 1, 0.5)]
+        chart = bar_chart(ms)
+        lines = {line.split()[0 + 1] if line.startswith("E1") else line.split()[0]: line
+                 for line in chart.splitlines() if "ms" in line or "s" in line}
+        fast_line = next(line for line in chart.splitlines() if "fast" in line)
+        slow_line = next(line for line in chart.splitlines() if "slow" in line)
+        assert fast_line.count("█") < slow_line.count("█")
+
+    def test_no_measurements(self):
+        assert "no successful measurements" in bar_chart([], title="t")
+
+
+class TestSeriesChart:
+    def test_renders_series(self):
+        series = {1: {1: 1.0, 2: 1.9, 4: 3.5}, 4: {1: 1.0, 2: 2.0, 4: 3.9}}
+        chart = series_chart(series, ideal=4.0, title="speedup")
+        assert "speedup" in chart
+        assert "3.50x" in chart and "4 nodes" in chart
+
+    def test_empty_series(self):
+        assert "no data" in series_chart({}, title="t")

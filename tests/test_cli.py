@@ -1,0 +1,55 @@
+"""CLI driver tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.cli import _parse_expressions, main
+
+
+class TestParseExpressions:
+    def test_range(self):
+        exprs = _parse_expressions("1-3")
+        assert [e.id for e in exprs] == [1, 2, 3]
+
+    def test_list(self):
+        exprs = _parse_expressions("5,9,13")
+        assert [e.id for e in exprs] == [5, 9, 13]
+
+    def test_mixed(self):
+        exprs = _parse_expressions("1,6-8")
+        assert [e.id for e in exprs] == [1, 6, 7, 8]
+
+
+class TestCommands:
+    def test_queries_command(self, capsys):
+        assert main(["queries"]) == 0
+        out = capsys.readouterr().out
+        for marker in ("--- sqlpp ---", "--- sql ---", "--- mongo ---", "--- cypher ---"):
+            assert marker in out
+        assert "LIMIT 10" in out
+
+    def test_single_node_small(self, capsys):
+        code = main([
+            "single-node", "--xs", "200", "--sizes", "XS", "--expressions", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Expression 1" in out and "Pandas" in out
+
+    def test_single_node_rejects_bad_size(self, capsys):
+        assert main(["single-node", "--sizes", "HUGE"]) == 2
+
+    def test_speedup_small(self, capsys):
+        code = main(["speedup", "--xs", "30", "--nodes", "1,2"])
+        assert code == 0
+        assert "Speedup" in capsys.readouterr().out
+
+    def test_scaleup_small(self, capsys):
+        code = main(["scaleup", "--xs", "30", "--nodes", "1,2"])
+        assert code == 0
+        assert "Scaleup" in capsys.readouterr().out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

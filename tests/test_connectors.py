@@ -1,0 +1,144 @@
+"""Connector tests: the abstract contract and each implementation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    AsterixDBConnector,
+    MongoDBConnector,
+    Neo4jConnector,
+    PostgresConnector,
+)
+from repro.core.connectors.base import DatabaseConnector, SendRecord
+from repro.docstore import MongoDatabase
+from repro.errors import ConnectorError
+from repro.graphdb import Neo4jDatabase
+from repro.sqlengine import SQLDatabase
+from repro.sqlpp import AsterixDB
+
+
+class TestAbstractContract:
+    def test_language_required(self):
+        class Bad(DatabaseConnector):
+            def _execute(self, query, collection):  # pragma: no cover
+                raise NotImplementedError
+
+            def collection_exists(self, namespace, collection):  # pragma: no cover
+                return True
+
+        with pytest.raises(TypeError):
+            Bad()
+
+    def test_send_log_records_timings(self):
+        db = SQLDatabase()
+        db.create_table("t")
+        db.insert("t", [{"a": 1}])
+        connector = PostgresConnector(db)
+        assert connector.send_log == []
+        connector.send("SELECT * FROM t x", "t")
+        assert len(connector.send_log) == 1
+        record = connector.send_log[0]
+        assert isinstance(record, SendRecord)
+        assert record.real_seconds > 0
+        assert record.reported_seconds > 0
+
+    def test_default_preprocess_is_identity(self):
+        db = SQLDatabase()
+        connector = PostgresConnector(db)
+        assert connector.preprocess("SELECT 1", "t") == "SELECT 1"
+
+    def test_qualified_names(self):
+        sql = PostgresConnector(SQLDatabase())
+        assert sql.qualified_name("Test", "Users") == "Test.Users"
+        assert sql.qualified_name("", "Users") == "Users"
+        mongo = MongoDBConnector(MongoDatabase())
+        assert mongo.qualified_name("Test", "Users") == "Users"
+        neo = Neo4jConnector(Neo4jDatabase())
+        assert neo.qualified_name("Test", "Users") == "Users"
+
+
+class TestExistenceChecks:
+    def test_asterixdb(self):
+        db = AsterixDB()
+        db.create_dataverse("D")
+        db.create_dataset("D", "s", primary_key="id")
+        connector = AsterixDBConnector(db)
+        assert connector.collection_exists("D", "s")
+        assert not connector.collection_exists("D", "nope")
+
+    def test_postgres(self):
+        db = SQLDatabase()
+        db.create_table("N.t")
+        connector = PostgresConnector(db)
+        assert connector.collection_exists("N", "t")
+        assert not connector.collection_exists("N", "zzz")
+
+    def test_mongo(self):
+        db = MongoDatabase()
+        db.create_collection("c")
+        connector = MongoDBConnector(db)
+        assert connector.collection_exists("anything", "c")
+        assert not connector.collection_exists("anything", "zzz")
+
+    def test_neo4j_requires_nodes(self):
+        db = Neo4jDatabase()
+        connector = Neo4jConnector(db)
+        assert not connector.collection_exists("", "L")
+        db.load("L", [{"a": 1}])
+        assert connector.collection_exists("", "L")
+
+
+class TestMongoPreprocess:
+    def test_stage_text_becomes_pipeline(self):
+        connector = MongoDBConnector(MongoDatabase())
+        pipeline = connector.preprocess('{ "$match": {} },\n{ "$limit": 3 }', "c")
+        assert pipeline == [{"$match": {}}, {"$limit": 3}]
+
+    def test_invalid_json_rejected(self):
+        connector = MongoDBConnector(MongoDatabase())
+        with pytest.raises(ConnectorError):
+            connector.preprocess('{ "$match": {} }, { broken', "c")
+
+    def test_non_stage_entries_fail_at_execution(self):
+        from repro.errors import ExecutionError
+
+        db = MongoDatabase(query_prep_overhead=0.0)
+        db.create_collection("c")
+        connector = MongoDBConnector(db)
+        with pytest.raises(ExecutionError):
+            connector.send('{ "$match": {}, "$limit": 1 }', "c")
+
+
+class TestExplainPassThrough:
+    def test_postgres_explain(self):
+        db = SQLDatabase()
+        db.create_table("t")
+        connector = PostgresConnector(db)
+        assert "physical" in connector.explain("SELECT COUNT(*) FROM t x")
+
+    def test_asterixdb_explain(self):
+        db = AsterixDB()
+        db.create_dataverse("D")
+        db.create_dataset("D", "s", primary_key="id")
+        connector = AsterixDBConnector(db)
+        assert "physical" in connector.explain("SELECT VALUE COUNT(*) FROM D.s t")
+
+
+class TestPostprocess:
+    def test_bare_values_wrapped(self):
+        db = AsterixDB(query_prep_overhead=0.0)
+        db.create_dataverse("D")
+        db.create_dataset("D", "s", primary_key="id")
+        db.load("D.s", [{"id": 1}])
+        connector = AsterixDBConnector(db)
+        result = connector.send("SELECT VALUE t.id FROM D.s t", "s")
+        assert connector.postprocess(result) == [{"value": 1}]
+
+    def test_records_passed_through(self):
+        db = SQLDatabase()
+        db.create_table("t")
+        db.insert("t", [{"a": 1}])
+        connector = PostgresConnector(db)
+        result = connector.send("SELECT * FROM t x", "t")
+        assert connector.postprocess(result) == [{"a": 1}]

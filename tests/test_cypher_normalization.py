@@ -1,0 +1,121 @@
+"""Unit tests for Cypher clause normalization and executor internals."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphdb.cypher_ast import MatchClause, WithClause
+from repro.graphdb.cypher_parser import parse
+from repro.graphdb.executor import CypherExecutor, NodeHandle, _MatchStep, _normalize
+from repro.graphdb.store import GraphStore
+from repro.sqlengine.result import QueryStats
+
+
+def normalize(cypher: str):
+    return _normalize(parse(cypher))
+
+
+class TestNormalization:
+    def test_passthrough_where_merges_into_match(self):
+        steps = normalize("MATCH(t: d)\nWITH t WHERE t.a = 1\nRETURN COUNT(*) AS c")
+        assert len(steps) == 2
+        assert isinstance(steps[0], _MatchStep)
+        assert steps[0].where is not None
+
+    def test_multiple_passthroughs_merge(self):
+        steps = normalize(
+            "MATCH(t: d)\nWITH t WHERE t.a = 1\nWITH t WHERE t.b = 2\nRETURN t"
+        )
+        assert len(steps) == 2
+        # Both predicates folded into one AND tree.
+        from repro.graphdb.executor import _conjuncts
+
+        assert len(_conjuncts(steps[0].where)) == 2
+
+    def test_order_by_becomes_hint(self):
+        steps = normalize(
+            "MATCH(t: d)\nWITH t ORDER BY t.a DESC\nRETURN t\nLIMIT 5"
+        )
+        assert steps[0].order == ("t", "a", True)
+        assert steps[0].limit_hint == 5
+
+    def test_limit_hint_only_for_passthrough_return(self):
+        steps = normalize(
+            "MATCH(t: d)\nWITH t ORDER BY t.a DESC\nRETURN t{'a': t.a}\nLIMIT 5"
+        )
+        assert steps[0].order is not None
+        assert steps[0].limit_hint is None  # RETURN reshapes rows
+
+    def test_projection_with_not_merged(self):
+        steps = normalize("MATCH(t: d)\nWITH t{'a': t.a}\nRETURN t")
+        assert len(steps) == 3  # match, projection WITH, return
+
+    def test_aggregating_with_not_merged(self):
+        steps = normalize(
+            "MATCH(t: d)\nWITH {'m': max(t.a)} AS t\nRETURN t"
+        )
+        assert len(steps) == 3
+
+    def test_consecutive_matches_merge(self):
+        steps = normalize(
+            "MATCH(t: d)\nMATCH (t), (r: e)\nWHERE t.a = r.a\nRETURN COUNT(*) AS c"
+        )
+        assert len(steps) == 2
+        assert len(steps[0].patterns) == 3  # t, t (dup), r
+
+
+class TestNodeHandle:
+    def test_get_and_materialize(self):
+        store = GraphStore()
+        node = store.create_node("L", {"a": 1, "s": "x"})
+        handle = NodeHandle(store, node)
+        assert handle.get("a") == 1
+        assert handle.get("missing") is None  # Cypher: absent property is null
+        assert handle.materialize() == {"a": 1, "s": "x"}
+        assert "NodeHandle" in repr(handle)
+
+
+class TestExecutorInternals:
+    def test_unlabeled_first_pattern_rejected(self):
+        store = GraphStore()
+        store.create_node("L", {"a": 1})
+        executor = CypherExecutor(store, QueryStats())
+        from repro.errors import ExecutionError
+
+        with pytest.raises(ExecutionError):
+            executor.run(parse("MATCH(t)\nRETURN COUNT(*) AS c"))
+
+    def test_cartesian_expansion_without_join_predicate(self):
+        store = GraphStore()
+        for value in range(3):
+            store.create_node("L", {"a": value})
+        for value in range(2):
+            store.create_node("R", {"b": value})
+        executor = CypherExecutor(store, QueryStats())
+        result = executor.run(
+            parse("MATCH (t: L), (r: R)\nRETURN COUNT(*) AS c")
+        )
+        assert result == [6]
+
+    def test_order_without_index_still_sorts(self):
+        store = GraphStore()
+        for value in (3, 1, 2):
+            store.create_node("L", {"a": value})
+        executor = CypherExecutor(store, QueryStats())
+        result = executor.run(
+            parse("MATCH(t: L)\nWITH t ORDER BY t.a DESC\nRETURN t\nLIMIT 2")
+        )
+        assert [record["a"] for record in result] == [3, 2]
+
+    def test_multi_key_order_in_with(self):
+        store = GraphStore()
+        for a, b in ((1, 2), (1, 1), (0, 9)):
+            store.create_node("L", {"a": a, "b": b})
+        executor = CypherExecutor(store, QueryStats())
+        result = executor.run(
+            parse(
+                "MATCH(t: L)\nWITH t{'a': t.a, 'b': t.b}\n"
+                "WITH t ORDER BY t.a ASC, t.b ASC\nRETURN t"
+            )
+        )
+        assert [(r["a"], r["b"]) for r in result] == [(0, 9), (1, 1), (1, 2)]

@@ -1,0 +1,80 @@
+"""Document collection unit tests (storage-level, below the pipeline)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.docstore.collection import Collection
+from repro.errors import CatalogError
+
+
+@pytest.fixture()
+def collection():
+    coll = Collection("things")
+    coll.insert_many(
+        [
+            {"n": 3, "tag": "a"},
+            {"n": 1, "tag": "b", "nested": {"deep": 7}},
+            {"n": 2},
+        ]
+    )
+    return coll
+
+
+class TestInserts:
+    def test_ids_assigned(self, collection):
+        ids = [doc["_id"] for doc in collection.scan()]
+        assert ids == [0, 1, 2]
+
+    def test_existing_id_preserved(self):
+        coll = Collection("c")
+        coll.insert_many([{"_id": 99, "x": 1}])
+        assert next(iter(coll.scan()))["_id"] == 99
+
+    def test_count(self, collection):
+        assert len(collection) == 3
+        assert collection.estimated_document_count() == 3
+
+
+class TestIndexes:
+    def test_create_backfills(self, collection):
+        collection.create_index("n")
+        assert collection.has_index("n")
+        assert len(collection.index("n")) == 3
+
+    def test_lookup(self, collection):
+        collection.create_index("n")
+        matches = list(collection.index_lookup("n", 2))
+        assert len(matches) == 1 and matches[0]["n"] == 2
+
+    def test_dotted_path_index(self, collection):
+        collection.create_index("nested.deep")
+        matches = list(collection.index_lookup("nested.deep", 7))
+        assert len(matches) == 1
+
+    def test_missing_and_null_not_indexed(self):
+        coll = Collection("c")
+        coll.insert_many([{"v": 1}, {"v": None}, {}])
+        coll.create_index("v")
+        assert len(coll.index("v")) == 1
+
+    def test_index_maintained_on_insert(self, collection):
+        collection.create_index("n")
+        collection.insert_many([{"n": 9}])
+        assert list(collection.index_lookup("n", 9))
+
+    def test_duplicate_index_rejected(self, collection):
+        collection.create_index("n")
+        with pytest.raises(CatalogError):
+            collection.create_index("n")
+
+    def test_drop_index(self, collection):
+        collection.create_index("n")
+        collection.drop_index("n")
+        assert not collection.has_index("n")
+        with pytest.raises(CatalogError):
+            collection.drop_index("n")
+
+    def test_unknown_index_lookup(self, collection):
+        with pytest.raises(CatalogError):
+            collection.index("nope")

@@ -1,0 +1,256 @@
+"""Eager frame and series tests (the Pandas stand-in)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eager import EagerFrame, EagerSeries, frame_from_records, get_dummies, merge
+
+
+@pytest.fixture()
+def frame():
+    return frame_from_records(
+        [
+            {"a": i, "b": i % 3, "s": f"x{i % 2}", "m": None if i % 5 == 0 else i}
+            for i in range(30)
+        ]
+    )
+
+
+class TestFrameBasics:
+    def test_shape_and_columns(self, frame):
+        assert len(frame) == 30
+        assert frame.shape == (30, 4)
+        assert frame.columns == ["a", "b", "s", "m"]
+
+    def test_mismatched_column_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            EagerFrame({"a": [1, 2], "b": [1]})
+
+    def test_column_access(self, frame):
+        series = frame["a"]
+        assert isinstance(series, EagerSeries)
+        assert series.tolist() == list(range(30))
+
+    def test_missing_column_raises(self, frame):
+        with pytest.raises(KeyError):
+            frame["nope"]
+        with pytest.raises(KeyError):
+            frame[["a", "nope"]]
+
+    def test_projection(self, frame):
+        projected = frame[["a", "b"]]
+        assert projected.columns == ["a", "b"]
+        assert len(projected) == 30
+
+    def test_boolean_filter(self, frame):
+        filtered = frame[frame["b"] == 1]
+        assert all(record["b"] == 1 for record in filtered.to_records())
+        assert len(filtered) == 10
+
+    def test_combined_masks(self, frame):
+        filtered = frame[(frame["b"] == 1) & (frame["a"] > 10)]
+        assert all(r["b"] == 1 and r["a"] > 10 for r in filtered.to_records())
+        either = frame[(frame["b"] == 1) | (frame["b"] == 2)]
+        assert len(either) == 20
+        negated = frame[~(frame["b"] == 1)]
+        assert len(negated) == 20
+
+    def test_head(self, frame):
+        assert len(frame.head()) == 5
+        assert len(frame.head(3)) == 3
+        assert frame.head(100).shape[0] == 30
+
+    def test_sort_values(self, frame):
+        ordered = frame.sort_values("a", ascending=False)
+        assert ordered.column_values("a")[:3] == [29, 28, 27]
+
+    def test_sort_puts_absent_last(self, frame):
+        ordered = frame.sort_values("m")
+        values = ordered.column_values("m")
+        assert values[-6:] == [None] * 6
+        ordered_desc = frame.sort_values("m", ascending=False)
+        assert ordered_desc.column_values("m")[-6:] == [None] * 6
+
+    def test_setitem(self, frame):
+        frame["double"] = frame["a"] * 2
+        assert frame.column_values("double")[:3] == [0, 2, 4]
+
+    def test_rename_and_drop(self, frame):
+        renamed = frame.rename({"a": "alpha"})
+        assert "alpha" in renamed.columns
+        dropped = frame.drop(["s"])
+        assert "s" not in dropped.columns
+
+    def test_describe(self, frame):
+        stats = frame.describe()
+        assert stats.column_values("statistic") == ["count", "mean", "std", "min", "max"]
+        a_column = stats.column_values("a")
+        assert a_column[0] == 30 and a_column[4] == 29
+
+    def test_equals(self, frame):
+        assert frame.equals(frame[frame.columns])
+        assert not frame.equals(frame.head(5))
+
+    def test_to_string_renders(self, frame):
+        text = frame.to_string(max_rows=2)
+        assert "a" in text and "more rows" in text
+
+
+class TestSeriesOps:
+    def test_comparisons_with_none_are_false(self):
+        series = EagerSeries([1, None, 3])
+        assert (series > 0).tolist() == [True, False, True]
+        assert (series == 1).tolist() == [True, False, False]
+
+    def test_arithmetic_propagates_none(self):
+        series = EagerSeries([1, None, 3])
+        assert (series + 1).tolist() == [2, None, 4]
+        assert (series * 2).tolist() == [2, None, 6]
+        assert (series % 2).tolist() == [1, None, 1]
+
+    def test_series_vs_series(self):
+        left = EagerSeries([1, 2, 3])
+        right = EagerSeries([3, 2, 1])
+        assert (left == right).tolist() == [False, True, False]
+        assert (left + right).tolist() == [4, 4, 4]
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            EagerSeries([1, 2]) == EagerSeries([1])
+
+    def test_map_skips_none(self):
+        series = EagerSeries(["a", None, "b"])
+        assert series.map(str.upper).tolist() == ["A", None, "B"]
+
+    def test_isna_notna(self):
+        series = EagerSeries([1, None, 3])
+        assert series.isna().tolist() == [False, True, False]
+        assert series.notna().tolist() == [True, False, True]
+
+    def test_aggregates_skip_none(self):
+        series = EagerSeries([4, None, 2, 6])
+        assert series.max() == 6
+        assert series.min() == 2
+        assert series.sum() == 12
+        assert series.count() == 3
+        assert series.mean() == pytest.approx(4.0)
+        assert series.std() == pytest.approx(math.sqrt(8 / 3))
+
+    def test_aggregates_on_all_none(self):
+        series = EagerSeries([None, None])
+        assert series.max() is None
+        assert series.mean() is None
+        assert series.count() == 0
+
+    def test_agg_dispatch(self):
+        series = EagerSeries([1, 2, 3])
+        assert series.agg("max") == 3
+        with pytest.raises(ValueError):
+            series.agg("median")
+
+    def test_unique_and_value_counts(self):
+        series = EagerSeries([1, 2, 2, None, 1, 1])
+        assert series.unique() == [1, 2, None]
+        assert series.value_counts() == {1: 3, 2: 2}
+        assert series.nunique() == 2
+
+
+class TestGroupBy:
+    def test_agg_all_columns(self, frame):
+        result = frame.groupby("b").agg("count")
+        assert len(result) == 3
+        assert result.column_values("a") == [10, 10, 10]
+
+    def test_agg_selected_column(self, frame):
+        result = frame.groupby("b")["a"].agg("max")
+        assert result.columns == ["b", "max_a"]
+        assert result.column_values("max_a") == [27, 28, 29]
+
+    def test_group_keys_sorted(self, frame):
+        result = frame.groupby("s").agg("count")
+        assert result.column_values("s") == ["x0", "x1"]
+
+    def test_absent_keys_dropped(self):
+        frame = frame_from_records([{"k": None, "v": 1}, {"k": "a", "v": 2}])
+        result = frame.groupby("k").agg("count")
+        assert len(result) == 1
+
+    def test_named_shortcuts(self, frame):
+        assert frame.groupby("b").count().equals(frame.groupby("b").agg("count"))
+        assert len(frame.groupby("b").mean()) == 3
+
+    def test_unknown_column_raises(self, frame):
+        with pytest.raises(KeyError):
+            frame.groupby("nope")
+        with pytest.raises(KeyError):
+            frame.groupby("b")["nope"]
+
+
+class TestMerge:
+    def test_inner_join_counts(self):
+        left = frame_from_records([{"k": n, "l": n * 10} for n in range(5)])
+        right = frame_from_records([{"k": n, "r": n} for n in range(3, 8)])
+        joined = merge(left, right, left_on="k", right_on="k")
+        assert len(joined) == 2
+        assert set(joined.columns) == {"k_x", "l", "k_y", "r"}
+
+    def test_duplicate_keys_multiply(self):
+        left = frame_from_records([{"k": 1}, {"k": 1}])
+        right = frame_from_records([{"k": 1}, {"k": 1}, {"k": 1}])
+        assert len(merge(left, right, left_on="k", right_on="k")) == 6
+
+    def test_none_keys_never_match(self):
+        left = frame_from_records([{"k": None}, {"k": 1}])
+        right = frame_from_records([{"k": None}, {"k": 1}])
+        assert len(merge(left, right, left_on="k", right_on="k")) == 1
+
+    def test_only_inner_supported(self):
+        frame = frame_from_records([{"k": 1}])
+        with pytest.raises(ValueError):
+            merge(frame, frame, left_on="k", right_on="k", how="left")
+
+    def test_missing_join_column(self):
+        frame = frame_from_records([{"k": 1}])
+        with pytest.raises(KeyError):
+            merge(frame, frame, left_on="zzz", right_on="k")
+
+
+class TestGetDummies:
+    def test_series_one_hot(self):
+        series = EagerSeries(["a", "b", "a", None], name="cat")
+        encoded = get_dummies(series)
+        assert encoded.columns == ["cat_a", "cat_b"]
+        assert encoded.column_values("cat_a") == [1, 0, 1, 0]
+        assert encoded.column_values("cat_b") == [0, 1, 0, 0]
+
+    def test_frame_encodes_string_columns_only(self):
+        frame = frame_from_records([{"n": 1, "c": "x"}, {"n": 2, "c": "y"}])
+        encoded = get_dummies(frame)
+        assert set(encoded.columns) == {"n", "c_x", "c_y"}
+
+    def test_prefix_override(self):
+        encoded = get_dummies(EagerSeries(["a"], name="c"), prefix="p")
+        assert encoded.columns == ["p_a"]
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(-100, 100) | st.none(), max_size=80))
+def test_property_filter_preserves_matching_rows(values):
+    frame = frame_from_records([{"v": value} for value in values])
+    if len(frame) == 0:
+        return
+    filtered = frame[frame["v"] > 0]
+    assert filtered.column_values("v") == [v for v in values if v is not None and v > 0]
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(0, 5), min_size=1, max_size=80))
+def test_property_groupby_counts_partition_rows(keys):
+    frame = frame_from_records([{"k": key, "v": 1} for key in keys])
+    grouped = frame.groupby("k")["v"].agg("count")
+    assert sum(grouped.column_values("count_v")) == len(keys)

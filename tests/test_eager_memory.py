@@ -1,0 +1,142 @@
+"""Memory accounting and I/O tests for the eager baseline."""
+
+from __future__ import annotations
+
+import gc
+import json
+
+import pytest
+
+from repro.eager import frame_from_records, memory_budget, read_json
+from repro.eager.memory import (
+    GLOBAL_ACCOUNTANT,
+    MemoryAccountant,
+    estimate_column_bytes,
+    estimate_value_bytes,
+)
+from repro.errors import MemoryBudgetExceeded
+
+
+class TestEstimates:
+    def test_value_bytes_by_type(self):
+        assert estimate_value_bytes(None) < estimate_value_bytes(1)
+        assert estimate_value_bytes("abcdef") > estimate_value_bytes("a")
+        assert estimate_value_bytes(True) > 0
+        assert estimate_value_bytes(1.5) == estimate_value_bytes(1)
+
+    def test_column_bytes_scale_with_length(self):
+        small = estimate_column_bytes([1] * 10)
+        large = estimate_column_bytes([1] * 100)
+        assert large > small * 5
+
+
+class TestAccountant:
+    def test_charge_release(self):
+        accountant = MemoryAccountant()
+        accountant.charge(100)
+        assert accountant.live_bytes == 100
+        accountant.release(40)
+        assert accountant.live_bytes == 60
+        assert accountant.peak_bytes == 100
+
+    def test_budget_enforced(self):
+        accountant = MemoryAccountant()
+        accountant.set_budget(100)
+        accountant.charge(90)
+        with pytest.raises(MemoryBudgetExceeded):
+            accountant.charge(20)
+        # The failed charge did not change the live total.
+        assert accountant.live_bytes == 90
+
+    def test_budget_is_memory_error(self):
+        accountant = MemoryAccountant()
+        accountant.set_budget(1)
+        with pytest.raises(MemoryError):
+            accountant.charge(10)
+
+    def test_track_releases_on_gc(self):
+        accountant = MemoryAccountant()
+
+        class Owner:
+            pass
+
+        owner = Owner()
+        accountant.track(owner, 500)
+        assert accountant.live_bytes == 500
+        del owner
+        gc.collect()
+        assert accountant.live_bytes == 0
+
+
+class TestBudgetContext:
+    def test_frames_charge_global_accountant(self):
+        before = GLOBAL_ACCOUNTANT.live_bytes
+        frame = frame_from_records([{"a": n} for n in range(100)])
+        assert GLOBAL_ACCOUNTANT.live_bytes > before
+        del frame
+        gc.collect()
+
+    def test_budget_context_restores_previous(self):
+        with memory_budget(10**9):
+            assert GLOBAL_ACCOUNTANT.budget == 10**9
+        assert GLOBAL_ACCOUNTANT.budget is None
+
+    def test_oom_on_large_frame(self):
+        gc.collect()
+        with memory_budget(GLOBAL_ACCOUNTANT.live_bytes + 2000):
+            with pytest.raises(MemoryBudgetExceeded):
+                frame_from_records([{"a": n, "s": "x" * 50} for n in range(500)])
+
+    def test_intermediates_count_against_budget(self):
+        """Eager evaluation's intermediate materialization is charged too."""
+        gc.collect()
+        frame = frame_from_records([{"a": n} for n in range(2000)])
+        headroom = GLOBAL_ACCOUNTANT.live_bytes + 30_000
+        with memory_budget(headroom):
+            with pytest.raises(MemoryBudgetExceeded):
+                # Each mask/filter materializes; several intermediates
+                # exceed the headroom even though each alone might fit.
+                kept = [frame[frame["a"] > i] for i in range(10)]
+                assert kept  # pragma: no cover
+
+
+class TestReadJson:
+    def test_json_lines(self, tmp_path):
+        path = tmp_path / "data.json"
+        with open(path, "w") as handle:
+            for n in range(10):
+                handle.write(json.dumps({"n": n}) + "\n")
+        frame = read_json(path)
+        assert len(frame) == 10
+        assert frame.column_values("n") == list(range(10))
+
+    def test_json_array(self, tmp_path):
+        path = tmp_path / "data.json"
+        path.write_text(json.dumps([{"n": 1}, {"n": 2}]))
+        assert len(read_json(path)) == 2
+
+    def test_missing_keys_become_none(self, tmp_path):
+        path = tmp_path / "data.json"
+        with open(path, "w") as handle:
+            handle.write(json.dumps({"a": 1}) + "\n")
+            handle.write(json.dumps({"a": 2, "b": 5}) + "\n")
+        frame = read_json(path)
+        assert frame.column_values("b") == [None, 5]
+
+    def test_creation_peak_exceeds_final_size(self, tmp_path):
+        """read_json charges a transient parse buffer (the pandas RAM rule)."""
+        path = tmp_path / "data.json"
+        with open(path, "w") as handle:
+            for n in range(300):
+                handle.write(json.dumps({"n": n, "s": "x" * 40}) + "\n")
+        gc.collect()
+        base = GLOBAL_ACCOUNTANT.live_bytes
+        frame = read_json(path)
+        final = GLOBAL_ACCOUNTANT.live_bytes - base
+        peak = GLOBAL_ACCOUNTANT.peak_bytes - base
+        assert peak > final  # the parse buffer raised the peak
+        del frame
+
+    def test_non_dict_record_rejected(self):
+        with pytest.raises(TypeError):
+            frame_from_records([[1, 2]])

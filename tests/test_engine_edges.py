@@ -1,0 +1,135 @@
+"""Engine edge cases not covered elsewhere: OFFSET, DISTINCT VALUE, skips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.docstore import MongoDatabase
+from repro.graphdb import Neo4jDatabase
+from repro.sqlengine import SQLDatabase
+from repro.sqlpp import AsterixDB
+
+
+class TestSqlppEdges:
+    @pytest.fixture()
+    def adb(self):
+        db = AsterixDB(query_prep_overhead=0.0)
+        db.create_dataverse("E")
+        db.create_dataset("E", "d", primary_key="id")
+        db.load("E.d", [{"id": i, "v": i % 4} for i in range(40)])
+        return db
+
+    def test_distinct_value(self, adb):
+        result = adb.execute("SELECT DISTINCT VALUE t.v FROM E.d t")
+        assert sorted(result.records) == [0, 1, 2, 3]
+
+    def test_offset(self, adb):
+        result = adb.execute(
+            "SELECT VALUE t.id FROM E.d t ORDER BY id LIMIT 3 OFFSET 5"
+        )
+        assert result.records == [5, 6, 7]
+
+    def test_between(self, adb):
+        result = adb.execute(
+            "SELECT VALUE COUNT(*) FROM E.d t WHERE t.id BETWEEN 10 AND 19"
+        )
+        assert result.scalar() == 10
+
+    def test_in_list(self, adb):
+        result = adb.execute(
+            "SELECT VALUE COUNT(*) FROM E.d t WHERE t.v IN (0, 3)"
+        )
+        assert result.scalar() == 20
+
+    def test_not_in_list(self, adb):
+        result = adb.execute(
+            "SELECT VALUE COUNT(*) FROM E.d t WHERE t.v NOT IN (0, 3)"
+        )
+        assert result.scalar() == 20
+
+    def test_limit_zero(self, adb):
+        result = adb.execute("SELECT VALUE t FROM E.d t LIMIT 0")
+        assert result.records == []
+
+
+class TestMongoEdges:
+    @pytest.fixture()
+    def db(self):
+        database = MongoDatabase(query_prep_overhead=0.0)
+        database.create_collection("d")
+        database.collection("d").insert_many(
+            [{"v": i % 4, "tags": ["a", "b"] if i % 2 else []} for i in range(20)]
+        )
+        return database
+
+    def test_in_operator(self, db):
+        result = db.aggregate("d", [
+            {"$match": {"$expr": {"$in": ["$v", [0, 3]]}}},
+            {"$count": "n"},
+        ])
+        assert result.records == [{"n": 10}]
+
+    def test_in_requires_array(self, db):
+        from repro.errors import ExecutionError
+
+        with pytest.raises(ExecutionError):
+            db.aggregate("d", [{"$match": {"$expr": {"$in": ["$v", "$v"]}}}])
+
+    def test_string_unwind_form(self, db):
+        result = db.aggregate("d", [{"$unwind": "$tags"}, {"$count": "n"}])
+        assert result.records == [{"n": 20}]
+
+    def test_empty_count_returns_no_rows(self, db):
+        result = db.aggregate("d", [
+            {"$match": {"v": 99}},
+            {"$count": "n"},
+        ])
+        assert result.records == [{"n": 0}]
+
+
+class TestCypherEdges:
+    @pytest.fixture()
+    def db(self):
+        database = Neo4jDatabase(query_prep_overhead=0.0)
+        database.load("d", [{"v": i % 4, "name": f"n{i}"} for i in range(20)])
+        return database
+
+    def test_in_list(self, db):
+        result = db.execute(
+            "MATCH(t: d)\nWITH t WHERE t.v IN [0, 3]\nRETURN COUNT(*) AS c"
+        )
+        assert result.records == [10]
+
+    def test_skip_keyword_unused_but_limit_works(self, db):
+        result = db.execute("MATCH(t: d)\nRETURN t\nLIMIT 2")
+        assert len(result) == 2
+
+    def test_multiple_return_items(self, db):
+        result = db.execute("MATCH(t: d)\nRETURN t.v AS v, t.name AS name\nLIMIT 1")
+        assert result.records == [{"v": 0, "name": "n0"}]
+
+    def test_not_operator(self, db):
+        result = db.execute(
+            "MATCH(t: d)\nWITH t WHERE NOT t.v = 0\nRETURN COUNT(*) AS c"
+        )
+        assert result.records == [15]
+
+
+class TestSqlEdges:
+    def test_count_empty_table(self):
+        db = SQLDatabase()
+        db.create_table("t")
+        assert db.execute("SELECT COUNT(*) FROM t x").scalar() == 0
+
+    def test_group_by_on_empty_table(self):
+        db = SQLDatabase()
+        db.create_table("t")
+        result = db.execute("SELECT k, COUNT(k) AS c FROM t x GROUP BY k")
+        assert result.records == []
+
+    def test_boolean_literals_in_where(self):
+        db = SQLDatabase()
+        db.create_table("t")
+        db.insert("t", [{"flag": True}, {"flag": False}])
+        result = db.execute("SELECT COUNT(*) FROM t x WHERE flag = TRUE")
+        assert result.scalar() == 1

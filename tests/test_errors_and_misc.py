@@ -1,0 +1,103 @@
+"""Error hierarchy and assorted smaller-surface tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+from repro.eager import EagerFrame, EagerSeries, frame_from_records
+from repro.sqlengine.logical import Scan
+from repro.storage.keys import SENTINEL_MISSING
+
+
+class TestErrorHierarchy:
+    def test_all_inherit_repro_error(self):
+        for name in (
+            "StorageError", "CatalogError", "DuplicateKeyError", "QueryError",
+            "LexerError", "ParseError", "PlanningError", "ExecutionError",
+            "UnsupportedOperationError", "RewriteError", "ConnectorError",
+        ):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError), name
+
+    def test_memory_budget_is_both(self):
+        assert issubclass(errors.MemoryBudgetExceeded, MemoryError)
+        assert issubclass(errors.MemoryBudgetExceeded, errors.ReproError)
+
+    def test_catalog_error_is_storage_error(self):
+        assert issubclass(errors.CatalogError, errors.StorageError)
+
+    def test_lexer_error_carries_position(self):
+        error = errors.LexerError("bad", position=7)
+        assert error.position == 7
+
+
+class TestLogicalPlanProtocol:
+    def test_tree_string_indents(self):
+        from repro.sqlengine.logical import Filter
+        from repro.sqlengine.ast_nodes import BinaryOp, ColumnRef, Literal
+
+        plan = Filter(Scan("t", "x"), BinaryOp("=", ColumnRef("a"), Literal(1)))
+        lines = plan.tree_string().splitlines()
+        assert lines[0].startswith("Filter")
+        assert lines[1].startswith("  Scan")
+
+
+class TestEagerEdgeCases:
+    def test_empty_frame(self):
+        frame = frame_from_records([])
+        assert len(frame) == 0
+        assert frame.columns == []
+        assert frame.to_string() == "(empty frame)"
+
+    def test_frame_repr(self):
+        frame = EagerFrame({"a": [1]})
+        assert "shape=(1, 1)" in repr(frame)
+
+    def test_series_repr_truncates(self):
+        series = EagerSeries(list(range(100)), name="big")
+        assert "..." in repr(series)
+
+    def test_take_reorders(self):
+        frame = frame_from_records([{"v": v} for v in (10, 20, 30)])
+        assert frame.take([2, 0]).column_values("v") == [30, 10]
+
+    def test_row_and_iterrows(self):
+        frame = frame_from_records([{"v": 1}, {"v": 2}])
+        assert frame.row(1) == {"v": 2}
+        assert [row for _i, row in frame.iterrows()] == [{"v": 1}, {"v": 2}]
+
+    def test_setitem_on_empty_frame(self):
+        frame = EagerFrame({})
+        frame["a"] = [1, 2, 3]
+        assert len(frame) == 3
+
+    def test_setitem_length_mismatch(self):
+        frame = EagerFrame({"a": [1, 2]})
+        with pytest.raises(ValueError):
+            frame["b"] = [1]
+
+    def test_bad_mask_length(self):
+        frame = EagerFrame({"a": [1, 2]})
+        with pytest.raises(ValueError):
+            frame[EagerSeries([True])]
+
+    def test_contains(self):
+        frame = EagerFrame({"a": [1]})
+        assert "a" in frame and "b" not in frame
+
+
+class TestMissingSentinel:
+    def test_sentinel_survives_round_trips(self):
+        # Engines must never leak the sentinel into user-facing records.
+        from repro.sqlpp import AsterixDB
+
+        db = AsterixDB(query_prep_overhead=0.0)
+        db.create_dataverse("M")
+        db.create_dataset("M", "d", primary_key="id")
+        db.load("M.d", [{"id": 1}, {"id": 2, "opt": 5}])
+        result = db.execute("SELECT t.id, t.opt FROM (SELECT VALUE t FROM M.d t) t")
+        for record in result.records:
+            assert SENTINEL_MISSING not in record.values()
+        # Missing attribute simply vanishes from the constructed record.
+        assert result.records[0] == {"id": 1}

@@ -1,0 +1,38 @@
+"""Measurement export round-trip tests."""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench.export import from_json, measurements_to_dicts, to_csv, to_json
+from repro.bench.runner import Measurement
+
+
+def sample():
+    return [
+        Measurement("Pandas", "XS", 1, "ok", 0.05, 0.001),
+        Measurement("PolyFrame-Neo4j", "XL", 13, "ok", 0.0001, 0.02),
+        Measurement("Pandas", "M", 1, "oom", 0.3, 0.0),
+    ]
+
+
+def test_dict_rows_include_total():
+    rows = measurements_to_dicts(sample())
+    assert rows[0]["total_seconds"] == rows[0]["creation_seconds"] + rows[0]["expression_seconds"]
+    assert rows[2]["status"] == "oom"
+
+
+def test_json_round_trip():
+    exported = to_json(sample())
+    parsed = json.loads(exported)
+    assert len(parsed) == 3
+    rehydrated = from_json(exported)
+    assert rehydrated == sample()
+
+
+def test_csv_has_header_and_rows():
+    text = to_csv(sample())
+    lines = text.strip().splitlines()
+    assert lines[0].startswith("system,dataset,expression_id")
+    assert len(lines) == 4
+    assert "PolyFrame-Neo4j" in lines[2]

@@ -1,0 +1,120 @@
+"""Unit tests for the generic rewrite rules (describe / get_dummies / value_counts)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AsterixDBConnector, PolyFrame
+from repro.core.generic import describe, get_dummies, value_counts
+from repro.errors import RewriteError
+from repro.sqlpp import AsterixDB
+
+
+@pytest.fixture()
+def frame():
+    db = AsterixDB(query_prep_overhead=0.0)
+    db.create_dataverse("G")
+    db.create_dataset("G", "items", primary_key="id")
+    db.load(
+        "G.items",
+        [
+            {"id": i, "price": i % 7, "qty": i % 3,
+             "category": ["food", "toys", "books"][i % 3], "label": f"item{i}"}
+            for i in range(90)
+        ],
+    )
+    return PolyFrame("G", "items", AsterixDBConnector(db))
+
+
+class TestDescribe:
+    def test_auto_detects_numeric_attributes(self, frame):
+        stats = frame.describe()
+        assert {"id", "price", "qty"} <= set(stats.columns)
+        assert "category" not in stats.columns
+
+    def test_values(self, frame):
+        stats = describe(frame, attributes=["price"])
+        rows = dict(zip(stats.column_values("statistic"), stats.column_values("price")))
+        assert rows["count"] == 90
+        assert rows["min"] == 0
+        assert rows["max"] == 6
+        assert rows["avg"] == pytest.approx(sum(i % 7 for i in range(90)) / 90)
+
+    def test_single_query(self, frame):
+        """describe() is one composed query, not one per statistic."""
+        calls = []
+        original = frame.connector.send
+
+        def spy(query, collection):
+            calls.append(query)
+            return original(query, collection)
+
+        frame.connector.send = spy
+        try:
+            describe(frame, attributes=["price", "qty"])
+        finally:
+            frame.connector.send = original
+        assert len(calls) == 1
+
+    def test_no_numeric_attributes(self):
+        db = AsterixDB(query_prep_overhead=0.0)
+        db.create_dataverse("G")
+        db.create_dataset("G", "s", primary_key="id")
+        db.load("G.s", [{"id": 1, "name": "only strings"}])
+        frame = PolyFrame("G", "s", AsterixDBConnector(db))
+        with pytest.raises(RewriteError):
+            describe(frame, attributes=[])
+
+
+class TestGetDummies:
+    def test_one_hot_columns(self, frame):
+        encoded = get_dummies(frame["category"]).head(6)
+        assert set(encoded.columns) == {
+            "category_books", "category_food", "category_toys"
+        }
+        for record in encoded.to_records():
+            assert sum(bool(v) for v in record.values()) == 1
+
+    def test_lazy_until_action(self, frame):
+        calls = []
+        original = frame.connector.send
+
+        def spy(query, collection):
+            calls.append(query)
+            return original(query, collection)
+
+        frame.connector.send = spy
+        try:
+            encoded = get_dummies(frame["category"])
+            # one distinct-values query ran; the projection has not.
+            assert len(calls) == 1
+            encoded.head(1)
+            assert len(calls) == 2
+        finally:
+            frame.connector.send = original
+
+    def test_requires_plain_column(self, frame):
+        with pytest.raises(RewriteError):
+            get_dummies(frame["price"] + 1)
+
+
+class TestValueCounts:
+    def test_ordered_counts(self, frame):
+        counts = value_counts(frame["category"]).collect()
+        records = counts.to_records()
+        assert records[0]["count_category"] == 30
+        values = [record["count_category"] for record in records]
+        assert values == sorted(values, reverse=True)
+
+    def test_requires_plain_column(self, frame):
+        with pytest.raises(RewriteError):
+            value_counts(frame["price"] + 1)
+
+
+class TestSeriesUnique:
+    def test_unique_values(self, frame):
+        assert sorted(frame["category"].unique()) == ["books", "food", "toys"]
+
+    def test_unique_requires_plain_column(self, frame):
+        with pytest.raises(RewriteError):
+            (frame["price"] + 1).unique()

@@ -1,0 +1,62 @@
+"""Cross-backend tests for ``Series.isin`` (the membership rewrite rule)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import PolyFrame
+from repro.eager import EagerSeries
+from repro.errors import RewriteError
+
+
+@pytest.fixture(scope="module")
+def frames(all_connectors):
+    return {
+        name: PolyFrame("Bench", "data", connector)
+        for name, connector in all_connectors.items()
+    }
+
+
+class TestEagerIsin:
+    def test_membership(self):
+        series = EagerSeries([1, 2, None, 3])
+        assert series.isin([1, 3]).tolist() == [True, False, False, True]
+
+    def test_empty_membership(self):
+        assert EagerSeries([1]).isin([]).tolist() == [False]
+
+
+class TestPolyFrameIsin:
+    @pytest.mark.parametrize("backend", ["asterixdb", "postgres", "mongodb", "neo4j"])
+    def test_counts_agree_with_python(self, frames, backend, wisconsin):
+        frame = frames[backend]
+        expected = sum(1 for record in wisconsin if record["ten"] in (2, 5, 7))
+        assert len(frame[frame["ten"].isin([2, 5, 7])]) == expected
+
+    @pytest.mark.parametrize("backend", ["asterixdb", "postgres", "mongodb", "neo4j"])
+    def test_string_membership(self, frames, backend, wisconsin):
+        frame = frames[backend]
+        expected = sum(1 for record in wisconsin if record["string4"].startswith("AAAA"))
+        target = next(r["string4"] for r in wisconsin if r["string4"].startswith("AAAA"))
+        assert len(frame[frame["string4"].isin([target])]) == expected
+
+    def test_single_value_equivalent_to_eq(self, frames):
+        frame = frames["postgres"]
+        assert len(frame[frame["ten"].isin([4])]) == len(frame[frame["ten"] == 4])
+
+    def test_composes_with_other_masks(self, frames, wisconsin):
+        frame = frames["postgres"]
+        expected = sum(
+            1 for record in wisconsin if record["ten"] in (1, 2) and record["two"] == 0
+        )
+        mask = frame["ten"].isin([1, 2]) & (frame["two"] == 0)
+        assert len(frame[mask]) == expected
+
+    def test_empty_list_rejected(self, frames):
+        with pytest.raises(RewriteError):
+            frames["postgres"]["ten"].isin([])
+
+    def test_rendered_statements(self, frames):
+        assert frames["postgres"]["ten"].isin([1, 2]).statement == 't."ten" IN (1, 2)'
+        assert frames["mongodb"]["ten"].isin([1, 2]).statement == '"$in": ["$ten", [1, 2]]'
+        assert frames["neo4j"]["ten"].isin([1, 2]).statement == "t.ten IN [1, 2]"

@@ -1,0 +1,113 @@
+"""Wisconsin loader tests: every backend gets the benchmark's index set."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.docstore import MongoDatabase
+from repro.graphdb import Neo4jDatabase
+from repro.sqlengine import SQLDatabase
+from repro.sqlpp import AsterixDB
+from repro.wisconsin import (
+    BENCHMARK_INDEX_COLUMNS,
+    load_asterixdb,
+    load_mongodb,
+    load_neo4j,
+    load_postgres,
+    wisconsin_records,
+)
+from repro.wisconsin.loaders import PRIMARY_KEY
+
+RECORDS = wisconsin_records(200)
+
+
+class TestAsterixLoader:
+    def test_loads_and_indexes(self):
+        db = AsterixDB(query_prep_overhead=0.0)
+        count = load_asterixdb(db, "B", "data", RECORDS)
+        assert count == 200
+        table = db.catalog.table("B.data")
+        assert table.primary_key == PRIMARY_KEY
+        for column in BENCHMARK_INDEX_COLUMNS:
+            assert table.index_on(column) is not None
+
+    def test_absent_values_not_indexed(self):
+        db = AsterixDB(query_prep_overhead=0.0)
+        load_asterixdb(db, "B", "data", RECORDS)
+        index = db.catalog.table("B.data").index_on("tenPercent")
+        missing = sum(1 for record in RECORDS if "tenPercent" not in record)
+        assert len(index.tree) == 200 - missing
+
+    def test_reuses_existing_dataverse(self):
+        db = AsterixDB(query_prep_overhead=0.0)
+        db.create_dataverse("B")
+        load_asterixdb(db, "B", "data", RECORDS)
+        assert db.row_count("B.data") == 200
+
+    def test_indexes_optional(self):
+        db = AsterixDB(query_prep_overhead=0.0)
+        load_asterixdb(db, "B", "data", RECORDS, indexes=False)
+        table = db.catalog.table("B.data")
+        assert table.index_on("unique1") is None
+        assert table.index_on(PRIMARY_KEY) is not None  # PK always indexed
+
+
+class TestPostgresLoader:
+    def test_missing_becomes_explicit_null(self):
+        db = SQLDatabase()
+        load_postgres(db, "B", "data", RECORDS)
+        missing = sum(1 for record in RECORDS if "tenPercent" not in record)
+        result = db.execute(
+            'SELECT COUNT(*) FROM B.data t WHERE "tenPercent" IS NULL'
+        )
+        assert result.scalar() == missing
+
+    def test_nulls_present_in_index(self):
+        db = SQLDatabase()
+        load_postgres(db, "B", "data", RECORDS)
+        index = db.catalog.table("B.data").index_on("tenPercent")
+        assert len(index.tree) == 200  # every row, including NULLs
+
+    def test_stats_analyzed(self):
+        db = SQLDatabase()
+        load_postgres(db, "B", "data", RECORDS)
+        stats = db.catalog.table("B.data").stats
+        assert stats.row_count == 200
+        assert stats.columns["unique1"].max_value == 199
+
+
+class TestMongoLoader:
+    def test_missing_attributes_stay_missing(self):
+        db = MongoDatabase(query_prep_overhead=0.0)
+        load_mongodb(db, "data", RECORDS)
+        missing = sum(1 for record in RECORDS if "tenPercent" not in record)
+        result = db.aggregate("data", [
+            {"$match": {"$expr": {"$lt": ["$tenPercent", None]}}},
+            {"$count": "n"},
+        ])
+        assert result.records == [{"n": missing}]
+
+    def test_indexes_created(self):
+        db = MongoDatabase(query_prep_overhead=0.0)
+        load_mongodb(db, "data", RECORDS)
+        for column in BENCHMARK_INDEX_COLUMNS:
+            assert db.collection("data").has_index(column)
+
+
+class TestNeo4jLoader:
+    def test_nodes_and_count_store(self):
+        db = Neo4jDatabase(query_prep_overhead=0.0)
+        load_neo4j(db, "data", RECORDS)
+        assert db.node_count("data") == 200
+
+    def test_string_attributes_in_string_store(self):
+        db = Neo4jDatabase(query_prep_overhead=0.0)
+        load_neo4j(db, "data", RECORDS)
+        # 3 string attributes per record land in the string store.
+        assert len(db.store.strings) == 600
+
+    def test_indexes_created(self):
+        db = Neo4jDatabase(query_prep_overhead=0.0)
+        load_neo4j(db, "data", RECORDS)
+        for column in BENCHMARK_INDEX_COLUMNS:
+            assert db.store.has_index("data", column)

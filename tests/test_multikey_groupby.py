@@ -1,0 +1,69 @@
+"""Multi-key group-by across the eager baseline and every backend."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import PolyFrame
+from repro.eager import frame_from_records
+from repro.errors import RewriteError
+
+
+@pytest.fixture(scope="module")
+def frames(all_connectors):
+    return {
+        name: PolyFrame("Bench", "data", connector)
+        for name, connector in all_connectors.items()
+    }
+
+
+def expected_groups(wisconsin, value_column):
+    out: dict = {}
+    for record in wisconsin:
+        key = (record["two"], record["four"])
+        out[key] = max(out.get(key, -1), record[value_column])
+    return out
+
+
+class TestEagerMultiKey:
+    def test_group_max(self, wisconsin):
+        frame = frame_from_records(wisconsin)
+        result = frame.groupby(["two", "four"])["ten"].agg("max")
+        assert result.columns == ["two", "four", "max_ten"]
+        got = {
+            (r["two"], r["four"]): r["max_ten"] for r in result.to_records()
+        }
+        assert got == expected_groups(wisconsin, "ten")
+
+    def test_absent_any_key_dropped(self):
+        frame = frame_from_records(
+            [{"a": 1, "b": None, "v": 1}, {"a": 1, "b": 2, "v": 3}]
+        )
+        result = frame.groupby(["a", "b"])["v"].agg("count")
+        assert len(result) == 1
+
+    def test_missing_key_column(self, wisconsin):
+        frame = frame_from_records(wisconsin[:5])
+        with pytest.raises(KeyError):
+            frame.groupby(["two", "nope"])
+
+
+class TestPolyFrameMultiKey:
+    @pytest.mark.parametrize("backend", ["asterixdb", "postgres", "mongodb", "neo4j"])
+    def test_group_max_agrees(self, frames, backend, wisconsin):
+        frame = frames[backend]
+        result = frame.groupby(["two", "four"])["ten"].agg("max").collect()
+        got = {
+            (r["two"], r["four"]): r["max_ten"] for r in result.to_records()
+        }
+        assert got == expected_groups(wisconsin, "ten"), backend
+
+    def test_empty_keys_rejected(self, frames):
+        with pytest.raises(RewriteError):
+            frames["postgres"].groupby([])
+
+    def test_single_key_still_uses_q8(self, frames):
+        frame = frames["postgres"]
+        query = frame.groupby("two")["four"].agg("max").query
+        assert query.count("GROUP BY") == 1
+        assert '"two"' in query and '"four"' not in query.split("GROUP BY")[1]

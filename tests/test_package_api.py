@@ -1,0 +1,47 @@
+"""Public API surface tests."""
+
+from __future__ import annotations
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_aframe_alias():
+    assert repro.AFrame is repro.PolyFrame
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None, name
+
+
+def test_subpackages_import():
+    import repro.bench
+    import repro.cluster
+    import repro.core
+    import repro.docstore
+    import repro.eager
+    import repro.graphdb
+    import repro.sqlengine
+    import repro.sqlpp
+    import repro.storage
+    import repro.wisconsin
+
+    for module in (
+        repro.bench, repro.cluster, repro.core, repro.docstore, repro.eager,
+        repro.graphdb, repro.sqlengine, repro.sqlpp, repro.storage,
+        repro.wisconsin,
+    ):
+        assert module.__doc__, module.__name__
+
+
+def test_every_public_module_has_docstring():
+    import importlib
+    import pkgutil
+
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        module = importlib.import_module(info.name)
+        assert module.__doc__, f"{info.name} lacks a module docstring"

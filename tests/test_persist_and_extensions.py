@@ -1,0 +1,89 @@
+"""Tests for persistence (SAVE RESULTS) and extension methods."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    AsterixDBConnector,
+    MongoDBConnector,
+    Neo4jConnector,
+    PolyFrame,
+    PostgresConnector,
+)
+from repro.docstore import MongoDatabase
+from repro.graphdb import Neo4jDatabase
+from repro.sqlengine import SQLDatabase
+from repro.sqlpp import AsterixDB
+
+RECORDS = [
+    {"id": i, "lang": ["en", "fr"][i % 2], "score": i % 5} for i in range(80)
+]
+
+
+@pytest.fixture()
+def connectors():
+    adb = AsterixDB(query_prep_overhead=0.0)
+    adb.create_dataverse("P")
+    adb.create_dataset("P", "src", primary_key="id")
+    adb.load("P.src", RECORDS)
+    pg = SQLDatabase()
+    pg.create_table("P.src", primary_key="id")
+    pg.insert("P.src", RECORDS)
+    mongo = MongoDatabase(query_prep_overhead=0.0)
+    mongo.create_collection("src")
+    mongo.collection("src").insert_many(RECORDS)
+    neo = Neo4jDatabase(query_prep_overhead=0.0)
+    neo.load("src", RECORDS)
+    return {
+        "asterixdb": AsterixDBConnector(adb),
+        "postgres": PostgresConnector(pg),
+        "mongodb": MongoDBConnector(mongo),
+        "neo4j": Neo4jConnector(neo),
+    }
+
+
+class TestPersist:
+    @pytest.mark.parametrize("backend", ["asterixdb", "postgres", "mongodb", "neo4j"])
+    def test_persist_filtered_frame(self, connectors, backend):
+        connector = connectors[backend]
+        af = PolyFrame("P", "src", connector)
+        english = af[af["lang"] == "en"]
+        saved = english.persist("english_only")
+        assert saved.collection == "english_only"
+        assert len(saved) == 40
+        # The persisted dataset is a first-class PolyFrame target.
+        assert len(saved[saved["score"] == 0]) == len(
+            [r for r in RECORDS if r["lang"] == "en" and r["score"] == 0]
+        )
+
+    def test_mongo_persist_uses_out_stage(self, connectors):
+        connector = connectors["mongodb"]
+        af = PolyFrame("P", "src", connector)
+        mark = len(connector.send_log)
+        af[af["lang"] == "fr"].persist("french_only")
+        # Exactly one query ran: the pipeline with the trailing $out.
+        assert len(connector.send_log) == mark + 1
+
+    def test_persist_into_other_namespace(self, connectors):
+        connector = connectors["asterixdb"]
+        af = PolyFrame("P", "src", connector)
+        saved = af.persist("copy", namespace="Archive")
+        assert saved.namespace == "Archive"
+        assert len(saved) == 80
+
+
+class TestNunique:
+    @pytest.mark.parametrize("backend", ["asterixdb", "postgres", "mongodb", "neo4j"])
+    def test_distinct_counts(self, connectors, backend):
+        af = PolyFrame("P", "src", connectors[backend])
+        assert af["lang"].nunique() == 2
+        assert af["score"].nunique() == 5
+        assert af["id"].nunique() == 80
+
+    def test_nunique_requires_plain_column(self, connectors):
+        from repro.errors import RewriteError
+
+        af = PolyFrame("P", "src", connectors["postgres"])
+        with pytest.raises(RewriteError):
+            (af["score"] + 1).nunique()

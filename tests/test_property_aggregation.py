@@ -1,0 +1,115 @@
+"""Property-based aggregation tests: engines vs naive Python evaluation."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.docstore import MongoDatabase
+from repro.graphdb import Neo4jDatabase
+from repro.sqlengine import SQLDatabase
+
+rows = st.lists(
+    st.tuples(st.integers(0, 4), st.integers(-100, 100) | st.none()),
+    min_size=1,
+    max_size=60,
+)
+
+
+def naive_groups(pairs):
+    out: dict[int, list] = {}
+    for key, value in pairs:
+        out.setdefault(key, []).append(value)
+    return out
+
+
+@settings(max_examples=25, deadline=None)
+@given(rows)
+def test_sql_group_aggregates_match_naive(pairs):
+    db = SQLDatabase()
+    db.create_table("t")
+    db.insert("t", [{"k": key, "v": value} for key, value in pairs])
+    result = db.execute(
+        "SELECT k, COUNT(v) AS c, MAX(v) AS mx, MIN(v) AS mn, SUM(v) AS s "
+        "FROM t x GROUP BY k"
+    )
+    got = {record["k"]: record for record in result.records}
+    for key, values in naive_groups(pairs).items():
+        present = [value for value in values if value is not None]
+        assert got[key]["c"] == len(present)
+        assert got[key]["mx"] == (max(present) if present else None)
+        assert got[key]["mn"] == (min(present) if present else None)
+        assert got[key]["s"] == (sum(present) if present else None)
+
+
+@settings(max_examples=25, deadline=None)
+@given(rows)
+def test_sql_avg_std_match_naive(pairs):
+    db = SQLDatabase()
+    db.create_table("t")
+    db.insert("t", [{"k": key, "v": value} for key, value in pairs])
+    result = db.execute("SELECT AVG(v) AS a, STDDEV(v) AS s FROM t x")
+    present = [value for _key, value in pairs if value is not None]
+    record = result.records[0]
+    if not present:
+        assert record["a"] is None and record["s"] is None
+        return
+    mean = sum(present) / len(present)
+    std = math.sqrt(sum((v - mean) ** 2 for v in present) / len(present))
+    assert record["a"] == _approx(mean)
+    assert record["s"] == _approx(std)
+
+
+def _approx(value):
+    import pytest
+
+    return pytest.approx(value, rel=1e-9, abs=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(rows)
+def test_mongo_group_matches_naive(pairs):
+    db = MongoDatabase(query_prep_overhead=0.0)
+    db.create_collection("c")
+    db.collection("c").insert_many(
+        [{"k": key, "v": value} for key, value in pairs]
+    )
+    result = db.aggregate("c", [
+        {"$group": {"_id": {"k": "$k"}, "mx": {"$max": "$v"}, "n": {"$sum": 1}}},
+        {"$addFields": {"k": "$_id.k"}},
+        {"$project": {"_id": 0}},
+    ])
+    got = {record["k"]: record for record in result.records}
+    for key, values in naive_groups(pairs).items():
+        present = [value for value in values if value is not None]
+        assert got[key]["n"] == len(values)  # $sum: 1 counts documents
+        assert got[key]["mx"] == (max(present) if present else None)
+
+
+@settings(max_examples=25, deadline=None)
+@given(rows)
+def test_cypher_group_matches_naive(pairs):
+    db = Neo4jDatabase(query_prep_overhead=0.0)
+    db.load("d", [{"k": key, "v": value} for key, value in pairs])
+    result = db.execute(
+        "MATCH(t: d)\nWITH {'k': t.k, 'c': count(t.v), 'mx': max(t.v)} AS t\nRETURN t"
+    )
+    got = {record["k"]: record for record in result.records}
+    for key, values in naive_groups(pairs).items():
+        present = [value for value in values if value is not None]
+        assert got[key]["c"] == len(present)
+        assert got[key]["mx"] == (max(present) if present else None)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=50),
+)
+def test_distinct_counts_match_naive(tags):
+    db = SQLDatabase()
+    db.create_table("t")
+    db.insert("t", [{"tag": tag} for tag in tags])
+    result = db.execute('SELECT DISTINCT "tag" FROM t x')
+    assert {record["tag"] for record in result.records} == set(tags)

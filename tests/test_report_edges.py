@@ -1,0 +1,85 @@
+"""Edge cases in the report formatting module."""
+
+from __future__ import annotations
+
+from repro.bench.report import (
+    format_expression_table,
+    format_scaleup_table,
+    format_scaling_table,
+    format_speedup_table,
+    scaleup_series,
+    speedup_series,
+)
+from repro.bench.runner import Measurement, STATUS_OK, STATUS_OOM, STATUS_UNSUPPORTED
+
+
+def m(system, dataset, expr_id, status=STATUS_OK, creation=0.01, expr=0.02):
+    return Measurement(system, dataset, expr_id, status, creation, expr)
+
+
+class TestExpressionTable:
+    def test_failed_cells_show_status(self):
+        table = format_expression_table(
+            [m("A", "XS", 1), m("B", "XS", 1, STATUS_OOM)]
+        )
+        assert "oom" in table
+
+    def test_unsupported_cells(self):
+        table = format_expression_table([m("A", "XS", 12, STATUS_UNSUPPORTED)])
+        assert "unsupported" in table
+
+    def test_second_resolution_formatting(self):
+        table = format_expression_table([m("A", "XS", 1, expr=2.5)])
+        assert "2.510s" in table  # total = creation + expression
+
+    def test_expression_timing_mode(self):
+        table = format_expression_table([m("A", "XS", 1)], timing="expression")
+        assert "20.00ms" in table
+
+
+class TestScalingTable:
+    def test_sizes_keep_insertion_order(self):
+        table = format_scaling_table(
+            [m("A", "XS", 1), m("A", "XL", 1), m("A", "S", 1)]
+        )
+        xs = table.index("XS")
+        xl = table.index("XL")
+        s = table.index("\nS ")
+        assert xs < xl < s  # insertion order, not alphabetical
+
+
+class TestSpeedupSeries:
+    def test_failed_baseline_excluded(self):
+        by_nodes = {
+            1: [m("A", "1n", 1, STATUS_OOM)],
+            2: [m("A", "2n", 1)],
+        }
+        assert speedup_series(by_nodes) == {}
+
+    def test_failed_cell_excluded(self):
+        by_nodes = {
+            1: [m("A", "1n", 1, expr=0.04)],
+            2: [m("A", "2n", 1, STATUS_UNSUPPORTED)],
+            4: [m("A", "4n", 1, expr=0.0)],
+        }
+        series = speedup_series(by_nodes)
+        assert 2 not in series["A"][1]
+        assert series["A"][1][4] == 5.0  # (0.01+0.04)/(0.01+0.0)
+
+    def test_speedup_table_renders_missing_as_dash(self):
+        by_nodes = {
+            1: [m("A", "1n", 1)],
+            2: [m("A", "2n", 1, STATUS_OOM)],
+        }
+        table = format_speedup_table(by_nodes)
+        assert "--" in table
+
+    def test_scaleup_table(self):
+        by_nodes = {
+            1: [m("A", "1n", 1, expr=0.03)],
+            4: [m("A", "4n", 1, expr=0.03)],
+        }
+        table = format_scaleup_table(by_nodes)
+        assert "1.00" in table
+        series = scaleup_series(by_nodes)
+        assert series["A"][1][4] == 1.0

@@ -1,0 +1,191 @@
+"""Rewrite-rule configuration and substitution-engine tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rewrite import RewriteEngine, RewriteRules, load_builtin
+from repro.core.rewrite.engine import substitute
+from repro.core.rewrite.rules import BUILTIN_LANGUAGES
+from repro.errors import RewriteError
+
+SAMPLE_CONFIG = """
+; comment line
+[QUERIES]
+q1 = MATCH(t: $collection)
+q2 = $subquery
+ WITH t{$attribute_alias}
+
+[FUNCTIONS]
+min = min(t.$attribute)
+"""
+
+
+class TestConfigParsing:
+    def test_sections_and_keys(self):
+        rules = RewriteRules.from_text(SAMPLE_CONFIG, "demo")
+        assert rules["q1"].section == "QUERIES"
+        assert rules["min"].section == "FUNCTIONS"
+        assert rules.names() == ["q1", "q2", "min"]
+
+    def test_multiline_continuation(self):
+        rules = RewriteRules.from_text(SAMPLE_CONFIG, "demo")
+        assert rules["q2"].template == "$subquery\nWITH t{$attribute_alias}"
+
+    def test_comments_ignored(self):
+        rules = RewriteRules.from_text("; only a comment\n[S]\nk = v", "demo")
+        assert rules["k"].template == "v"
+
+    def test_bad_line_rejected(self):
+        with pytest.raises(RewriteError):
+            RewriteRules.from_text("[S]\n!!! not a rule", "demo")
+
+    def test_continuation_outside_rule_rejected(self):
+        with pytest.raises(RewriteError):
+            RewriteRules.from_text("[S]\n  orphan continuation", "demo")
+
+    def test_unknown_rule_raises(self):
+        rules = RewriteRules.from_text(SAMPLE_CONFIG, "demo")
+        with pytest.raises(RewriteError):
+            rules["nope"]
+        assert rules.get("nope") is None
+
+    def test_variables_extraction(self):
+        rules = RewriteRules.from_text(SAMPLE_CONFIG, "demo")
+        assert rules["q2"].variables() == {"subquery", "attribute_alias"}
+
+    def test_section_listing(self):
+        rules = RewriteRules.from_text(SAMPLE_CONFIG, "demo")
+        assert [rule.name for rule in rules.section("QUERIES")] == ["q1", "q2"]
+
+
+class TestSubstitution:
+    def test_simple(self):
+        assert substitute("SELECT $a FROM $b", {"a": "x", "b": "t"}) == "SELECT x FROM t"
+
+    def test_unknown_tokens_pass_through(self):
+        out = substitute('{ "$match": { "$eq": ["$$left", $right] } }', {"left": "lang", "right": '"en"'})
+        assert out == '{ "$match": { "$eq": ["$lang", "en"] } }'
+
+    def test_longest_name_wins(self):
+        out = substitute("$attribute_alias and $attribute", {"attribute": "a", "attribute_alias": "b"})
+        assert out == "b and a"
+
+    def test_name_boundary_respected(self):
+        # $agg must not swallow the front of an unknown longer token.
+        out = substitute("$agg_aliasX $agg", {"agg": "MAX"})
+        assert out == "$agg_aliasX MAX"
+
+    def test_mongo_field_path_convention(self):
+        out = substitute('"$min": "$$attribute"', {"attribute": "unique1"})
+        assert out == '"$min": "$unique1"'
+
+    def test_repeated_variable(self):
+        out = substitute("$x + $x", {"x": "1"})
+        assert out == "1 + 1"
+
+
+class TestBuiltinConfigs:
+    @pytest.mark.parametrize("language", BUILTIN_LANGUAGES)
+    def test_loads(self, language):
+        rules = load_builtin(language)
+        assert rules.language == language
+
+    @pytest.mark.parametrize("language", BUILTIN_LANGUAGES)
+    def test_required_vocabulary_present(self, language):
+        rules = load_builtin(language)
+        required = [
+            "q1", "q2", "q3", "q4", "q5", "q6", "q7", "q8", "q9", "q10",
+            "q13", "q14", "q15",
+            "single_attribute", "project_attribute", "attribute_separator",
+            "statement_alias", "agg_alias_entry",
+            "add", "sub", "mul", "div", "mod",
+            "and", "or", "not",
+            "eq", "ne", "gt", "lt", "ge", "le", "isnull", "notnull",
+            "string", "number", "null",
+            "limit", "return_all",
+            "min", "max", "avg", "std", "count", "sum",
+            "upper", "lower",
+        ]
+        missing = [name for name in required if name not in rules]
+        assert not missing, f"{language} missing rules: {missing}"
+
+    def test_unknown_language(self):
+        with pytest.raises(RewriteError):
+            load_builtin("klingon")
+
+    def test_paper_fig3_min_rule_shapes(self):
+        assert load_builtin("sqlpp")["min"].template == "MIN($attribute)"
+        assert load_builtin("mongo")["min"].template == '"$min": "$$attribute"'
+        assert load_builtin("cypher")["min"].template == "min(t.$attribute)"
+
+
+class TestRewriteEngine:
+    def test_apply(self):
+        engine = RewriteEngine("cypher")
+        assert engine.apply("q1", collection="Users") == "MATCH(t: Users)"
+
+    def test_join_list(self):
+        engine = RewriteEngine("sql")
+        assert engine.join_list(["a", "b", "c"]) == "a, b, c"
+        with pytest.raises(RewriteError):
+            engine.join_list([])
+
+    def test_literals_sql(self):
+        engine = RewriteEngine("sql")
+        assert engine.literal("en") == "'en'"
+        assert engine.literal("it's") == "'it''s'"
+        assert engine.literal(5) == "5"
+        assert engine.literal(None) == "NULL"
+        assert engine.literal(True) == "TRUE"
+
+    def test_literals_mongo(self):
+        engine = RewriteEngine("mongo")
+        assert engine.literal("en") == '"en"'
+        assert engine.literal(None) == "null"
+        assert engine.literal(False) == "false"
+        assert engine.literal('say "hi"') == '"say \\"hi\\""'
+
+    def test_unsupported_literal(self):
+        with pytest.raises(RewriteError):
+            RewriteEngine("sql").literal(object())
+
+    def test_user_defined_override(self):
+        engine = RewriteEngine("cypher", overrides={"q1": "MATCH(t: $collection:Extra)"})
+        assert engine.apply("q1", collection="X") == "MATCH(t: X:Extra)"
+
+    def test_user_defined_new_rule(self):
+        engine = RewriteEngine("sql", overrides={"custom": "EXPLAIN $subquery"})
+        assert engine.apply("custom", subquery="SELECT 1") == "EXPLAIN SELECT 1"
+        assert engine.rules["custom"].section == "USER"
+
+    def test_paper_incremental_chain_sqlpp(self):
+        """Reproduce the Table I op-1..6 chain through the rule engine."""
+        engine = RewriteEngine("sqlpp")
+        q1 = engine.apply("q1", namespace="Test", collection="Users")
+        assert q1 == "SELECT VALUE t FROM Test.Users t"
+        statement = engine.apply("eq", left="t.lang", right="'en'")
+        q4 = engine.apply("q6", subquery=q1, statement=statement)
+        assert q4 == "SELECT VALUE t FROM (SELECT VALUE t FROM Test.Users t) t WHERE t.lang = 'en'"
+        entries = engine.join_list(["t.name", "t.address"])
+        q5 = engine.apply("q2", subquery=q4, attribute_list=entries)
+        q6 = engine.apply("limit", subquery=q5, num=10)
+        assert q6.endswith("LIMIT 10")
+        assert "SELECT t.name, t.address" in q6
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.dictionaries(
+        st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True),
+        st.from_regex(r"[A-Za-z0-9_.]{1,12}", fullmatch=True),
+        min_size=1,
+        max_size=4,
+    )
+)
+def test_property_substitution_replaces_exactly_known_vars(variables):
+    template = " ".join(f"${name}" for name in variables)
+    out = substitute(template, variables)
+    assert out == " ".join(str(value) for value in variables.values())

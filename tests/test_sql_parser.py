@@ -1,0 +1,227 @@
+"""Lexer and parser tests for the SQL / SQL++ front end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LexerError, ParseError
+from repro.sqlengine.ast_nodes import (
+    BinaryOp,
+    ColumnRef,
+    FuncCall,
+    IsAbsent,
+    JoinRef,
+    Literal,
+    SelectQuery,
+    Star,
+    SubqueryRef,
+    TableRef,
+    UnaryOp,
+)
+from repro.sqlengine.lexer import tokenize
+from repro.sqlengine.parser import parse
+
+
+class TestLexer:
+    def test_keywords_and_identifiers(self):
+        tokens = tokenize("SELECT value FROM t")
+        kinds = [(t.kind, t.upper) for t in tokens[:-1]]
+        assert kinds[0] == ("KEYWORD", "SELECT")
+        assert kinds[2] == ("KEYWORD", "FROM")
+
+    def test_string_literal_with_escape(self):
+        tokens = tokenize("SELECT 'it''s'")
+        assert tokens[1].kind == "STRING" and tokens[1].text == "it's"
+
+    def test_double_quoted_identifier(self):
+        tokens = tokenize('SELECT "twentyPercent"')
+        assert tokens[1].kind == "IDENT" and tokens[1].text == "twentyPercent"
+
+    def test_backtick_identifier(self):
+        tokens = tokenize("SELECT `lang`")
+        assert tokens[1].kind == "IDENT" and tokens[1].text == "lang"
+
+    def test_numbers(self):
+        tokens = tokenize("SELECT 42, 3.14")
+        assert tokens[1].text == "42"
+        assert tokens[3].text == "3.14"
+
+    def test_line_comment_skipped(self):
+        tokens = tokenize("SELECT 1 -- comment\nFROM t")
+        assert any(t.is_keyword("FROM") for t in tokens)
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexerError):
+            tokenize("SELECT 'oops")
+
+    def test_unknown_character(self):
+        with pytest.raises(LexerError):
+            tokenize("SELECT @")
+
+    def test_two_char_operators(self):
+        tokens = tokenize("a <= b >= c != d <> e")
+        ops = [t.text for t in tokens if t.kind == "OP"]
+        assert ops == ["<=", ">=", "!=", "<>"]
+
+
+class TestParserBasics:
+    def test_simple_select(self):
+        query = parse("SELECT * FROM Test.Users t")
+        assert isinstance(query, SelectQuery)
+        assert isinstance(query.items[0].expr, Star)
+        assert query.from_item == TableRef("Test.Users", "t")
+
+    def test_projection_with_aliases(self):
+        query = parse("SELECT t.name AS n, t.age age2 FROM t")
+        assert query.items[0].alias == "n"
+        assert query.items[1].alias == "age2"
+        assert query.items[0].expr == ColumnRef("name", "t")
+
+    def test_qualified_star(self):
+        query = parse("SELECT t.* FROM t")
+        assert query.items[0].expr == Star("t")
+
+    def test_nested_subquery(self):
+        query = parse("SELECT * FROM (SELECT * FROM data) t")
+        assert isinstance(query.from_item, SubqueryRef)
+        assert query.from_item.alias == "t"
+        inner = query.from_item.query
+        assert inner.from_item == TableRef("data", None)
+
+    def test_deeply_nested(self):
+        query = parse(
+            "SELECT * FROM (SELECT * FROM (SELECT * FROM data) a) b"
+        )
+        assert isinstance(query.from_item.query.from_item, SubqueryRef)
+
+    def test_join(self):
+        query = parse(
+            "SELECT l.*, r.* FROM a l INNER JOIN b r ON l.k = r.k"
+        )
+        join = query.from_item
+        assert isinstance(join, JoinRef)
+        assert join.kind == "inner"
+        assert join.condition == BinaryOp("=", ColumnRef("k", "l"), ColumnRef("k", "r"))
+
+    def test_comma_join_rejected(self):
+        with pytest.raises(ParseError):
+            parse("SELECT * FROM a, b")
+
+    def test_where_group_order_limit(self):
+        query = parse(
+            "SELECT a, COUNT(b) FROM t WHERE a > 1 GROUP BY a ORDER BY a DESC LIMIT 5 OFFSET 2"
+        )
+        assert query.where is not None
+        assert query.group_by == (ColumnRef("a"),)
+        assert query.order_by[0].descending
+        assert query.limit == 5 and query.offset == 2
+
+    def test_trailing_semicolon(self):
+        parse("SELECT * FROM t;")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse("SELECT * FROM t garbage junk")
+
+    def test_limit_requires_integer(self):
+        with pytest.raises(ParseError):
+            parse("SELECT * FROM t LIMIT x")
+
+
+class TestExpressions:
+    def parse_where(self, text):
+        return parse(f"SELECT * FROM t WHERE {text}").where
+
+    def test_precedence_or_and(self):
+        expr = self.parse_where("a = 1 OR b = 2 AND c = 3")
+        assert isinstance(expr, BinaryOp) and expr.op == "OR"
+        assert isinstance(expr.right, BinaryOp) and expr.right.op == "AND"
+
+    def test_not(self):
+        expr = self.parse_where("NOT a = 1")
+        assert isinstance(expr, UnaryOp) and expr.op == "NOT"
+
+    def test_arithmetic_precedence(self):
+        expr = self.parse_where("a + b * 2 = 7")
+        assert expr.op == "="
+        assert expr.left.op == "+"
+        assert expr.left.right.op == "*"
+
+    def test_parentheses(self):
+        expr = self.parse_where("(a + b) * 2 = 7")
+        assert expr.left.op == "*"
+
+    def test_between_desugars(self):
+        expr = self.parse_where("a BETWEEN 1 AND 5")
+        assert expr.op == "AND"
+        assert expr.left.op == ">=" and expr.right.op == "<="
+
+    def test_is_null(self):
+        expr = self.parse_where("a IS NULL")
+        assert expr == IsAbsent(ColumnRef("a"), "null", False)
+        expr = self.parse_where("a IS NOT NULL")
+        assert expr.negated
+
+    def test_unary_minus(self):
+        expr = self.parse_where("a = -5")
+        assert isinstance(expr.right, UnaryOp)
+
+    def test_function_calls(self):
+        query = parse("SELECT UPPER(name), COUNT(*) FROM t")
+        assert query.items[0].expr == FuncCall("UPPER", (ColumnRef("name"),))
+        assert query.items[1].expr == FuncCall("COUNT", star=True)
+
+    def test_literals(self):
+        query = parse("SELECT 1, 2.5, 'x', TRUE, FALSE, NULL FROM t")
+        values = [item.expr for item in query.items]
+        assert values == [
+            Literal(1), Literal(2.5), Literal("x"),
+            Literal(True), Literal(False), Literal(None),
+        ]
+
+    def test_string_concat_operator(self):
+        expr = self.parse_where("a || b = 'ab'")
+        assert expr.left.op == "||"
+
+
+class TestDialects:
+    def test_select_value_requires_sqlpp(self):
+        parse("SELECT VALUE t FROM data t", dialect="sqlpp")
+        # In plain SQL, VALUE is just an identifier-like token → parse error
+        # because it is a keyword not usable there.
+        query = parse("SELECT VALUE FROM data t", dialect="sql")
+        assert not query.select_value  # parsed as a column named VALUE
+
+    def test_is_unknown_only_in_sqlpp(self):
+        query = parse("SELECT * FROM t WHERE a IS UNKNOWN", dialect="sqlpp")
+        assert query.where.mode == "unknown"
+        with pytest.raises(ParseError):
+            parse("SELECT * FROM t WHERE a IS UNKNOWN", dialect="sql")
+
+    def test_is_missing_only_in_sqlpp(self):
+        query = parse("SELECT * FROM t WHERE a IS MISSING", dialect="sqlpp")
+        assert query.where.mode == "missing"
+
+    def test_unknown_dialect_rejected(self):
+        with pytest.raises(ValueError):
+            parse("SELECT 1", dialect="mystery")
+
+    def test_paper_table1_sqlpp_chain(self):
+        """The exact op-6 SQL++ query from the paper's appendix parses."""
+        query = parse(
+            """SELECT t.name, t.address
+            FROM (SELECT VALUE t
+            FROM (SELECT VALUE t
+            FROM Test.Users t) t
+            WHERE t.lang = 'en') t
+            LIMIT 10;""",
+            dialect="sqlpp",
+        )
+        assert query.limit == 10
+        assert query.from_item.query.where is not None
+
+    def test_is_aggregate_detection(self):
+        assert parse("SELECT COUNT(*) FROM t").is_aggregate()
+        assert parse("SELECT a FROM t GROUP BY a").is_aggregate()
+        assert not parse("SELECT a FROM t").is_aggregate()
+        assert parse("SELECT MAX(a) + 1 FROM t").is_aggregate()

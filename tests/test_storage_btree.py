@@ -1,0 +1,209 @@
+"""B+ tree unit and property-based tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.storage.btree import BPlusTree, bulk_load
+from repro.storage.keys import index_key
+
+
+def build(pairs, order=4, unique=False):
+    tree = BPlusTree(order=order, unique=unique)
+    for key, value in pairs:
+        tree.insert(index_key(key), value)
+    return tree
+
+
+class TestBasics:
+    def test_empty_tree(self):
+        tree = BPlusTree()
+        assert len(tree) == 0
+        assert tree.distinct_keys == 0
+        assert tree.search(index_key(1)) == []
+        assert list(tree.scan()) == []
+        assert tree.min_key() is None
+        assert tree.max_key() is None
+
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            BPlusTree(order=2)
+
+    def test_insert_and_search(self):
+        tree = build([(5, "a"), (3, "b"), (8, "c")])
+        assert tree.search(index_key(5)) == ["a"]
+        assert tree.search(index_key(3)) == ["b"]
+        assert tree.search(index_key(9)) == []
+        assert len(tree) == 3
+
+    def test_duplicate_keys_accumulate(self):
+        tree = build([(1, "a"), (1, "b"), (1, "c")])
+        assert sorted(tree.search(index_key(1))) == ["a", "b", "c"]
+        assert tree.distinct_keys == 1
+        assert len(tree) == 3
+
+    def test_unique_index_rejects_duplicates(self):
+        tree = build([(1, "a")], unique=True)
+        with pytest.raises(StorageError):
+            tree.insert(index_key(1), "b")
+
+    def test_contains(self):
+        tree = build([(1, "a")])
+        assert tree.contains(index_key(1))
+        assert not tree.contains(index_key(2))
+
+    def test_min_max_keys(self):
+        tree = build([(n, n) for n in (7, 2, 9, 4)])
+        assert tree.min_key() == index_key(2)
+        assert tree.max_key() == index_key(9)
+
+    def test_height_grows_with_splits(self):
+        tree = build([(n, n) for n in range(100)], order=4)
+        assert tree.height() > 1
+        tree.check_invariants()
+
+    def test_count_entries_matches_len(self):
+        tree = build([(n % 7, n) for n in range(200)], order=4)
+        assert tree.count_entries() == len(tree) == 200
+
+
+class TestScans:
+    def setup_method(self):
+        self.tree = build([(n, f"v{n}") for n in range(50)], order=4)
+
+    def test_full_forward_scan_is_sorted(self):
+        keys = [key for key, _ in self.tree.scan()]
+        assert keys == sorted(keys)
+        assert len(keys) == 50
+
+    def test_full_backward_scan_is_reverse_sorted(self):
+        keys = [key for key, _ in self.tree.scan(reverse=True)]
+        assert keys == sorted(keys, reverse=True)
+
+    def test_bounded_range(self):
+        got = [key[1] for key, _ in self.tree.scan(index_key(10), index_key(20))]
+        assert got == list(range(10, 21))
+
+    def test_exclusive_bounds(self):
+        got = [
+            key[1]
+            for key, _ in self.tree.scan(
+                index_key(10), index_key(20), low_inclusive=False, high_inclusive=False
+            )
+        ]
+        assert got == list(range(11, 20))
+
+    def test_backward_bounded_range(self):
+        got = [
+            key[1]
+            for key, _ in self.tree.scan(index_key(10), index_key(20), reverse=True)
+        ]
+        assert got == list(range(20, 9, -1))
+
+    def test_low_bound_only(self):
+        got = [key[1] for key, _ in self.tree.scan(low=index_key(45))]
+        assert got == [45, 46, 47, 48, 49]
+
+    def test_high_bound_only(self):
+        got = [key[1] for key, _ in self.tree.scan(high=index_key(4))]
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_empty_range(self):
+        assert list(self.tree.scan(index_key(100), index_key(200))) == []
+
+    def test_keys_iteration(self):
+        assert len(list(self.tree.keys())) == 50
+
+
+class TestDelete:
+    def test_delete_existing(self):
+        tree = build([(1, "a"), (1, "b"), (2, "c")])
+        assert tree.delete(index_key(1), "a")
+        assert tree.search(index_key(1)) == ["b"]
+        assert len(tree) == 2
+
+    def test_delete_last_payload_removes_key(self):
+        tree = build([(1, "a")])
+        assert tree.delete(index_key(1), "a")
+        assert not tree.contains(index_key(1))
+        assert tree.distinct_keys == 0
+
+    def test_delete_missing_returns_false(self):
+        tree = build([(1, "a")])
+        assert not tree.delete(index_key(2), "a")
+        assert not tree.delete(index_key(1), "zzz")
+
+
+class TestBulkLoad:
+    def test_bulk_load_equivalent_to_inserts(self):
+        pairs = [(index_key(n % 13), n) for n in range(300)]
+        tree = bulk_load(pairs, order=4)
+        tree.check_invariants()
+        assert len(tree) == 300
+        assert sorted(tree.search(index_key(0))) == sorted(
+            n for n in range(300) if n % 13 == 0
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(-1000, 1000), st.integers(0, 10_000)),
+        max_size=300,
+    ),
+    st.integers(3, 16),
+)
+def test_property_matches_sorted_reference(pairs, order):
+    """Tree contents and orderings always match a sorted reference model."""
+    tree = BPlusTree(order=order)
+    reference: dict[tuple, list[int]] = {}
+    for key, value in pairs:
+        normalized = index_key(key)
+        tree.insert(normalized, value)
+        reference.setdefault(normalized, []).append(value)
+    tree.check_invariants()
+    assert len(tree) == sum(len(v) for v in reference.values())
+    assert tree.distinct_keys == len(reference)
+    expected = [
+        (key, value) for key in sorted(reference) for value in reference[key]
+    ]
+    assert list(tree.scan()) == expected
+    assert [key for key, _ in tree.scan(reverse=True)] == [
+        key for key, _ in reversed(expected)
+    ]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.integers(0, 200), min_size=1, max_size=200),
+    st.integers(0, 200),
+    st.integers(0, 200),
+)
+def test_property_range_scan_matches_filter(keys, raw_low, raw_high):
+    low, high = min(raw_low, raw_high), max(raw_low, raw_high)
+    tree = build([(key, key) for key in keys], order=5)
+    got = [key[1] for key, _ in tree.scan(index_key(low), index_key(high))]
+    expected = sorted(key for key in keys if low <= key <= high)
+    assert got == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 50), st.integers(0, 100)), max_size=150))
+def test_property_delete_then_lookup(pairs):
+    tree = BPlusTree(order=4)
+    for key, value in pairs:
+        tree.insert(index_key(key), value)
+    for key, value in pairs[::2]:
+        tree.delete(index_key(key), value)
+    survivors: dict[tuple, list[int]] = {}
+    deleted = list(pairs[::2])
+    for key, value in pairs:
+        if (key, value) in deleted:
+            deleted.remove((key, value))
+            continue
+        survivors.setdefault(index_key(key), []).append(value)
+    for key, values in survivors.items():
+        assert sorted(tree.search(key)) == sorted(values)

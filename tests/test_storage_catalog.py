@@ -1,0 +1,206 @@
+"""Catalog, heap, keys, and statistics tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CatalogError, DuplicateKeyError, StorageError
+from repro.storage import Catalog, RowHeap, SENTINEL_MISSING, index_key
+from repro.storage.keys import is_absent
+from repro.storage.stats import compute_stats
+
+
+class TestKeys:
+    def test_total_order_across_types(self):
+        ordered = [SENTINEL_MISSING, None, False, True, -5, 0, 3.5, 10, "a", "b"]
+        keys = [index_key(value) for value in ordered]
+        assert keys == sorted(keys)
+
+    def test_missing_sorts_before_null(self):
+        assert index_key(SENTINEL_MISSING) < index_key(None)
+
+    def test_numbers_compare_across_int_float(self):
+        assert index_key(1) < index_key(1.5) < index_key(2)
+
+    def test_tuple_keys(self):
+        assert index_key((1, "a")) < index_key((1, "b"))
+        assert index_key([1]) < index_key([2])
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            index_key(object())
+
+    def test_is_absent(self):
+        assert is_absent(None)
+        assert is_absent(SENTINEL_MISSING)
+        assert not is_absent(0)
+        assert not is_absent("")
+
+    def test_missing_is_falsy_singleton(self):
+        assert not SENTINEL_MISSING
+        assert repr(SENTINEL_MISSING) == "MISSING"
+        assert type(SENTINEL_MISSING)() is SENTINEL_MISSING
+
+
+class TestRowHeap:
+    def test_insert_fetch_roundtrip(self):
+        heap = RowHeap()
+        rid = heap.insert({"a": 1})
+        assert heap.fetch(rid) == {"a": 1}
+        assert len(heap) == 1
+
+    def test_rids_are_monotonic(self):
+        heap = RowHeap()
+        rids = heap.insert_many([{"n": n} for n in range(5)])
+        assert rids == [0, 1, 2, 3, 4]
+
+    def test_scan_order_is_insertion_order(self):
+        heap = RowHeap()
+        heap.insert_many([{"n": n} for n in range(5)])
+        assert [record["n"] for record in heap.scan_records()] == [0, 1, 2, 3, 4]
+
+    def test_delete(self):
+        heap = RowHeap()
+        rid = heap.insert({"a": 1})
+        assert heap.delete(rid) == {"a": 1}
+        with pytest.raises(StorageError):
+            heap.fetch(rid)
+
+    def test_non_dict_record_rejected(self):
+        heap = RowHeap()
+        with pytest.raises(StorageError):
+            heap.insert([1, 2])
+
+    def test_filter(self):
+        heap = RowHeap()
+        heap.insert_many([{"n": n} for n in range(10)])
+        matched = list(heap.filter(lambda record: record["n"] % 2 == 0))
+        assert len(matched) == 5
+
+
+class TestCatalog:
+    def test_create_and_resolve_table(self):
+        catalog = Catalog()
+        catalog.create_table("Test.Users")
+        assert catalog.has_table("Test.Users")
+        assert catalog.has_table("test.users")  # case-insensitive
+        assert catalog.table("Test.Users").name == "Test.Users"
+
+    def test_duplicate_table_rejected(self):
+        catalog = Catalog()
+        catalog.create_table("t")
+        with pytest.raises(CatalogError):
+            catalog.create_table("T")
+
+    def test_unknown_table_raises(self):
+        with pytest.raises(CatalogError):
+            Catalog().table("nope")
+
+    def test_primary_key_creates_unique_index(self):
+        catalog = Catalog()
+        info = catalog.create_table("t", primary_key="id")
+        index = info.index_on("id")
+        assert index is not None and index.unique
+
+    def test_primary_key_duplicate_rejected_and_heap_unchanged(self):
+        catalog = Catalog()
+        catalog.create_table("t", primary_key="id")
+        catalog.insert_row("t", {"id": 1})
+        with pytest.raises(DuplicateKeyError):
+            catalog.insert_row("t", {"id": 1})
+        assert catalog.table("t").row_count == 1
+
+    def test_primary_key_must_be_present(self):
+        catalog = Catalog()
+        catalog.create_table("t", primary_key="id")
+        with pytest.raises(StorageError):
+            catalog.insert_row("t", {"other": 1})
+
+    def test_secondary_index_maintained_on_insert(self):
+        catalog = Catalog()
+        catalog.create_table("t")
+        catalog.create_index("t_a", "t", "a")
+        catalog.insert_row("t", {"a": 5})
+        catalog.insert_row("t", {"a": 5})
+        index = catalog.table("t").indexes["t_a"]
+        assert len(index.tree.search(index_key(5))) == 2
+
+    def test_index_backfills_existing_rows(self):
+        catalog = Catalog()
+        catalog.create_table("t")
+        catalog.insert_row("t", {"a": 1})
+        catalog.create_index("t_a", "t", "a")
+        assert catalog.table("t").indexes["t_a"].tree.contains(index_key(1))
+
+    def test_absent_values_policy(self):
+        with_nulls = Catalog(default_include_absent=True)
+        with_nulls.create_table("t")
+        with_nulls.insert_row("t", {"a": None})
+        with_nulls.insert_row("t", {})
+        with_nulls.create_index("t_a", "t", "a")
+        assert len(with_nulls.table("t").indexes["t_a"].tree) == 2
+
+        without = Catalog(default_include_absent=False)
+        without.create_table("t")
+        without.insert_row("t", {"a": None})
+        without.insert_row("t", {})
+        without.create_index("t_a", "t", "a")
+        assert len(without.table("t").indexes["t_a"].tree) == 0
+
+    def test_drop_table_and_index(self):
+        catalog = Catalog()
+        catalog.create_table("t")
+        catalog.create_index("t_a", "t", "a")
+        catalog.drop_index("t", "t_a")
+        assert catalog.table("t").index_on("a") is None
+        catalog.drop_table("t")
+        assert not catalog.has_table("t")
+
+
+class TestStats:
+    def test_basic_profile(self):
+        records = [{"a": 1, "b": "x"}, {"a": 3, "b": None}, {"a": 2}]
+        stats = compute_stats(records)
+        assert stats.row_count == 3
+        a = stats.columns["a"]
+        assert (a.min_value, a.max_value) == (1, 3)
+        assert a.distinct_estimate == 3
+        b = stats.columns["b"]
+        assert b.null_count == 1
+        assert b.missing_count == 1
+        assert b.absent_count == 2
+
+    def test_open_schema_missing_counted(self):
+        records = [{"a": 1}, {"a": 2, "late": 9}]
+        stats = compute_stats(records)
+        assert stats.columns["late"].missing_count == 1
+
+    def test_selectivity_eq(self):
+        records = [{"a": n % 10} for n in range(100)]
+        stats = compute_stats(records)
+        assert stats.columns["a"].selectivity_eq(100) == pytest.approx(0.1)
+
+    def test_selectivity_range_uniform(self):
+        records = [{"a": n} for n in range(100)]
+        stats = compute_stats(records)
+        sel = stats.columns["a"].selectivity_range(0, 49, 100)
+        assert 0.4 < sel < 0.6
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.dictionaries(
+            st.sampled_from(["a", "b", "c"]),
+            st.one_of(st.none(), st.integers(-50, 50)),
+        ),
+        max_size=60,
+    )
+)
+def test_property_stats_counts_sum_to_rows(records):
+    stats = compute_stats(records)
+    for column in stats.columns.values():
+        total = column.non_null_count + column.null_count + column.missing_count
+        assert total == stats.row_count

@@ -1,0 +1,120 @@
+"""Wisconsin generator tests: Table II attribute invariants."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.wisconsin import WisconsinGenerator, wisconsin_records
+from repro.wisconsin.generator import _string4, _unique_string
+
+
+@pytest.fixture(scope="module")
+def records():
+    return wisconsin_records(500)
+
+
+class TestTableIIInvariants:
+    def test_unique2_is_sequential_key(self, records):
+        assert [r["unique2"] for r in records] == list(range(500))
+
+    def test_unique1_is_a_permutation(self, records):
+        values = [r["unique1"] for r in records if "unique1" in r]
+        assert sorted(values) == list(range(500))
+        assert values != list(range(500))  # randomly ordered
+
+    def test_modular_attributes(self, records):
+        for record in records:
+            unique1 = record["unique1"]
+            assert record["two"] == unique1 % 2
+            assert record["four"] == unique1 % 4
+            assert record["ten"] == unique1 % 10
+            assert record["twenty"] == unique1 % 20
+            assert record["onePercent"] == unique1 % 100
+            assert record["twentyPercent"] == unique1 % 5
+            assert record["fiftyPercent"] == unique1 % 2
+            assert record["unique3"] == unique1
+            if "tenPercent" in record:
+                assert record["tenPercent"] == unique1 % 10
+
+    def test_even_odd_one_percent(self, records):
+        for record in records:
+            assert record["evenOnePercent"] == record["onePercent"] * 2
+            assert record["oddOnePercent"] == record["onePercent"] * 2 + 1
+            assert record["evenOnePercent"] % 2 == 0
+            assert record["oddOnePercent"] % 2 == 1
+
+    def test_selectivities(self, records):
+        # onePercent equality selects ~1% of rows (uniform distribution).
+        count = sum(1 for r in records if r["onePercent"] == 42)
+        assert count == 5  # exactly 1% of 500
+
+    def test_string_attributes(self, records):
+        for record in records[:20]:
+            assert len(record["stringu1"]) == 52
+            assert len(record["stringu2"]) == 52
+            assert len(record["string4"]) == 52
+            assert record["string4"][:4] in ("AAAA", "HHHH", "OOOO", "VVVV")
+
+    def test_stringu_encodes_number_uniquely(self):
+        assert _unique_string(0) != _unique_string(1)
+        assert _unique_string(12345) == _unique_string(12345)
+        assert _unique_string(7).endswith("x" * 45)
+
+    def test_string4_cycles(self):
+        letters = [_string4(n)[0] for n in range(8)]
+        assert letters == ["A", "H", "O", "V", "A", "H", "O", "V"]
+
+    def test_missing_tenpercent_fraction(self, records):
+        missing = sum(1 for r in records if "tenPercent" not in r)
+        assert missing == 50  # exactly 10%: unique1 % 10 == 0
+
+    def test_missing_disabled(self):
+        complete = wisconsin_records(100, missing_attribute=None)
+        assert all("tenPercent" in r for r in complete)
+
+    def test_custom_missing_attribute(self):
+        records = wisconsin_records(100, missing_attribute="twenty", missing_fraction=0.5)
+        missing = sum(1 for r in records if "twenty" not in r)
+        assert missing == 50
+
+
+class TestGeneratorMechanics:
+    def test_deterministic_for_seed(self):
+        first = wisconsin_records(50, seed=9)
+        second = wisconsin_records(50, seed=9)
+        assert first == second
+        different = wisconsin_records(50, seed=10)
+        assert first != different
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            WisconsinGenerator(0)
+        with pytest.raises(ValueError):
+            WisconsinGenerator(10, missing_fraction=2.0)
+
+    def test_write_json_roundtrip(self, tmp_path):
+        path = tmp_path / "w.json"
+        generator = WisconsinGenerator(30)
+        written = generator.write_json(path)
+        assert written == path.stat().st_size
+        loaded = [json.loads(line) for line in path.read_text().splitlines()]
+        assert loaded == generator.records()
+
+    def test_estimated_json_bytes_close(self, tmp_path):
+        path = tmp_path / "w.json"
+        generator = WisconsinGenerator(100)
+        actual = generator.write_json(path)
+        estimate = generator.estimated_json_bytes()
+        assert abs(estimate - actual) / actual < 0.05
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(1, 400))
+def test_property_any_size_has_consistent_attributes(n):
+    records = wisconsin_records(n)
+    assert len(records) == n
+    assert sorted(r["unique1"] for r in records) == list(range(n))
