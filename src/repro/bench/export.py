@@ -22,6 +22,8 @@ _FIELDS = (
     "creation_seconds",
     "expression_seconds",
     "total_seconds",
+    "retries",
+    "degraded",
 )
 
 
@@ -36,6 +38,8 @@ def measurements_to_dicts(measurements: Sequence[Measurement]) -> list[dict]:
             "creation_seconds": m.creation_seconds,
             "expression_seconds": m.expression_seconds,
             "total_seconds": m.total_seconds,
+            "retries": m.retries,
+            "degraded": m.degraded,
         }
         for m in measurements
     ]
@@ -67,6 +71,8 @@ def from_json(text: str) -> list[Measurement]:
                 status=row["status"],
                 creation_seconds=float(row["creation_seconds"]),
                 expression_seconds=float(row["expression_seconds"]),
+                retries=int(row.get("retries", 0)),
+                degraded=bool(row.get("degraded", False)),
             )
         )
     return out

@@ -33,7 +33,13 @@ STATUS_UNSUPPORTED = "unsupported"
 
 @dataclass(frozen=True)
 class Measurement:
-    """One timed (system, dataset, expression) cell."""
+    """One timed (system, dataset, expression) cell.
+
+    ``retries`` counts extra query attempts the resilience layer spent
+    (connector-level retries plus per-shard retries) while evaluating the
+    expression; ``degraded`` marks that at least one answer was partial
+    (a shard was dropped under ``allow_partial=True``).
+    """
 
     system: str
     dataset: str
@@ -41,6 +47,8 @@ class Measurement:
     status: str
     creation_seconds: float
     expression_seconds: float
+    retries: int = 0
+    degraded: bool = False
 
     @property
     def total_seconds(self) -> float:
@@ -86,7 +94,11 @@ def run_expression(
             )
         expression = time.perf_counter() - started
         expression = _adjust_for_simulated_parallelism(system, expression, send_mark)
-    return Measurement(system.name, dataset, expr.id, STATUS_OK, creation, expression)
+        retries, degraded = _resilience_outcomes(system, send_mark)
+    return Measurement(
+        system.name, dataset, expr.id, STATUS_OK, creation, expression,
+        retries=retries, degraded=degraded,
+    )
 
 
 def _adjust_for_simulated_parallelism(
@@ -105,6 +117,16 @@ def _adjust_for_simulated_parallelism(
     real = sum(record.real_seconds for record in records)
     reported = sum(record.reported_seconds for record in records)
     return max(0.0, wall_seconds - real + reported)
+
+
+def _resilience_outcomes(system: SystemUnderTest, send_mark: int) -> tuple[int, bool]:
+    """Retries spent and whether any answer was degraded, per expression."""
+    if system.connector is None:
+        return 0, False
+    records = system.connector.send_log[send_mark:]
+    retries = sum(record.retries for record in records)
+    degraded = any(record.outcome == "partial" for record in records)
+    return retries, degraded
 
 
 def run_suite(

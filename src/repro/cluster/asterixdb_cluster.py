@@ -6,6 +6,7 @@ from typing import Any, Iterable
 
 from repro.cluster.base import scatter_gather, shard_records
 from repro.cluster.merge import spec_for_select
+from repro.resilience import FaultInjector, RetryPolicy
 from repro.sqlengine.parser import parse
 from repro.sqlengine.result import ResultSet
 from repro.sqlpp import AsterixDB
@@ -21,10 +22,21 @@ class AsterixDBCluster:
     :class:`~repro.core.connectors.AsterixDBConnector` works unchanged.
     """
 
-    def __init__(self, num_nodes: int, *, query_prep_overhead: float = DEFAULT_PREP_OVERHEAD) -> None:
+    def __init__(
+        self,
+        num_nodes: int,
+        *,
+        query_prep_overhead: float = DEFAULT_PREP_OVERHEAD,
+        retry_policy: RetryPolicy | None = None,
+        fault_injector: FaultInjector | None = None,
+        allow_partial: bool = False,
+    ) -> None:
         if num_nodes < 1:
             raise ValueError("a cluster needs at least one node")
         self.num_nodes = num_nodes
+        self.retry_policy = retry_policy
+        self.fault_injector = fault_injector
+        self.allow_partial = allow_partial
         self.nodes = [
             AsterixDB(query_prep_overhead=query_prep_overhead, name=f"asterixdb-node{i}")
             for i in range(num_nodes)
@@ -82,4 +94,8 @@ class AsterixDBCluster:
             lambda shard: self.nodes[shard].execute(query_text),
             self.num_nodes,
             spec,
+            retry_policy=self.retry_policy,
+            fault_injector=self.fault_injector,
+            backend_name=self.name,
+            allow_partial=self.allow_partial,
         )

@@ -1,11 +1,23 @@
-"""Shared scatter-gather machinery for sharded engines."""
+"""Shared scatter-gather machinery for sharded engines.
+
+Beyond the basic run-everywhere-and-merge structure, :func:`scatter_gather`
+is the cluster-side resilience boundary: each shard attempt can have
+faults injected (chaos testing), failed shards are retried under a
+:class:`~repro.resilience.RetryPolicy`, and an irrecoverably down shard
+either raises a precise :class:`~repro.errors.ShardFailureError` or — with
+``allow_partial=True`` — is dropped, returning the merged results of the
+surviving shards flagged ``partial=True``.  See ``docs/resilience.md``.
+"""
 
 from __future__ import annotations
 
 import time
+import zlib
 from typing import Any, Callable, Sequence
 
 from repro.cluster.merge import MergeSpec, merge_records
+from repro.errors import ConnectorError, ReproError, ShardFailureError
+from repro.resilience import FaultInjector, RetryPolicy
 from repro.sqlengine.result import QueryStats, ResultSet
 
 #: Simulated per-query coordinator cost (shipping plans, gathering results).
@@ -18,6 +30,10 @@ def scatter_gather(
     spec: MergeSpec,
     *,
     coordinator_overhead: float = DEFAULT_COORDINATOR_OVERHEAD,
+    retry_policy: RetryPolicy | None = None,
+    fault_injector: FaultInjector | None = None,
+    backend_name: str = "",
+    allow_partial: bool = False,
 ) -> ResultSet:
     """Run a query on every shard and merge the partial results.
 
@@ -25,8 +41,61 @@ def scatter_gather(
     ``elapsed_seconds`` is ``max(per-shard elapsed) + merge time +
     coordinator overhead`` — the wall time of a cluster whose shards run in
     parallel.  See the package docstring for why this simulation is used.
+
+    Failure semantics: a shard attempt that raises a
+    :class:`~repro.errors.ConnectorError` (transient faults, timeouts) is
+    retried under *retry_policy*; when its budget is exhausted the shard is
+    declared down.  A down shard raises :class:`ShardFailureError` naming
+    the shard — unless ``allow_partial=True``, in which case it is dropped
+    and the merged result of the surviving shards is returned with
+    ``partial=True`` and ``stats.failed_shards`` counting the losses.
+    Non-connector errors (bad queries, unsupported operations) always
+    propagate unchanged.  *fault_injector* hooks fire once per shard
+    attempt under the key ``"<backend_name>#shard<i>"``.
     """
-    shard_results: list[ResultSet] = [run_on_shard(shard) for shard in range(num_shards)]
+    if num_shards < 1:
+        raise ReproError(
+            f"scatter_gather needs at least one shard, got {num_shards}"
+        )
+    shard_results: list[ResultSet] = []
+    shard_attempts: list[int] = []
+    failed_shards: list[int] = []
+    for shard in range(num_shards):
+        key = f"{backend_name}#shard{shard}"
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                if fault_injector is not None:
+                    fault_injector.before_request(key)
+                result = run_on_shard(shard)
+            except Exception as exc:
+                if retry_policy is not None and retry_policy.should_retry(exc, attempt):
+                    retry_policy.wait(attempt)
+                    continue
+                if not isinstance(exc, ConnectorError):
+                    # Engine/query errors are not shard outages; surface as-is.
+                    raise
+                shard_attempts.append(attempt)
+                if allow_partial:
+                    failed_shards.append(shard)
+                    break
+                raise ShardFailureError(
+                    f"shard {shard} of {backend_name or 'cluster'} failed after "
+                    f"{attempt} attempt(s): {exc}",
+                    shard=shard,
+                    attempts=attempt,
+                ) from exc
+            shard_attempts.append(attempt)
+            shard_results.append(result)
+            break
+    if not shard_results:
+        raise ShardFailureError(
+            f"every shard of {backend_name or 'cluster'} is down "
+            f"({num_shards} of {num_shards} failed)",
+            attempts=sum(shard_attempts),
+        )
+
     merge_started = time.perf_counter()
     merged = merge_records(spec, [result.records for result in shard_results])
     merge_elapsed = time.perf_counter() - merge_started
@@ -34,17 +103,23 @@ def scatter_gather(
     stats = QueryStats()
     for result in shard_results:
         stats.merge(result.stats)
+    stats.retries += sum(attempts - 1 for attempts in shard_attempts)
+    stats.failed_shards += len(failed_shards)
     elapsed = (
         max(result.elapsed_seconds for result in shard_results)
         + merge_elapsed
         + coordinator_overhead
     )
-    plan = shard_results[0].plan_text if shard_results else ""
+    partial = bool(failed_shards)
+    degraded = f", partial: lost shards {failed_shards}" if partial else ""
+    plan = shard_results[0].plan_text
     return ResultSet(
         records=merged,
         stats=stats,
-        plan_text=f"scatter-gather[{num_shards} shards, {spec.kind}]\n{plan}",
+        plan_text=f"scatter-gather[{num_shards} shards, {spec.kind}{degraded}]\n{plan}",
         elapsed_seconds=elapsed,
+        partial=partial,
+        shard_attempts=tuple(shard_attempts),
     )
 
 
@@ -56,23 +131,37 @@ def round_robin_shards(records: Sequence[dict[str, Any]], num_shards: int) -> li
     return shards
 
 
+def stable_hash(value: Any) -> int:
+    """A process-independent hash for shard placement.
+
+    The builtin ``hash()`` is salted per process for strings (by
+    ``PYTHONHASHSEED``), so it cannot decide shard placement reproducibly:
+    a coordinator restarted tomorrow would route the same key to a
+    different shard.  CRC-32 over the value's ``repr`` is stable across
+    processes and platforms; ``repr`` keeps distinct types distinct
+    (``1`` vs ``'1'``).
+    """
+    return zlib.crc32(repr(value).encode("utf-8"))
+
+
 def shard_records(
     records: Sequence[dict[str, Any]],
     num_shards: int,
     shard_key: str | None = None,
 ) -> list[list[dict[str, Any]]]:
-    """Partition records by hash of *shard_key* (or round-robin when None).
+    """Partition records by stable hash of *shard_key* (round-robin when None).
 
     Hash placement on the join column makes equi-joins co-located, the way
     Greenplum's ``DISTRIBUTED BY`` and AsterixDB's hash-partitioned
     datasets behave; the scatter-gather join merge is only correct for
     co-located joins, so the benchmark loads data with
-    ``shard_key='unique1'``.
+    ``shard_key='unique1'``.  Placement uses :func:`stable_hash` so the
+    same key lands on the same shard in every process.
     """
     if shard_key is None:
         return round_robin_shards(records, num_shards)
     shards: list[list[dict[str, Any]]] = [[] for _ in range(num_shards)]
     for record in records:
         value = record.get(shard_key)
-        shards[hash(value) % num_shards].append(record)
+        shards[stable_hash(value) % num_shards].append(record)
     return shards

@@ -13,6 +13,7 @@ from typing import Any, Iterable
 
 from repro.cluster.base import scatter_gather, shard_records
 from repro.cluster.merge import spec_for_select
+from repro.resilience import FaultInjector, RetryPolicy
 from repro.sqlengine import OptimizerFeatures, SQLDatabase
 from repro.sqlengine.parser import parse
 from repro.sqlengine.result import ResultSet
@@ -30,10 +31,16 @@ class GreenplumCluster:
         *,
         features: OptimizerFeatures | None = None,
         query_prep_overhead: float = DEFAULT_PREP_OVERHEAD,
+        retry_policy: RetryPolicy | None = None,
+        fault_injector: FaultInjector | None = None,
+        allow_partial: bool = False,
     ) -> None:
         if num_nodes < 1:
             raise ValueError("a cluster needs at least one node")
         self.num_nodes = num_nodes
+        self.retry_policy = retry_policy
+        self.fault_injector = fault_injector
+        self.allow_partial = allow_partial
         self.features = features if features is not None else OptimizerFeatures.greenplum()
         self.nodes = [
             SQLDatabase(
@@ -84,6 +91,10 @@ class GreenplumCluster:
             lambda shard: self.nodes[shard].execute(query_text),
             self.num_nodes,
             spec,
+            retry_policy=self.retry_policy,
+            fault_injector=self.fault_injector,
+            backend_name=self.name,
+            allow_partial=self.allow_partial,
         )
 
     def explain(self, query_text: str) -> str:

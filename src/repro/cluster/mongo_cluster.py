@@ -8,6 +8,7 @@ from repro.cluster.base import scatter_gather, shard_records
 from repro.cluster.merge import spec_for_pipeline
 from repro.docstore import MongoDatabase
 from repro.docstore.database import DEFAULT_PREP_OVERHEAD
+from repro.resilience import FaultInjector, RetryPolicy
 from repro.sqlengine.result import ResultSet
 
 
@@ -20,10 +21,21 @@ class MongoDBCluster:
     raises :class:`~repro.errors.UnsupportedOperationError` here.
     """
 
-    def __init__(self, num_nodes: int, *, query_prep_overhead: float = DEFAULT_PREP_OVERHEAD) -> None:
+    def __init__(
+        self,
+        num_nodes: int,
+        *,
+        query_prep_overhead: float = DEFAULT_PREP_OVERHEAD,
+        retry_policy: RetryPolicy | None = None,
+        fault_injector: FaultInjector | None = None,
+        allow_partial: bool = False,
+    ) -> None:
         if num_nodes < 1:
             raise ValueError("a cluster needs at least one node")
         self.num_nodes = num_nodes
+        self.retry_policy = retry_policy
+        self.fault_injector = fault_injector
+        self.allow_partial = allow_partial
         self.nodes = [
             MongoDatabase(query_prep_overhead=query_prep_overhead, name=f"mongod-{i}")
             for i in range(num_nodes)
@@ -68,4 +80,8 @@ class MongoDBCluster:
             lambda shard: self.nodes[shard].aggregate(collection, pipeline),
             self.num_nodes,
             spec,
+            retry_policy=self.retry_policy,
+            fault_injector=self.fault_injector,
+            backend_name=self.name,
+            allow_partial=self.allow_partial,
         )

@@ -2,18 +2,29 @@
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.core.connectors.base import DatabaseConnector
 from repro.sqlengine.result import ResultSet
 from repro.sqlpp import AsterixDB
 
 
 class AsterixDBConnector(DatabaseConnector):
-    """Sends SQL++ text to an :class:`~repro.sqlpp.AsterixDB` instance."""
+    """Sends SQL++ text to an :class:`~repro.sqlpp.AsterixDB` instance.
+
+    ``**resilience`` forwards ``retry_policy``/``timeout``/
+    ``circuit_breaker``/``fault_injector`` to :class:`DatabaseConnector`.
+    """
 
     language = "sqlpp"
 
-    def __init__(self, database: AsterixDB, rule_overrides: dict[str, str] | None = None) -> None:
-        super().__init__(rule_overrides)
+    def __init__(
+        self,
+        database: AsterixDB,
+        rule_overrides: dict[str, str] | None = None,
+        **resilience: Any,
+    ) -> None:
+        super().__init__(rule_overrides, **resilience)
         self._db = database
 
     def _execute(self, query: str, collection: str) -> ResultSet:

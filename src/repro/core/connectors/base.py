@@ -6,6 +6,13 @@ initialization, pre-processing of queries before sending them to the
 database, and post processing of queries' results from the database.  A new
 database connector can be included by providing an implementation of these
 three required methods."*
+
+On top of the paper's contract, :meth:`send` is the resilience boundary:
+it gates requests through an optional per-backend circuit breaker, injects
+configured faults (chaos testing), enforces a query deadline, and retries
+transient failures under a :class:`~repro.resilience.RetryPolicy` — with
+attempt/outcome bookkeeping recorded per query in :class:`SendRecord`.
+See ``docs/resilience.md``.
 """
 
 from __future__ import annotations
@@ -17,26 +24,49 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.core.rewrite import RewriteEngine
+from repro.errors import CircuitOpenError
+from repro.resilience import CircuitBreaker, FaultInjector, QueryTimeout, RetryPolicy
+from repro.resilience.faults import global_resilience
 from repro.sqlengine.result import ResultSet
 
 #: Query trace: enable with ``logging.getLogger('repro.polyframe').setLevel(DEBUG)``
 #: to see every query an action ships, with its timing and result size.
 logger = logging.getLogger("repro.polyframe")
 
+#: SendRecord outcomes.
+OUTCOME_OK = "ok"  # succeeded, complete answer
+OUTCOME_PARTIAL = "partial"  # succeeded, but degraded (shards missing)
+OUTCOME_ERROR = "error"  # every attempt failed; the error propagated
+OUTCOME_REJECTED = "rejected"  # circuit breaker refused without executing
+
 
 @dataclass(frozen=True)
 class SendRecord:
-    """Timing of one query sent through a connector.
+    """Timing and outcome of one query sent through a connector.
 
     ``real_seconds`` is the wall time this process spent executing the
-    query; ``reported_seconds`` is what the engine reports, which for the
-    cluster simulations is the *parallel* elapsed time an N-node cluster
-    would observe (shards run sequentially in-process).  The benchmark
-    runner uses the difference to report cluster timings correctly.
+    query (all attempts, including backoff sleeps); ``reported_seconds``
+    is what the engine reports, which for the cluster simulations is the
+    *parallel* elapsed time an N-node cluster would observe (shards run
+    sequentially in-process).  The benchmark runner uses the difference to
+    report cluster timings correctly.
+
+    ``attempts`` counts connector-level execution attempts (1 = first try
+    succeeded); ``shard_retries`` counts extra per-shard attempts a
+    cluster's scatter-gather spent below this send; ``outcome`` is one of
+    ``'ok'``, ``'partial'``, ``'error'``, ``'rejected'``.
     """
 
     real_seconds: float
     reported_seconds: float
+    attempts: int = 1
+    outcome: str = OUTCOME_OK
+    shard_retries: int = 0
+
+    @property
+    def retries(self) -> int:
+        """Total extra attempts spent on this query, at every level."""
+        return max(0, self.attempts - 1) + self.shard_retries
 
 
 class DatabaseConnector(abc.ABC):
@@ -45,16 +75,41 @@ class DatabaseConnector(abc.ABC):
     Subclasses set :attr:`language` (which built-in rule set to load) and
     implement :meth:`_execute`.  ``rule_overrides`` lets callers install
     user-defined rewrites at connection time.
+
+    Resilience knobs (all optional, all public attributes so they can be
+    reconfigured after construction):
+
+    - ``retry_policy`` — retry transient failures with backoff.
+    - ``timeout`` — per-attempt deadline (:class:`QueryTimeout` or seconds).
+    - ``circuit_breaker`` — fail fast while the backend is unhealthy.
+    - ``fault_injector`` — chaos hooks for deterministic failure testing.
+
+    When no ``fault_injector`` is set and the ``REPRO_FAULT_RATE``
+    environment variable is, a process-wide injector (plus a default retry
+    policy, unless one was given) is used instead — the CI chaos job runs
+    the whole suite this way.
     """
 
     #: Name of the rewrite-rule language this connector speaks.
     language: str = ""
 
-    def __init__(self, rule_overrides: dict[str, str] | None = None) -> None:
+    def __init__(
+        self,
+        rule_overrides: dict[str, str] | None = None,
+        *,
+        retry_policy: RetryPolicy | None = None,
+        timeout: QueryTimeout | float | None = None,
+        circuit_breaker: CircuitBreaker | None = None,
+        fault_injector: FaultInjector | None = None,
+    ) -> None:
         if not self.language:
             raise TypeError("connector subclasses must set a language")
         self.rewriter = RewriteEngine(self.language, rule_overrides)
         self.send_log: list[SendRecord] = []
+        self.retry_policy = retry_policy
+        self.timeout = QueryTimeout(timeout) if isinstance(timeout, (int, float)) else timeout
+        self.circuit_breaker = circuit_breaker
+        self.fault_injector = fault_injector
 
     # ------------------------------------------------------------------
     # The three required methods
@@ -69,17 +124,82 @@ class DatabaseConnector(abc.ABC):
     def send(self, query: str, collection: str) -> ResultSet:
         """Execute *query* (already rewritten) and return the raw result.
 
-        Wraps the backend call with timing bookkeeping (see
-        :class:`SendRecord`); backends implement :meth:`_execute`.
+        Wraps the backend call with circuit breaking, fault injection,
+        deadline enforcement, bounded retries, and timing/outcome
+        bookkeeping (see :class:`SendRecord`); backends implement
+        :meth:`_execute`.
         """
-        started = time.perf_counter()
-        result = self._execute(query, collection)
-        real = time.perf_counter() - started
-        self.send_log.append(SendRecord(real, result.elapsed_seconds))
+        injector = self.fault_injector
+        policy = self.retry_policy
+        if injector is None:
+            injector, global_policy = global_resilience()
+            if policy is None:
+                policy = global_policy
+        breaker = self.circuit_breaker
+
+        total_started = time.perf_counter()
+        attempt = 0
+        while True:
+            attempt += 1
+            if breaker is not None:
+                try:
+                    breaker.allow()
+                except CircuitOpenError:
+                    self.send_log.append(
+                        SendRecord(
+                            time.perf_counter() - total_started,
+                            0.0,
+                            attempts=attempt - 1,
+                            outcome=OUTCOME_REJECTED,
+                        )
+                    )
+                    raise
+            attempt_started = time.perf_counter()
+            try:
+                if injector is not None:
+                    injector.before_request(self.name)
+                result = self._execute(query, collection)
+                if self.timeout is not None:
+                    self.timeout.check(
+                        time.perf_counter() - attempt_started,
+                        backend=self.name,
+                        query=query,
+                    )
+            except Exception as exc:
+                if breaker is not None:
+                    breaker.record_failure()
+                if policy is not None and policy.should_retry(exc, attempt):
+                    logger.debug(
+                        "%s attempt %d failed (%s); retrying", self.name, attempt, exc
+                    )
+                    policy.wait(attempt)
+                    continue
+                self.send_log.append(
+                    SendRecord(
+                        time.perf_counter() - total_started,
+                        0.0,
+                        attempts=attempt,
+                        outcome=OUTCOME_ERROR,
+                    )
+                )
+                raise
+            break
+
+        if breaker is not None:
+            breaker.record_success()
+        real = time.perf_counter() - total_started
+        record = SendRecord(
+            real,
+            result.elapsed_seconds,
+            attempts=attempt,
+            outcome=OUTCOME_PARTIAL if result.partial else OUTCOME_OK,
+            shard_retries=result.stats.retries,
+        )
+        self.send_log.append(record)
         if logger.isEnabledFor(logging.DEBUG):
             logger.debug(
-                "%s <- %s (%d rows, %.2fms)\n%s",
-                self.name, collection, len(result.records), real * 1000, query,
+                "%s <- %s (%d rows, %.2fms, %d attempts)\n%s",
+                self.name, collection, len(result.records), real * 1000, attempt, query,
             )
         return result
 

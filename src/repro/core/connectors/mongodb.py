@@ -22,8 +22,13 @@ class MongoDBConnector(DatabaseConnector):
 
     language = "mongo"
 
-    def __init__(self, database: MongoDatabase, rule_overrides: dict[str, str] | None = None) -> None:
-        super().__init__(rule_overrides)
+    def __init__(
+        self,
+        database: MongoDatabase,
+        rule_overrides: dict[str, str] | None = None,
+        **resilience: Any,
+    ) -> None:
+        super().__init__(rule_overrides, **resilience)
         self._db = database
 
     def preprocess(self, query: str, collection: str) -> list[dict[str, Any]]:

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.core.connectors.base import DatabaseConnector
 from repro.graphdb import Neo4jDatabase
 from repro.sqlengine.result import ResultSet
@@ -11,13 +13,20 @@ class Neo4jConnector(DatabaseConnector):
     """Sends Cypher text to a :class:`~repro.graphdb.Neo4jDatabase`.
 
     The 'collection' is a node label; namespaces do not exist in Neo4j, so
-    the qualified name is just the label.
+    the qualified name is just the label.  ``**resilience`` forwards
+    ``retry_policy``/``timeout``/``circuit_breaker``/``fault_injector`` to
+    :class:`DatabaseConnector`.
     """
 
     language = "cypher"
 
-    def __init__(self, database: Neo4jDatabase, rule_overrides: dict[str, str] | None = None) -> None:
-        super().__init__(rule_overrides)
+    def __init__(
+        self,
+        database: Neo4jDatabase,
+        rule_overrides: dict[str, str] | None = None,
+        **resilience: Any,
+    ) -> None:
+        super().__init__(rule_overrides, **resilience)
         self._db = database
 
     def _execute(self, query: str, collection: str) -> ResultSet:

@@ -2,18 +2,29 @@
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.core.connectors.base import DatabaseConnector
 from repro.sqlengine import SQLDatabase
 from repro.sqlengine.result import ResultSet
 
 
 class PostgresConnector(DatabaseConnector):
-    """Sends SQL text to a :class:`~repro.sqlengine.SQLDatabase` instance."""
+    """Sends SQL text to a :class:`~repro.sqlengine.SQLDatabase` instance.
+
+    ``**resilience`` forwards ``retry_policy``/``timeout``/
+    ``circuit_breaker``/``fault_injector`` to :class:`DatabaseConnector`.
+    """
 
     language = "sql"
 
-    def __init__(self, database: SQLDatabase, rule_overrides: dict[str, str] | None = None) -> None:
-        super().__init__(rule_overrides)
+    def __init__(
+        self,
+        database: SQLDatabase,
+        rule_overrides: dict[str, str] | None = None,
+        **resilience: Any,
+    ) -> None:
+        super().__init__(rule_overrides, **resilience)
         self._db = database
 
     def _execute(self, query: str, collection: str) -> ResultSet:

@@ -65,6 +65,48 @@ class ConnectorError(ReproError):
     """A database connector could not complete a request."""
 
 
+class TransientBackendError(ConnectorError):
+    """A backend request failed in a way that may succeed if retried.
+
+    Raised by the fault injector (simulated network blips, shard restarts)
+    and suitable for any backend error that is not a property of the query
+    itself.  The retry machinery treats this family as retryable.
+    """
+
+
+class QueryTimeoutError(TransientBackendError):
+    """A query exceeded its configured deadline.
+
+    Subclasses :class:`TransientBackendError` because a timeout usually
+    reflects transient load, not a broken query, so the default retry
+    classification retries it.
+    """
+
+
+class CircuitOpenError(ConnectorError):
+    """A request was rejected because the backend's circuit breaker is open.
+
+    Raised *without* touching the backend: after repeated failures the
+    breaker fails fast until its cool-down elapses.  Deliberately not a
+    :class:`TransientBackendError` — retrying immediately would defeat the
+    breaker's purpose.
+    """
+
+
+class ShardFailureError(ConnectorError):
+    """A scatter-gather shard failed after exhausting its retry budget.
+
+    Carries ``shard`` (the shard index) and ``attempts`` (how many times
+    the shard was tried) so callers can report precisely which node of a
+    cluster is down.
+    """
+
+    def __init__(self, message: str, *, shard: int | None = None, attempts: int = 0) -> None:
+        super().__init__(message)
+        self.shard = shard
+        self.attempts = attempts
+
+
 class MemoryBudgetExceeded(MemoryError, ReproError):
     """The eager (Pandas-like) frame exceeded its configured memory budget.
 

@@ -1,0 +1,47 @@
+"""Resilient query dispatch: faults, retries, timeouts, circuit breaking.
+
+PolyFrame's value proposition is shipping queries to remote database
+backends, and remote backends fail: connections blip, shards restart,
+queries stall.  This package gives the dispatch layer the machinery to
+tolerate that — deterministically testable because every random choice
+comes from an owned, seeded RNG:
+
+- :class:`FaultInjector` / :class:`FaultRule` — seeded chaos hooks that
+  make any embedded engine raise transient errors, add latency, or take a
+  backend/shard down (per-backend, per-request-count, or by rate).
+- :class:`RetryPolicy` — bounded retries with exponential backoff and
+  seeded jitter; classifies which errors are worth retrying.
+- :class:`QueryTimeout` — a per-attempt deadline raising
+  :class:`~repro.errors.QueryTimeoutError`.
+- :class:`CircuitBreaker` — per-backend closed → open → half-open gate
+  that fails fast with :class:`~repro.errors.CircuitOpenError` while a
+  backend is persistently unhealthy.
+
+See ``docs/resilience.md`` for how these weave through
+:meth:`DatabaseConnector.send` and ``scatter_gather``.
+"""
+
+from repro.resilience.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.resilience.faults import (
+    ENV_FAULT_RATE,
+    ENV_FAULT_SEED,
+    FaultInjector,
+    FaultRule,
+    global_resilience,
+)
+from repro.resilience.retry import DEFAULT_RETRYABLE, QueryTimeout, RetryPolicy
+
+__all__ = [
+    "CLOSED",
+    "DEFAULT_RETRYABLE",
+    "ENV_FAULT_RATE",
+    "ENV_FAULT_SEED",
+    "HALF_OPEN",
+    "OPEN",
+    "CircuitBreaker",
+    "FaultInjector",
+    "FaultRule",
+    "QueryTimeout",
+    "RetryPolicy",
+    "global_resilience",
+]

@@ -1,0 +1,124 @@
+"""Per-backend circuit breaker: closed → open → half-open.
+
+A persistently failing backend should fail *fast* — burning a full retry
+budget on every request multiplies latency precisely when the backend is
+least able to serve.  The breaker watches a sliding window of recent
+outcomes; when the failure rate crosses the threshold it opens and every
+request is rejected with :class:`~repro.errors.CircuitOpenError` without
+touching the backend.  After ``cooldown_seconds`` the next request is let
+through as a half-open probe: success closes the circuit, failure reopens
+it for another cool-down.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Callable
+
+from repro.errors import CircuitOpenError
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Sliding-window failure-rate breaker with a cool-down probe.
+
+    The clock is injectable so tests can drive state transitions without
+    real sleeps; production use keeps the ``time.monotonic`` default.
+    """
+
+    def __init__(
+        self,
+        *,
+        window: int = 8,
+        failure_rate_threshold: float = 0.5,
+        min_calls: int = 4,
+        cooldown_seconds: float = 0.05,
+        clock: Callable[[], float] = time.monotonic,
+        name: str = "",
+    ) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if not 0.0 < failure_rate_threshold <= 1.0:
+            raise ValueError(
+                f"failure_rate_threshold must be in (0, 1], got {failure_rate_threshold}"
+            )
+        if min_calls < 1:
+            raise ValueError(f"min_calls must be >= 1, got {min_calls}")
+        self.window = window
+        self.failure_rate_threshold = failure_rate_threshold
+        self.min_calls = min_calls
+        self.cooldown_seconds = cooldown_seconds
+        self.name = name
+        self._clock = clock
+        self._outcomes: deque[bool] = deque(maxlen=window)  # True = success
+        self._opened_at: float | None = None
+        self.state = CLOSED
+        self.times_opened = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def failure_rate(self) -> float:
+        """Fraction of failures in the current window (0.0 when empty)."""
+        if not self._outcomes:
+            return 0.0
+        return sum(1 for ok in self._outcomes if not ok) / len(self._outcomes)
+
+    def allow(self) -> None:
+        """Gate one request; raises :class:`CircuitOpenError` while open.
+
+        When the cool-down has elapsed the breaker moves to half-open and
+        the request proceeds as the probe.
+        """
+        if self.state == OPEN:
+            assert self._opened_at is not None
+            if self._clock() - self._opened_at >= self.cooldown_seconds:
+                self.state = HALF_OPEN
+            else:
+                remaining = self.cooldown_seconds - (self._clock() - self._opened_at)
+                label = f" for {self.name}" if self.name else ""
+                raise CircuitOpenError(
+                    f"circuit{label} is open ({self.times_opened}x); "
+                    f"retry after {max(0.0, remaining):.3f}s"
+                )
+
+    def record_success(self) -> None:
+        if self.state == HALF_OPEN:
+            # The probe succeeded: the backend recovered.
+            self._reset()
+        else:
+            self._outcomes.append(True)
+
+    def record_failure(self) -> None:
+        if self.state == HALF_OPEN:
+            # The probe failed: back to open for another cool-down.
+            self._trip()
+            return
+        self._outcomes.append(False)
+        if (
+            self.state == CLOSED
+            and len(self._outcomes) >= self.min_calls
+            and self.failure_rate >= self.failure_rate_threshold
+        ):
+            self._trip()
+
+    # ------------------------------------------------------------------
+    def _trip(self) -> None:
+        self.state = OPEN
+        self.times_opened += 1
+        self._opened_at = self._clock()
+        self._outcomes.clear()
+
+    def _reset(self) -> None:
+        self.state = CLOSED
+        self._opened_at = None
+        self._outcomes.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CircuitBreaker(state={self.state!r}, failure_rate={self.failure_rate:.2f})"
+
+
+__all__ = ["CLOSED", "HALF_OPEN", "OPEN", "CircuitBreaker"]

@@ -1,0 +1,233 @@
+"""Deterministic fault injection (chaos hooks) for the dispatch layer.
+
+The embedded engines never fail on their own, so the failure-handling
+paths — retries, timeouts, circuit breaking, degraded scatter-gather —
+need simulated faults to exercise them.  A :class:`FaultInjector` holds a
+list of :class:`FaultRule` entries and a ``random.Random(seed)`` instance
+(never the global ``random`` module, and nothing is seeded at import
+time), so a given injector produces the same fault sequence on every run.
+
+Hook points call :meth:`FaultInjector.before_request` with a *key* naming
+the target: connectors use their class name (``"PostgresConnector"``) and
+the scatter-gather coordinator uses ``"<cluster-name>#shard<i>"`` per
+shard attempt.  Rules match keys by substring, so a rule can target one
+shard (``"greenplum[4]#shard2"``), a whole backend (``"greenplum"``), or
+everything (``backend=None``).
+
+Global injection: setting ``REPRO_FAULT_RATE`` (optionally
+``REPRO_FAULT_SEED``) in the environment makes every connector without an
+explicit injector run with a process-wide injector at that transient
+failure rate, paired with a default retry policy — the CI chaos job runs
+the whole test suite this way to prove retries keep it green.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import TransientBackendError
+from repro.resilience.retry import RetryPolicy
+
+#: Environment variables controlling process-wide fault injection.
+ENV_FAULT_RATE = "REPRO_FAULT_RATE"
+ENV_FAULT_SEED = "REPRO_FAULT_SEED"
+
+TRANSIENT = "transient"  # raise TransientBackendError (recoverable)
+DOWN = "down"  # raise TransientBackendError on *every* request (outage)
+LATENCY = "latency"  # sleep before executing (can trip QueryTimeout)
+
+_KINDS = (TRANSIENT, DOWN, LATENCY)
+
+
+@dataclass
+class FaultRule:
+    """One chaos behaviour, matched against request keys by substring.
+
+    ``fail_first`` faults the first N requests per matching key (counted
+    per key, so "fail each shard's first attempt" is one rule).  ``rate``
+    faults each request with that probability, drawn from the injector's
+    seeded RNG.  ``max_faults`` caps how many faults the rule may inject
+    in total; ``injected`` counts how many it has.
+    """
+
+    backend: str | None = None
+    kind: str = TRANSIENT
+    fail_first: int = 0
+    rate: float = 0.0
+    latency_seconds: float = 0.0
+    max_faults: int | None = None
+    injected: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; expected one of {_KINDS}")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+
+    def matches(self, key: str) -> bool:
+        return self.backend is None or self.backend in key
+
+    @property
+    def exhausted(self) -> bool:
+        return self.max_faults is not None and self.injected >= self.max_faults
+
+
+@dataclass
+class FaultInjector:
+    """Seeded, rule-driven fault source shared by connectors and clusters."""
+
+    seed: int = 2021
+    sleep: Callable[[float], None] = time.sleep
+    rules: list[FaultRule] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+        self._requests: Counter[str] = Counter()
+
+    # ------------------------------------------------------------------
+    # Rule construction
+    # ------------------------------------------------------------------
+    def add_rule(self, rule: FaultRule) -> FaultRule:
+        self.rules.append(rule)
+        return rule
+
+    def fail_first(self, attempts: int = 1, *, backend: str | None = None) -> FaultRule:
+        """Fail the first *attempts* requests per matching key, then recover."""
+        return self.add_rule(FaultRule(backend=backend, kind=TRANSIENT, fail_first=attempts))
+
+    def transient_rate(self, rate: float, *, backend: str | None = None) -> FaultRule:
+        """Fail each matching request with probability *rate*."""
+        return self.add_rule(FaultRule(backend=backend, kind=TRANSIENT, rate=rate))
+
+    def down(self, backend: str) -> FaultRule:
+        """Take *backend* down hard: every matching request fails."""
+        return self.add_rule(FaultRule(backend=backend, kind=DOWN))
+
+    def latency(
+        self,
+        seconds: float,
+        *,
+        backend: str | None = None,
+        rate: float = 1.0,
+        max_faults: int | None = None,
+    ) -> FaultRule:
+        """Delay matching requests by *seconds* (with probability *rate*)."""
+        return self.add_rule(
+            FaultRule(
+                backend=backend,
+                kind=LATENCY,
+                latency_seconds=seconds,
+                rate=rate,
+                max_faults=max_faults,
+            )
+        )
+
+    def restore(self, rule: FaultRule) -> None:
+        """Remove *rule*, e.g. to bring a downed backend back up."""
+        self.rules.remove(rule)
+
+    # ------------------------------------------------------------------
+    # The hook
+    # ------------------------------------------------------------------
+    def before_request(self, key: str) -> None:
+        """Called once per execution attempt; may sleep or raise.
+
+        Raises :class:`TransientBackendError` when a matching rule fires.
+        The request count for *key* increments first, so ``fail_first=N``
+        faults requests 1..N and lets request N+1 through.
+        """
+        self._requests[key] += 1
+        count = self._requests[key]
+        for rule in self.rules:
+            if rule.exhausted or not rule.matches(key):
+                continue
+            if rule.kind == LATENCY:
+                if rule.rate >= 1.0 or self._rng.random() < rule.rate:
+                    rule.injected += 1
+                    self.sleep(rule.latency_seconds)
+                continue
+            if rule.kind == DOWN:
+                rule.injected += 1
+                raise TransientBackendError(f"injected outage: {key} is down")
+            # TRANSIENT
+            if (rule.fail_first and count <= rule.fail_first) or (
+                rule.rate and self._rng.random() < rule.rate
+            ):
+                rule.injected += 1
+                raise TransientBackendError(
+                    f"injected transient failure on {key} (request #{count})"
+                )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def requests(self, key: str) -> int:
+        """How many execution attempts have been made against *key*."""
+        return self._requests[key]
+
+    def injected_faults(self) -> int:
+        """Total faults injected across all rules (latency included)."""
+        return sum(rule.injected for rule in self.rules)
+
+    def reset(self) -> None:
+        """Forget request counts and per-rule fault tallies (rules stay)."""
+        self._requests.clear()
+        self._rng = random.Random(self.seed)
+        for rule in self.rules:
+            rule.injected = 0
+
+
+# ----------------------------------------------------------------------
+# Process-wide injection (the CI chaos job)
+# ----------------------------------------------------------------------
+_GLOBAL: tuple[FaultInjector | None, RetryPolicy | None] | None = None
+
+
+def global_resilience() -> tuple[FaultInjector | None, RetryPolicy | None]:
+    """The env-configured (injector, retry policy) pair, or ``(None, None)``.
+
+    Read once per process: ``REPRO_FAULT_RATE`` > 0 enables a shared
+    injector failing every connector request at that rate, paired with a
+    fast default retry policy sized so that a rate ≤ 0.1 virtually never
+    exhausts the budget (0.1^6 ≈ 1e-6 per query).
+    """
+    global _GLOBAL
+    if _GLOBAL is None:
+        try:
+            rate = float(os.environ.get(ENV_FAULT_RATE, "") or 0.0)
+        except ValueError:
+            rate = 0.0
+        if rate > 0.0:
+            seed = int(os.environ.get(ENV_FAULT_SEED, "") or 2021)
+            injector = FaultInjector(seed=seed)
+            injector.transient_rate(min(rate, 1.0))
+            policy = RetryPolicy(
+                max_attempts=6, base_delay=0.0001, max_delay=0.002, seed=seed
+            )
+            _GLOBAL = (injector, policy)
+        else:
+            _GLOBAL = (None, None)
+    return _GLOBAL
+
+
+def _reset_global_resilience() -> None:
+    """Drop the cached env configuration (test hook)."""
+    global _GLOBAL
+    _GLOBAL = None
+
+
+__all__ = [
+    "DOWN",
+    "ENV_FAULT_RATE",
+    "ENV_FAULT_SEED",
+    "LATENCY",
+    "TRANSIENT",
+    "FaultInjector",
+    "FaultRule",
+    "global_resilience",
+]

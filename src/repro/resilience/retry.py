@@ -1,0 +1,119 @@
+"""Retry policies and query deadlines for the dispatch layer.
+
+A :class:`RetryPolicy` classifies errors as retryable or not and computes
+exponential-backoff delays with deterministic (seeded) jitter, so tests
+that exercise retries are reproducible.  A :class:`QueryTimeout` bounds
+how long one query attempt may take.
+
+Because every backend here is an embedded, synchronous engine, the
+deadline cannot preempt a running query the way a network client would
+cancel a socket; instead the elapsed time of the attempt (including any
+injected latency) is checked against the deadline as soon as the attempt
+finishes, and :class:`~repro.errors.QueryTimeoutError` is raised if it was
+exceeded.  That is the honest in-process analogue of a client-side query
+timeout, and it composes with retries exactly the same way.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable
+
+from repro.errors import QueryTimeoutError, TransientBackendError
+
+#: Errors worth retrying by default: injected/transient backend failures
+#: and deadline misses.  ``QueryTimeoutError`` subclasses
+#: ``TransientBackendError``, but both are listed for clarity.
+DEFAULT_RETRYABLE: tuple[type[BaseException], ...] = (
+    TransientBackendError,
+    QueryTimeoutError,
+)
+
+
+class RetryPolicy:
+    """Bounded retries with exponential backoff and seeded jitter.
+
+    ``max_attempts`` counts the *total* number of tries (1 = no retries).
+    The delay before retry ``n`` (after the ``n``-th failure) is::
+
+        min(max_delay, base_delay * multiplier ** (n - 1)) * (1 ± jitter)
+
+    where the jitter factor is drawn from a ``random.Random(seed)``
+    instance owned by the policy — never the global ``random`` module — so
+    a policy constructed with the same seed always produces the same delay
+    sequence.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        *,
+        base_delay: float = 0.001,
+        max_delay: float = 0.05,
+        multiplier: float = 2.0,
+        jitter: float = 0.5,
+        seed: int = 2021,
+        retryable: tuple[type[BaseException], ...] = DEFAULT_RETRYABLE,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {jitter}")
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self.multiplier = multiplier
+        self.jitter = jitter
+        self.retryable = tuple(retryable)
+        self.sleep = sleep
+        self._rng = random.Random(seed)
+
+    def is_retryable(self, error: BaseException) -> bool:
+        return isinstance(error, self.retryable)
+
+    def should_retry(self, error: BaseException, attempt: int) -> bool:
+        """Whether to retry after *attempt* (1-based) failed with *error*."""
+        return attempt < self.max_attempts and self.is_retryable(error)
+
+    def backoff_delay(self, attempt: int) -> float:
+        """Delay in seconds before the retry that follows *attempt*."""
+        delay = min(self.max_delay, self.base_delay * self.multiplier ** (attempt - 1))
+        if self.jitter:
+            delay *= 1.0 + self.jitter * (2.0 * self._rng.random() - 1.0)
+        return max(0.0, delay)
+
+    def wait(self, attempt: int) -> None:
+        """Sleep out the backoff delay that follows *attempt*."""
+        self.sleep(self.backoff_delay(attempt))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RetryPolicy(max_attempts={self.max_attempts}, "
+            f"base_delay={self.base_delay}, max_delay={self.max_delay})"
+        )
+
+
+class QueryTimeout:
+    """A per-attempt deadline for queries sent through a connector."""
+
+    def __init__(self, seconds: float) -> None:
+        if seconds <= 0:
+            raise ValueError(f"timeout must be positive, got {seconds}")
+        self.seconds = seconds
+
+    def check(self, elapsed_seconds: float, *, backend: str = "", query: str = "") -> None:
+        """Raise :class:`QueryTimeoutError` if *elapsed_seconds* blew the deadline."""
+        if elapsed_seconds > self.seconds:
+            where = f" on {backend}" if backend else ""
+            raise QueryTimeoutError(
+                f"query{where} exceeded its {self.seconds:.3f}s deadline "
+                f"(took {elapsed_seconds:.3f}s): {query[:120]}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"QueryTimeout({self.seconds})"
+
+
+__all__ = ["DEFAULT_RETRYABLE", "QueryTimeout", "RetryPolicy"]

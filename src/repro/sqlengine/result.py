@@ -19,22 +19,35 @@ class QueryStats:
     index_entries: int = 0
     full_scans: int = 0
     string_store_reads: int = 0  # used by the graph engine's record layout
+    retries: int = 0  # extra execution attempts spent recovering shards/queries
+    failed_shards: int = 0  # shards dropped from a degraded scatter-gather
 
     def merge(self, other: "QueryStats") -> None:
         self.heap_fetches += other.heap_fetches
         self.index_entries += other.index_entries
         self.full_scans += other.full_scans
         self.string_store_reads += other.string_store_reads
+        self.retries += other.retries
+        self.failed_shards += other.failed_shards
 
 
 @dataclass
 class ResultSet:
-    """Materialized output of one query execution."""
+    """Materialized output of one query execution.
+
+    ``partial`` marks a degraded scatter-gather answer: one or more shards
+    were irrecoverably down and the records cover only the surviving
+    shards (opt-in via ``allow_partial=True``).  ``shard_attempts`` holds
+    the per-shard execution attempt counts for cluster queries, in shard
+    order (empty for single-node results).
+    """
 
     records: list[Any] = field(default_factory=list)
     stats: QueryStats = field(default_factory=QueryStats)
     plan_text: str = ""
     elapsed_seconds: float = 0.0
+    partial: bool = False
+    shard_attempts: tuple[int, ...] = ()
 
     def __len__(self) -> int:
         return len(self.records)

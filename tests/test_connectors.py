@@ -8,13 +8,15 @@ from repro import (
     AsterixDBConnector,
     MongoDBConnector,
     Neo4jConnector,
+    PolyFrame,
     PostgresConnector,
 )
 from repro.core.connectors.base import DatabaseConnector, SendRecord
 from repro.docstore import MongoDatabase
-from repro.errors import ConnectorError
+from repro.errors import ConnectorError, ParseError
 from repro.graphdb import Neo4jDatabase
 from repro.sqlengine import SQLDatabase
+from repro.sqlengine.result import ResultSet
 from repro.sqlpp import AsterixDB
 
 
@@ -87,6 +89,53 @@ class TestExistenceChecks:
         assert not connector.collection_exists("", "L")
         db.load("L", [{"a": 1}])
         assert connector.collection_exists("", "L")
+
+
+class TestErrorPaths:
+    def test_persist_without_create_and_load(self):
+        # A connector that never implements bulk loading must fail persist()
+        # with a clear NotImplementedError, not an attribute error.
+        class MinimalConnector(DatabaseConnector):
+            language = "sql"
+
+            def _execute(self, query, collection):
+                return ResultSet(records=[{"a": 1}])
+
+            def collection_exists(self, namespace, collection):
+                return True
+
+        connector = MinimalConnector()
+        with pytest.raises(NotImplementedError, match="MinimalConnector"):
+            connector.persist("SELECT * FROM t x", "t", "N", "saved")
+
+    def test_polyframe_init_rejects_missing_collection(self):
+        db = SQLDatabase()
+        connector = PostgresConnector(db)
+        with pytest.raises(ConnectorError, match="does not exist"):
+            PolyFrame("Nope", "missing", connector)
+        # No query was ever sent for the failed init.
+        assert connector.send_log == []
+
+    def test_polyframe_init_skips_check_when_not_validating(self):
+        connector = PostgresConnector(SQLDatabase())
+        df = PolyFrame("Nope", "missing", connector, validate=False)
+        assert "missing" in df.query
+
+    def test_send_log_records_failed_attempts(self):
+        from repro.resilience import FaultInjector
+
+        db = SQLDatabase()
+        db.create_table("t")
+        # An explicit (empty) injector keeps env-driven chaos injection out
+        # of this test, so the attempt count stays exactly 1.
+        connector = PostgresConnector(db, fault_injector=FaultInjector())
+        with pytest.raises(ParseError):
+            connector.send("SELECT FROM WHERE", "t")
+        assert len(connector.send_log) == 1
+        record = connector.send_log[0]
+        assert record.outcome == "error"
+        assert record.attempts == 1
+        assert record.reported_seconds == 0.0
 
 
 class TestMongoPreprocess:
