@@ -24,6 +24,8 @@ _FIELDS = (
     "total_seconds",
     "retries",
     "degraded",
+    "compile_ms",
+    "nesting_depth",
 )
 
 
@@ -40,6 +42,8 @@ def measurements_to_dicts(measurements: Sequence[Measurement]) -> list[dict]:
             "total_seconds": m.total_seconds,
             "retries": m.retries,
             "degraded": m.degraded,
+            "compile_ms": m.compile_ms,
+            "nesting_depth": m.nesting_depth,
         }
         for m in measurements
     ]
@@ -73,6 +77,8 @@ def from_json(text: str) -> list[Measurement]:
                 expression_seconds=float(row["expression_seconds"]),
                 retries=int(row.get("retries", 0)),
                 degraded=bool(row.get("degraded", False)),
+                compile_ms=float(row.get("compile_ms", 0.0)),
+                nesting_depth=int(row.get("nesting_depth", 0)),
             )
         )
     return out

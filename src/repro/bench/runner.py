@@ -39,6 +39,11 @@ class Measurement:
     (connector-level retries plus per-shard retries) while evaluating the
     expression; ``degraded`` marks that at least one answer was partial
     (a shard was dropped under ``allow_partial=True``).
+
+    ``compile_ms`` is the total plan-compilation time (optimizer + rewrite
+    walking, or a cache probe on a hit) the expression spent, and
+    ``nesting_depth`` the deepest query it compiled — both 0 for systems
+    without a connector (the eager baseline).
     """
 
     system: str
@@ -49,6 +54,8 @@ class Measurement:
     expression_seconds: float
     retries: int = 0
     degraded: bool = False
+    compile_ms: float = 0.0
+    nesting_depth: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -81,6 +88,9 @@ def run_expression(
         creation = time.perf_counter() - started
 
         send_mark = len(system.connector.send_log) if system.connector is not None else 0
+        compile_mark = (
+            len(system.connector.compile_log) if system.connector is not None else 0
+        )
         started = time.perf_counter()
         try:
             expr.run(df, df2, params, api)
@@ -95,9 +105,11 @@ def run_expression(
         expression = time.perf_counter() - started
         expression = _adjust_for_simulated_parallelism(system, expression, send_mark)
         retries, degraded = _resilience_outcomes(system, send_mark)
+        compile_ms, nesting_depth = _compile_outcomes(system, compile_mark)
     return Measurement(
         system.name, dataset, expr.id, STATUS_OK, creation, expression,
         retries=retries, degraded=degraded,
+        compile_ms=compile_ms, nesting_depth=nesting_depth,
     )
 
 
@@ -127,6 +139,18 @@ def _resilience_outcomes(system: SystemUnderTest, send_mark: int) -> tuple[int, 
     retries = sum(record.retries for record in records)
     degraded = any(record.outcome == "partial" for record in records)
     return retries, degraded
+
+
+def _compile_outcomes(system: SystemUnderTest, compile_mark: int) -> tuple[float, int]:
+    """Plan-compilation time spent and deepest query compiled, per expression."""
+    if system.connector is None:
+        return 0.0, 0
+    records = system.connector.compile_log[compile_mark:]
+    if not records:
+        return 0.0, 0
+    compile_ms = sum(record.compile_ms for record in records)
+    nesting_depth = max(record.depth for record in records)
+    return compile_ms, nesting_depth
 
 
 def run_suite(

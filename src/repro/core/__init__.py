@@ -8,6 +8,15 @@ lazily by whichever backend database the connector targets.
 from repro.core.frame import PolyFrame
 from repro.core.generic import describe, get_dummies, value_counts
 from repro.core.groupby import PolyFrameGroupBy
+from repro.core.plan import (
+    CompiledQuery,
+    CompiledQueryCache,
+    PlanNode,
+    compile_plan,
+    compile_plan_for,
+    optimize,
+    plan_is_retargetable,
+)
 from repro.core.rewrite import RewriteEngine, RewriteRules, load_builtin
 from repro.core.series import PolySeries
 from repro.core.connectors import (
@@ -20,17 +29,24 @@ from repro.core.connectors import (
 
 __all__ = [
     "AsterixDBConnector",
+    "CompiledQuery",
+    "CompiledQueryCache",
     "DatabaseConnector",
     "MongoDBConnector",
     "Neo4jConnector",
+    "PlanNode",
     "PolyFrame",
     "PolyFrameGroupBy",
     "PolySeries",
     "PostgresConnector",
     "RewriteEngine",
     "RewriteRules",
+    "compile_plan",
+    "compile_plan_for",
     "describe",
     "get_dummies",
     "load_builtin",
+    "optimize",
+    "plan_is_retargetable",
     "value_counts",
 ]

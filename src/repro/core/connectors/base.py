@@ -19,10 +19,12 @@ from __future__ import annotations
 
 import abc
 import logging
+import os
 import time
 from dataclasses import dataclass
 from typing import Any
 
+from repro.core.plan.cache import CompiledQueryCache
 from repro.core.rewrite import RewriteEngine
 from repro.errors import CircuitOpenError
 from repro.resilience import CircuitBreaker, FaultInjector, QueryTimeout, RetryPolicy
@@ -69,6 +71,19 @@ class SendRecord:
         return max(0, self.attempts - 1) + self.shard_retries
 
 
+def _default_optimization_level() -> int:
+    """Process-wide default plan-optimization level (``REPRO_OPT_LEVEL``)."""
+    raw = os.environ.get("REPRO_OPT_LEVEL", "").strip()
+    if not raw:
+        return 0
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_OPT_LEVEL must be an integer, got {raw!r}"
+        ) from None
+
+
 class DatabaseConnector(abc.ABC):
     """Binds PolyFrame to one query-based database system.
 
@@ -88,6 +103,17 @@ class DatabaseConnector(abc.ABC):
     environment variable is, a process-wide injector (plus a default retry
     policy, unless one was given) is used instead — the CI chaos job runs
     the whole suite this way.
+
+    Compilation knobs (the logical-plan layer, see ``docs/plan-ir.md``):
+
+    - ``optimization_level`` — the plan-optimization level frames compiled
+      through this connector use by default (0 = byte-parity with the
+      eager rewriter, 1 = structural fusion, 2 = + scan fusion).  Defaults
+      to the ``REPRO_OPT_LEVEL`` environment variable, else 0.
+    - ``compile_cache`` — this connector's :class:`CompiledQueryCache`.
+    - ``compile_log`` — one :class:`~repro.core.plan.compiler.CompileRecord`
+      per compilation, in order (the bench layer diffs this like
+      ``send_log``).
     """
 
     #: Name of the rewrite-rule language this connector speaks.
@@ -101,6 +127,7 @@ class DatabaseConnector(abc.ABC):
         timeout: QueryTimeout | float | None = None,
         circuit_breaker: CircuitBreaker | None = None,
         fault_injector: FaultInjector | None = None,
+        optimization_level: int | None = None,
     ) -> None:
         if not self.language:
             raise TypeError("connector subclasses must set a language")
@@ -110,6 +137,11 @@ class DatabaseConnector(abc.ABC):
         self.timeout = QueryTimeout(timeout) if isinstance(timeout, (int, float)) else timeout
         self.circuit_breaker = circuit_breaker
         self.fault_injector = fault_injector
+        if optimization_level is None:
+            optimization_level = _default_optimization_level()
+        self.optimization_level = optimization_level
+        self.compile_cache = CompiledQueryCache()
+        self.compile_log: list = []
 
     # ------------------------------------------------------------------
     # The three required methods
@@ -241,6 +273,17 @@ class DatabaseConnector(abc.ABC):
     @property
     def name(self) -> str:
         return type(self).__name__
+
+    def nesting_depth(self, query: str) -> int:
+        """Subquery nesting depth of generated *query* text.
+
+        The honest per-language measure the bench layer and the fusion
+        tests use: for SQL-shaped languages it is the number of nested
+        ``(SELECT`` subqueries plus the outer query.  Pipeline and clause
+        languages override this (Mongo counts pipeline stages, Cypher
+        counts chained clause lines).
+        """
+        return query.count("(SELECT") + 1
 
     @abc.abstractmethod
     def collection_exists(self, namespace: str, collection: str) -> bool:

@@ -54,6 +54,13 @@ class MongoDBConnector(DatabaseConnector):
         staged = self.rewriter.apply("to_collection", subquery=query, collection=target)
         self.send(staged, source_collection)
 
+    def nesting_depth(self, query: str) -> int:
+        """Depth of a pipeline query = number of aggregation stages."""
+        try:
+            return len(self.preprocess(query, ""))
+        except Exception:
+            return 1
+
     def collection_exists(self, namespace: str, collection: str) -> bool:
         # MongoDB namespaces the database itself; only the collection matters.
         return self._db.has_collection(collection)

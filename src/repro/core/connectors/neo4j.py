@@ -32,6 +32,10 @@ class Neo4jConnector(DatabaseConnector):
     def _execute(self, query: str, collection: str) -> ResultSet:
         return self._db.execute(query)
 
+    def nesting_depth(self, query: str) -> int:
+        """Cypher chains clauses flat; depth = number of clause lines."""
+        return sum(1 for line in query.splitlines() if line.strip()) or 1
+
     def collection_exists(self, namespace: str, collection: str) -> bool:
         return self._db.node_count(collection) > 0
 

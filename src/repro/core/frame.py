@@ -1,10 +1,16 @@
 """PolyFrame: a lazily evaluated, retargetable dataframe.
 
-Transformations compose the underlying query through the connector's
-rewrite rules and return new PolyFrame objects — no data moves, no query
-runs.  Actions (``head``, ``len``, ``collect``, aggregates) apply a
-terminal rule, send the query through the database connector, and return
-results as an eager frame, "useful when further visualization is desired".
+Transformations record backend-agnostic :class:`~repro.core.plan.PlanNode`
+trees and return new PolyFrame objects — no data moves, no query runs, no
+query *text* is even built.  The text is compiled lazily, at action or
+``explain()`` time, by walking the plan through the connector's rewrite
+rules (optionally after plan-level optimization, and through the
+connector's compiled-query cache).  Actions apply a terminal rule, send
+the compiled query through the database connector, and return results as
+an eager frame, "useful when further visualization is desired".
+
+Because the recorded plan holds no backend text, the same frame can be
+recompiled for a different backend: see :meth:`PolyFrame.retarget`.
 """
 
 from __future__ import annotations
@@ -13,6 +19,20 @@ from typing import Any, TYPE_CHECKING
 
 from repro.eager import EagerFrame, frame_from_records
 from repro.errors import ConnectorError, RewriteError
+from repro.core.plan.compiler import CompiledQuery, compile_plan_for, stamp_stats
+from repro.core.plan.nodes import (
+    Count,
+    Filter,
+    Join,
+    Limit,
+    PlanNode,
+    Project,
+    RawQuery,
+    Scan,
+    Sort,
+    plan_is_retargetable,
+)
+from repro.core.plan.optimizer import optimize
 from repro.core.series import PolySeries
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -38,34 +58,75 @@ class PolyFrame:
         query: str | None = None,
         *,
         validate: bool = True,
+        plan: PlanNode | None = None,
     ) -> None:
         self.namespace = namespace
         self.collection = collection
         self.connector = connector
-        if validate and query is None and not connector.collection_exists(namespace, collection):
+        if validate and query is None and plan is None and not connector.collection_exists(
+            namespace, collection
+        ):
             raise ConnectorError(
                 f"dataset {namespace}.{collection} does not exist on "
                 f"{connector.name}"
             )
-        if query is None:
-            query = self._rw.apply("q1", namespace=namespace, collection=collection)
-        self._query = query
+        if plan is None:
+            # ``query=`` is the raw-text escape hatch: the frozen text
+            # becomes a RawQuery leaf (compiles verbatim, refuses retarget).
+            plan = RawQuery(query) if query is not None else Scan(namespace, collection)
+        self._plan = plan
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property
+    def plan(self) -> PlanNode:
+        """The recorded logical plan (backend-agnostic)."""
+        return self._plan
+
+    @property
     def query(self) -> str:
-        """The incrementally built underlying query."""
-        return self._query
+        """The underlying query, compiled lazily from the logical plan."""
+        return self._compile().text
 
     @property
     def _rw(self):
         return self.connector.rewriter
 
-    def explain(self) -> str:
-        """The query an action would send (before terminal rules)."""
-        return self._query
+    def _compile(
+        self, plan: PlanNode | None = None, level: int | None = None
+    ) -> CompiledQuery:
+        return compile_plan_for(
+            self.connector, plan if plan is not None else self._plan, level
+        )
+
+    def explain(self, verbose: bool = False) -> str:
+        """The query an action would send (before terminal rules).
+
+        With ``verbose=True``, a three-stage report: the logical plan (as
+        recorded and, if optimization changed it, as optimized), the query
+        text generated for this backend, and — where the backend exposes
+        one — the engine's own query plan.
+        """
+        if not verbose:
+            return self.query
+        compiled = self._compile()
+        level = compiled.level
+        optimized = optimize(self._plan, level)
+        lines = [f"-- logical plan (optimization level {level}) --", self._plan.pretty()]
+        if optimized.fingerprint() != self._plan.fingerprint():
+            lines += ["-- optimized plan --", optimized.pretty()]
+        lines += [
+            f"-- generated query ({self.connector.name}, "
+            f"nesting depth {compiled.depth}) --",
+            compiled.text,
+            "-- backend plan --",
+        ]
+        try:
+            lines.append(self.backend_plan())
+        except ConnectorError as exc:
+            lines.append(f"(unavailable: {exc})")
+        return "\n".join(lines)
 
     def backend_plan(self) -> str:
         """The backend's query plan for this frame's query, where exposed.
@@ -79,18 +140,59 @@ class PolyFrame:
             raise ConnectorError(
                 f"{self.connector.name} does not expose a query plan"
             )
-        final = self._rw.apply("return_all", subquery=self._query)
+        final = self._rw.apply("return_all", subquery=self.query)
         return explain(final)
 
     def __repr__(self) -> str:
         return (
             f"PolyFrame({self.namespace!r}, {self.collection!r}, "
-            f"backend={self.connector.name})\n--- underlying query ---\n{self._query}"
+            f"backend={self.connector.name})\n--- underlying query ---\n{self.query}"
         )
 
     def _with_query(self, query: str) -> "PolyFrame":
         return PolyFrame(
             self.namespace, self.collection, self.connector, query, validate=False
+        )
+
+    def _with_plan(self, plan: PlanNode) -> "PolyFrame":
+        return PolyFrame(
+            self.namespace,
+            self.collection,
+            self.connector,
+            validate=False,
+            plan=plan,
+        )
+
+    # ------------------------------------------------------------------
+    # Retargeting
+    # ------------------------------------------------------------------
+    def retarget(
+        self, connector: "DatabaseConnector", *, validate: bool = True
+    ) -> "PolyFrame":
+        """The same logical plan, bound to a different backend.
+
+        Every transformation recorded so far recompiles through the new
+        connector's rewrite rules on the next action.  Frames carrying raw
+        query text (``query=`` / ``_with_query``) or pre-rendered
+        expression fragments are pinned to the backend that produced the
+        text and refuse to retarget.
+        """
+        if not plan_is_retargetable(self._plan):
+            raise ConnectorError(
+                "frame carries raw backend query text and cannot be "
+                f"retargeted from {self.connector.name} to {connector.name}"
+            )
+        if validate and not connector.collection_exists(self.namespace, self.collection):
+            raise ConnectorError(
+                f"dataset {self.namespace}.{self.collection} does not exist on "
+                f"{connector.name}"
+            )
+        return PolyFrame(
+            self.namespace,
+            self.collection,
+            connector,
+            validate=False,
+            plan=self._plan,
         )
 
     # ------------------------------------------------------------------
@@ -113,41 +215,27 @@ class PolyFrame:
 
     def _column(self, name: str) -> PolySeries:
         statement = self._rw.apply("single_attribute", attribute=name)
-        query = self._rw.apply(
-            "q2",
-            subquery=self._query,
-            attribute_list=self._rw.apply("project_attribute", attribute=name),
-        )
         return PolySeries(
             self.connector,
             self.collection,
-            self._query,
+            None,
             statement,
             attribute=name,
-            query=query,
+            base_plan=self._plan,
+            plan=Project(self._plan, (name,)),
         )
 
     def _project(self, names: list[str]) -> "PolyFrame":
-        entries = [self._rw.apply("project_attribute", attribute=name) for name in names]
-        query = self._rw.apply(
-            "q2", subquery=self._query, attribute_list=self._rw.join_list(entries)
-        )
-        return self._with_query(query)
+        return self._with_plan(Project(self._plan, tuple(names)))
 
     def _filter(self, mask: PolySeries) -> "PolyFrame":
-        # The mask's *statement* composes into the filter rule; its own
-        # query is discarded (the paper's footnote: dataframe 4 derives
+        # The mask's *expression* composes into the filter node; its own
+        # plan is discarded (the paper's footnote: dataframe 4 derives
         # from 1 with the condition of 3).
-        query = self._rw.apply("q6", subquery=self._query, statement=mask.statement)
-        return self._with_query(query)
+        return self._with_plan(Filter(self._plan, mask._as_expr()))
 
     def sort_values(self, by: str, ascending: bool = True) -> "PolyFrame":
-        rule = "q5" if ascending else "q4"
-        attr_rule = "sort_asc_attr" if ascending else "sort_desc_attr"
-        rendered = self._rw.apply(attr_rule, attribute=by)
-        variables = {"subquery": self._query}
-        variables["sort_asc_attr" if ascending else "sort_desc_attr"] = rendered
-        return self._with_query(self._rw.apply(rule, **variables))
+        return self._with_plan(Sort(self._plan, by, ascending))
 
     def groupby(self, by: str) -> "PolyFrameGroupBy":
         from repro.core.groupby import PolyFrameGroupBy
@@ -166,15 +254,15 @@ class PolyFrame:
             raise RewriteError(f"only inner joins are supported, got {how!r}")
         if other.connector is not self.connector:
             raise ConnectorError("cannot join frames from different connectors")
-        query = self._rw.apply(
-            "q10",
-            left_subquery=self._query,
-            right_subquery=other._query,
-            left_on=left_on,
-            right_on=right_on,
-            right_collection=other.collection,
+        return self._with_plan(
+            Join(
+                self._plan,
+                other._plan,
+                left_on,
+                right_on,
+                right_collection=other.collection,
+            )
         )
-        return self._with_query(query)
 
     join = merge
 
@@ -183,19 +271,21 @@ class PolyFrame:
     # ------------------------------------------------------------------
     def head(self, n: int = 5) -> EagerFrame:
         """Fetch the first *n* rows as an eager frame."""
-        query = self._rw.apply("limit", subquery=self._query, num=n)
-        return self._send_frame(query)
+        compiled = self._compile(Limit(self._plan, n))
+        return self._send_frame(compiled.text, compiled)
 
     def collect(self) -> EagerFrame:
         """Fetch every row (``toPandas()`` in the paper's timing points)."""
-        query = self._rw.apply("return_all", subquery=self._query)
-        return self._send_frame(query)
+        compiled = self._compile()
+        query = self._rw.apply("return_all", subquery=compiled.text)
+        return self._send_frame(query, compiled)
 
     toPandas = collect
 
     def __len__(self) -> int:
-        query = self._rw.apply("q3", subquery=self._query)
-        result = self.connector.send(query, self.collection)
+        compiled = self._compile(Count(self._plan))
+        result = self.connector.send(compiled.text, self.collection)
+        stamp_stats(result, compiled)
         return int(result.scalar())
 
     def describe(self) -> EagerFrame:
@@ -218,9 +308,10 @@ class PolyFrame:
         bulk-load the results into a freshly created container.
         """
         target_namespace = namespace if namespace is not None else self.namespace
-        self.connector.persist(self._query, self.collection, target_namespace, target)
+        self.connector.persist(self.query, self.collection, target_namespace, target)
         return PolyFrame(target_namespace, target, self.connector)
 
-    def _send_frame(self, query: str) -> EagerFrame:
+    def _send_frame(self, query: str, compiled: CompiledQuery) -> EagerFrame:
         result = self.connector.send(query, self.collection)
+        stamp_stats(result, compiled)
         return frame_from_records(self.connector.postprocess(result))

@@ -8,7 +8,8 @@ language-specific rewrite rules."*
 Implemented here:
 
 - :func:`describe` — per-attribute min/max/avg/count/std in one query,
-  chaining the FUNCTIONS rules through ``agg_alias_entry`` and ``q13``;
+  recorded as a :class:`~repro.core.plan.MultiAgg` node (``q13`` with
+  ``agg_alias_entry`` entries);
 - :func:`get_dummies` — one-hot encoding: a distinct-values query (``q14``)
   followed by a computed projection (``q15``) with one equality statement
   per category;
@@ -21,6 +22,9 @@ from typing import TYPE_CHECKING
 
 from repro.eager import EagerFrame
 from repro.errors import RewriteError
+from repro.core.plan.compiler import stamp_stats
+from repro.core.plan.expr import BinaryExpr, ColumnExpr, LiteralExpr, OpaqueExpr
+from repro.core.plan.nodes import ComputeList, GroupAgg, MultiAgg, Sort
 from repro.core.series import PolySeries
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -28,36 +32,54 @@ if TYPE_CHECKING:  # pragma: no cover
 
 _DESCRIBE_STATS = ("count", "min", "max", "avg", "std")
 
+#: How many records numeric-attribute inference samples.  One record (the
+#: old behavior) misclassifies any column whose first value happens to be
+#: null; a small prefix is still one cheap query but sees past leading
+#: nulls.
+_DESCRIBE_SAMPLE_ROWS = 50
+
+
+def _numeric_attributes(frame: "PolyFrame") -> list[str]:
+    """Attributes whose sampled values are numeric (and not boolean).
+
+    Samples a prefix of the frame once and caches the answer on the frame,
+    so repeated ``describe()`` calls don't re-pay the inference query.  A
+    column counts as numeric when it has at least one non-null value in
+    the sample and every non-null sampled value is an int or float.
+    """
+    cached = getattr(frame, "_numeric_attributes", None)
+    if cached is not None:
+        return list(cached)
+    sample = frame.head(_DESCRIBE_SAMPLE_ROWS)
+    attributes = []
+    for name in sample.columns:
+        values = [value for value in sample.column_values(name) if value is not None]
+        if values and all(
+            isinstance(value, (int, float)) and not isinstance(value, bool)
+            for value in values
+        ):
+            attributes.append(name)
+    frame._numeric_attributes = tuple(attributes)
+    return attributes
+
 
 def describe(frame: "PolyFrame", attributes: list[str] | None = None) -> EagerFrame:
     """Aggregate statistics for each (numeric) attribute in one query."""
     rw = frame.connector.rewriter
     if attributes is None:
-        sample = frame.head(1)
-        attributes = [
-            name
-            for name in sample.columns
-            if sample.column_values(name)
-            and isinstance(sample.column_values(name)[0], (int, float))
-            and not isinstance(sample.column_values(name)[0], bool)
-        ]
+        attributes = _numeric_attributes(frame)
     if not attributes:
         raise RewriteError("describe() found no numeric attributes to profile")
 
-    entries = []
-    for attribute in attributes:
-        for stat in _DESCRIBE_STATS:
-            agg_func = rw.apply(stat, attribute=attribute)
-            entries.append(
-                rw.apply(
-                    "agg_alias_entry",
-                    agg_func=agg_func,
-                    agg_alias=f"{stat}_{attribute}",
-                )
-            )
-    query = rw.apply("q13", subquery=frame.query, agg_list=rw.join_list(entries))
-    query = rw.apply("return_all", subquery=query)
+    items = tuple(
+        (stat, attribute, f"{stat}_{attribute}")
+        for attribute in attributes
+        for stat in _DESCRIBE_STATS
+    )
+    compiled = frame._compile(MultiAgg(frame.plan, items))
+    query = rw.apply("return_all", subquery=compiled.text)
     result = frame.connector.send(query, frame.collection)
+    stamp_stats(result, compiled)
     records = frame.connector.postprocess(result)
     if len(records) != 1:
         raise RewriteError(f"describe() expected one result row, got {len(records)}")
@@ -78,37 +100,32 @@ def get_dummies(series: PolySeries) -> "PolyFrame":
 
     if series.attribute is None:
         raise RewriteError("get_dummies() requires a plain column")
-    rw = series._rw
     categories = sorted(
         {value for value in series.unique() if value is not None}, key=str
     )
     if not categories:
         raise RewriteError(f"column {series.attribute!r} has no categories to encode")
 
-    entries = []
-    for value in categories:
-        statement = rw.apply(
-            "eq", left=series._left_operand(), right=rw.literal(value)
+    column = series._as_expr()
+    if not isinstance(column, ColumnExpr):
+        column = OpaqueExpr(series._left_operand())
+    # Indicator columns keep pandas' ``{column}_{value}`` naming.
+    items = tuple(
+        (
+            BinaryExpr("eq", column, LiteralExpr(value)),
+            f"{series.attribute}_{value}",
         )
-        # Indicator columns keep pandas' ``{column}_{value}`` naming.
-        entries.append(
-            rw.apply(
-                "statement_alias",
-                statement=statement,
-                alias=f"{series.attribute}_{value}",
-            )
-        )
-    query = rw.apply(
-        "q15",
-        subquery=series._base_query,
-        statement_list=rw.join_list(entries),
+        for value in categories
     )
+    base_plan = series._base_plan
+    if base_plan is None:
+        raise RewriteError("get_dummies() requires a series derived from a frame")
     return PolyFrame(
         namespace="",
         collection=series._collection,
         connector=series._connector,
-        query=query,
         validate=False,
+        plan=ComputeList(base_plan, items),
     )
 
 
@@ -118,25 +135,15 @@ def value_counts(series: PolySeries) -> "PolyFrame":
 
     if series.attribute is None:
         raise RewriteError("value_counts() requires a plain column")
-    rw = series._rw
+    base_plan = series._base_plan
+    if base_plan is None:
+        raise RewriteError("value_counts() requires a series derived from a frame")
     alias = f"count_{series.attribute}"
-    agg_func = rw.apply("count", attribute=series.attribute)
-    grouped = rw.apply(
-        "q8",
-        subquery=series._base_query,
-        grp_attribute=series.attribute,
-        agg_func=agg_func,
-        agg_alias=alias,
-    )
-    ordered = rw.apply(
-        "q4",
-        subquery=grouped,
-        sort_desc_attr=rw.apply("sort_desc_attr", attribute=alias),
-    )
+    grouped = GroupAgg(base_plan, (series.attribute,), "count", series.attribute, alias)
     return PolyFrame(
         namespace="",
         collection=series._collection,
         connector=series._connector,
-        query=ordered,
         validate=False,
+        plan=Sort(grouped, alias, ascending=False),
     )

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.core.plan.nodes import GroupAgg
 from repro.errors import RewriteError
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -58,31 +59,15 @@ class PolyFrameGroupBy:
         target = (
             self._value_column if self._value_column is not None else self._keys[0]
         )
-        rw = self._frame.connector.rewriter
-        agg_func = rw.apply(rule, attribute=target)
-        agg_alias = f"{func}_{target}"
-        if len(self._keys) == 1:
-            query = rw.apply(
-                "q8",
-                subquery=self._frame.query,
-                grp_attribute=self._keys[0],
-                agg_func=agg_func,
-                agg_alias=agg_alias,
+        return self._frame._with_plan(
+            GroupAgg(
+                self._frame.plan,
+                tuple(self._keys),
+                rule,
+                target,
+                f"{func}_{target}",
             )
-        else:
-            query = rw.apply(
-                "q16",
-                subquery=self._frame.query,
-                grp_select_list=rw.join_list(
-                    rw.apply("grp_select_entry", attribute=key) for key in self._keys
-                ),
-                grp_key_list=rw.join_list(
-                    rw.apply("grp_key_entry", attribute=key) for key in self._keys
-                ),
-                agg_func=agg_func,
-                agg_alias=agg_alias,
-            )
-        return self._frame._with_query(query)
+        )
 
     def count(self) -> "PolyFrame":
         return self.agg("count")

@@ -1,0 +1,232 @@
+"""Lazy compilation: logical plan → backend query text.
+
+The compiler walks a plan bottom-up, applying exactly the rewrite rules
+the eager PolyFrame path used to apply at transformation time — so at
+optimization level 0 the generated text is byte-identical to the
+pre-IR behavior (the golden-parity suite pins this).
+
+At level 2 the compiler additionally *fuses scans*: when a node sits
+directly on a :class:`Scan` and the language defines the optional
+``<rule>_scan`` template (``[FUSED QUERIES]`` in the configs), the node
+compiles as a single query level over the stored dataset instead of
+nesting the ``q1`` text as a subquery.  Languages without fused templates
+fall back to the nested form, unchanged.
+
+:func:`compile_plan_for` is the connector-aware entry point: it runs the
+optimizer, consults the connector's compiled-query cache, measures the
+generated text's nesting depth, and appends a :class:`CompileRecord` to
+``connector.compile_log`` (the bench layer's ``compile_ms`` /
+``nesting_depth`` columns read these).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.plan.nodes import (
+    Agg,
+    Compute,
+    ComputeList,
+    Count,
+    Distinct,
+    Filter,
+    GroupAgg,
+    Join,
+    Limit,
+    MultiAgg,
+    PlanNode,
+    Project,
+    RawQuery,
+    Scan,
+    Sort,
+)
+from repro.core.plan.optimizer import optimize
+from repro.errors import RewriteError
+
+
+@dataclass(frozen=True)
+class CompiledQuery:
+    """One plan compiled for one backend at one optimization level."""
+
+    text: str
+    depth: int  # nesting depth of the generated text (connector-measured)
+    level: int
+    cache_hit: bool
+    compile_ms: float
+
+
+@dataclass(frozen=True)
+class CompileRecord:
+    """Bookkeeping for one compilation, appended to ``connector.compile_log``."""
+
+    cache_hit: bool
+    level: int
+    compile_ms: float
+    depth: int
+
+
+# ----------------------------------------------------------------------
+# Core compilation (rewriter only — no connector, no cache)
+# ----------------------------------------------------------------------
+def compile_plan(plan: PlanNode, rw, *, fuse_scans: bool = False) -> str:
+    """Render *plan* as query text in *rw*'s language."""
+    return _compile(plan, rw, fuse_scans)
+
+
+def _scan_vars(scan: Scan) -> dict[str, str]:
+    return {"namespace": scan.namespace, "collection": scan.collection}
+
+
+def _input_vars(node_input: PlanNode, rw, fuse: bool, rule: str) -> tuple[str, dict]:
+    """Pick the nested or scan-fused form for a single-input node.
+
+    Returns ``(rule_name, variables)`` where the variables carry either
+    ``subquery=<compiled input>`` or the scan's namespace/collection.
+    """
+    if fuse and isinstance(node_input, Scan) and rw.has_rule(f"{rule}_scan"):
+        return f"{rule}_scan", _scan_vars(node_input)
+    return rule, {"subquery": _compile(node_input, rw, fuse)}
+
+
+def _compile(node: PlanNode, rw, fuse: bool) -> str:
+    if isinstance(node, Scan):
+        return rw.apply("q1", namespace=node.namespace, collection=node.collection)
+
+    if isinstance(node, RawQuery):
+        return node.text
+
+    if isinstance(node, Filter):
+        rule, variables = _input_vars(node.input, rw, fuse, "q6")
+        return rw.apply(rule, statement=node.predicate.render(rw), **variables)
+
+    if isinstance(node, Project):
+        entries = [
+            rw.apply("project_attribute", attribute=name) for name in node.columns
+        ]
+        rule, variables = _input_vars(node.input, rw, fuse, "q2")
+        return rw.apply(rule, attribute_list=rw.join_list(entries), **variables)
+
+    if isinstance(node, Compute):
+        rule, variables = _input_vars(node.input, rw, fuse, "q9")
+        return rw.apply(
+            rule, statement=node.expr.render(rw), alias=node.alias, **variables
+        )
+
+    if isinstance(node, ComputeList):
+        entries = [
+            rw.apply("statement_alias", statement=expr.render(rw), alias=alias)
+            for expr, alias in node.items
+        ]
+        rule, variables = _input_vars(node.input, rw, fuse, "q15")
+        return rw.apply(rule, statement_list=rw.join_list(entries), **variables)
+
+    if isinstance(node, Sort):
+        base_rule = "q5" if node.ascending else "q4"
+        attr_rule = "sort_asc_attr" if node.ascending else "sort_desc_attr"
+        rule, variables = _input_vars(node.input, rw, fuse, base_rule)
+        variables[attr_rule] = rw.apply(attr_rule, attribute=node.by)
+        text = rw.apply(rule, **variables)
+        if node.limit is not None:  # a fused top-k (limit-into-sort)
+            text = rw.apply("limit", subquery=text, num=node.limit)
+        return text
+
+    if isinstance(node, Limit):
+        return rw.apply("limit", subquery=_compile(node.input, rw, fuse), num=node.n)
+
+    if isinstance(node, Count):
+        rule, variables = _input_vars(node.input, rw, fuse, "q3")
+        return rw.apply(rule, **variables)
+
+    if isinstance(node, Agg):
+        agg_func = rw.apply(node.func_rule, attribute=node.attribute)
+        rule, variables = _input_vars(node.input, rw, fuse, "q7")
+        return rw.apply(rule, agg_func=agg_func, agg_alias=node.alias, **variables)
+
+    if isinstance(node, GroupAgg):
+        agg_func = rw.apply(node.func_rule, attribute=node.attribute)
+        if len(node.keys) == 1:
+            rule, variables = _input_vars(node.input, rw, fuse, "q8")
+            return rw.apply(
+                rule,
+                grp_attribute=node.keys[0],
+                agg_func=agg_func,
+                agg_alias=node.alias,
+                **variables,
+            )
+        rule, variables = _input_vars(node.input, rw, fuse, "q16")
+        return rw.apply(
+            rule,
+            grp_select_list=rw.join_list(
+                rw.apply("grp_select_entry", attribute=key) for key in node.keys
+            ),
+            grp_key_list=rw.join_list(
+                rw.apply("grp_key_entry", attribute=key) for key in node.keys
+            ),
+            agg_func=agg_func,
+            agg_alias=node.alias,
+            **variables,
+        )
+
+    if isinstance(node, MultiAgg):
+        entries = []
+        for func_rule, attribute, alias in node.items:
+            agg_func = rw.apply(func_rule, attribute=attribute)
+            entries.append(
+                rw.apply("agg_alias_entry", agg_func=agg_func, agg_alias=alias)
+            )
+        rule, variables = _input_vars(node.input, rw, fuse, "q13")
+        return rw.apply(rule, agg_list=rw.join_list(entries), **variables)
+
+    if isinstance(node, Distinct):
+        rule, variables = _input_vars(node.input, rw, fuse, "q14")
+        return rw.apply(rule, attribute=node.attribute, **variables)
+
+    if isinstance(node, Join):
+        return rw.apply(
+            "q10",
+            left_subquery=_compile(node.left, rw, fuse),
+            right_subquery=_compile(node.right, rw, fuse),
+            left_on=node.left_on,
+            right_on=node.right_on,
+            right_collection=node.right_collection,
+        )
+
+    raise RewriteError(f"cannot compile plan node {type(node).__name__}")
+
+
+def stamp_stats(result, *compiled: CompiledQuery) -> None:
+    """Record cache hit/miss counts on a result's :class:`QueryStats`."""
+    for query in compiled:
+        if query.cache_hit:
+            result.stats.compile_cache_hits += 1
+        else:
+            result.stats.compile_cache_misses += 1
+
+
+# ----------------------------------------------------------------------
+# Connector-aware entry point: optimize, cache, record
+# ----------------------------------------------------------------------
+def compile_plan_for(connector, plan: PlanNode, level: int | None = None) -> CompiledQuery:
+    """Compile *plan* for *connector*, through its compiled-query cache."""
+    if level is None:
+        level = connector.optimization_level
+    started = time.perf_counter()
+    optimized = optimize(plan, level)
+    key = (connector.name, level, optimized.fingerprint())
+    cached = connector.compile_cache.lookup(key)
+    if cached is not None:
+        text, depth = cached
+        cache_hit = True
+    else:
+        text = compile_plan(optimized, connector.rewriter, fuse_scans=level >= 2)
+        depth = connector.nesting_depth(text)
+        connector.compile_cache.store(key, text, depth)
+        cache_hit = False
+    compile_ms = (time.perf_counter() - started) * 1000.0
+    connector.compile_log.append(
+        CompileRecord(cache_hit=cache_hit, level=level, compile_ms=compile_ms, depth=depth)
+    )
+    return CompiledQuery(
+        text=text, depth=depth, level=level, cache_hit=cache_hit, compile_ms=compile_ms
+    )

@@ -1,0 +1,164 @@
+"""Backend-agnostic plan rewrites.
+
+Optimization levels:
+
+- **0** — identity.  The compiled text reproduces the eager rewriter's
+  output byte-for-byte (golden-parity guarantee).
+- **1** — structural fusion that needs no extra rewrite rules:
+
+  * *adjacent-filter conjunction* — ``Filter(Filter(x, p), q)`` becomes one
+    ``Filter(x, p AND q)`` rendered through the language's ``and`` rule;
+  * *projection collapse* — a projection over a projection (or over a
+    single-statement compute) it subsumes collapses to one node, and
+    row-preserving inputs under ``Count`` / aggregates are elided;
+  * *filter-under-projection pushdown* — ``Filter(Project(x, A), p)``
+    becomes ``Project(Filter(x, p), A)`` when ``p`` only reads attributes
+    in ``A``, exposing further filter fusion;
+  * *limit-into-sort* — ``Limit(Sort(x), n)`` becomes a single top-k
+    ``Sort(x, limit=n)`` node.
+
+- **2** — everything above, plus scan fusion at compile time: a node
+  directly over a :class:`Scan` compiles through the language's optional
+  ``<rule>_scan`` template (one query level) instead of nesting the ``q1``
+  text as a subquery.  Languages without fused templates (Cypher, whose
+  clauses already chain flat) silently fall back to the nested form.
+
+Every rewrite preserves results; level 2 also strictly reduces the
+generated query's nesting depth wherever a fused template exists.
+"""
+
+from __future__ import annotations
+
+from repro.core.plan.expr import LogicalExpr
+from repro.core.plan.nodes import (
+    Agg,
+    Compute,
+    ComputeList,
+    Count,
+    Distinct,
+    Filter,
+    GroupAgg,
+    Join,
+    Limit,
+    MultiAgg,
+    PlanNode,
+    Project,
+    Sort,
+)
+
+#: Upper bound on fixpoint passes — plans are tiny trees; this is a backstop.
+_MAX_PASSES = 25
+
+
+def optimize(plan: PlanNode, level: int) -> PlanNode:
+    """Apply the backend-agnostic rewrites enabled at *level*."""
+    if level <= 0:
+        return plan
+    for _ in range(_MAX_PASSES):
+        rewritten = _rewrite(plan)
+        if rewritten.fingerprint() == plan.fingerprint():
+            return rewritten
+        plan = rewritten
+    return plan
+
+
+def _rewrite(node: PlanNode) -> PlanNode:
+    """One bottom-up rewrite pass."""
+    node = _rebuild_with_children(node)
+
+    # Adjacent-filter conjunction: the inner predicate was applied first,
+    # so it becomes the left operand of the ``and`` rule — exactly the
+    # statement a user-level ``mask1 & mask2`` would have produced.
+    if isinstance(node, Filter) and isinstance(node.input, Filter):
+        merged = LogicalExpr("and", node.input.predicate, node.predicate)
+        return Filter(node.input.input, merged)
+
+    # Filter-under-projection pushdown (only when the predicate provably
+    # reads projected attributes; opaque fragments report no columns and
+    # therefore never move).
+    if isinstance(node, Filter) and isinstance(node.input, Project):
+        pred = node.predicate
+        cols = pred.columns()
+        if pred.retargetable and cols and cols <= set(node.input.columns):
+            return Project(Filter(node.input.input, pred), node.input.columns)
+
+    # Projection collapse: Project ∘ Project where the outer list is a
+    # subset of the inner one.
+    if isinstance(node, Project) and isinstance(node.input, Project):
+        if set(node.columns) <= set(node.input.columns):
+            return Project(node.input.input, node.columns)
+
+    # Limit-into-sort: a single top-k node (engines with a native top-k,
+    # like Mongo's $sort+$limit adjacency, can avoid a full sort spill).
+    if isinstance(node, Limit) and isinstance(node.input, Sort):
+        inner = node.input
+        limit = node.n if inner.limit is None else min(inner.limit, node.n)
+        return Sort(inner.input, inner.by, inner.ascending, limit=limit)
+
+    # Count over row-preserving nodes: projections and computed
+    # projections never change cardinality, and an unlimited sort never
+    # changes what COUNT(*) sees.
+    if isinstance(node, Count):
+        child = node.input
+        if isinstance(child, (Project, Compute, ComputeList)):
+            return Count(child.input)
+        if isinstance(child, Sort) and child.limit is None:
+            return Count(child.input)
+
+    # Aggregates over a projection that still carries every attribute the
+    # aggregate reads: the projection is pure overhead (rows preserved).
+    if isinstance(node, Agg) and isinstance(node.input, Project):
+        if node.attribute in node.input.columns:
+            return Agg(node.input.input, node.func_rule, node.attribute, node.alias)
+    if isinstance(node, GroupAgg) and isinstance(node.input, Project):
+        needed = set(node.keys) | {node.attribute}
+        if needed <= set(node.input.columns):
+            return GroupAgg(
+                node.input.input, node.keys, node.func_rule, node.attribute, node.alias
+            )
+    if isinstance(node, MultiAgg) and isinstance(node.input, Project):
+        needed = {attr for _, attr, _ in node.items}
+        if needed <= set(node.input.columns):
+            return MultiAgg(node.input.input, node.items)
+    if isinstance(node, Distinct) and isinstance(node.input, Project):
+        if node.attribute in node.input.columns:
+            return Distinct(node.input.input, node.attribute)
+
+    return node
+
+
+def _rebuild_with_children(node: PlanNode) -> PlanNode:
+    """Recurse into inputs, rebuilding this node over rewritten children."""
+    if isinstance(node, Filter):
+        return Filter(_rewrite(node.input), node.predicate)
+    if isinstance(node, Project):
+        return Project(_rewrite(node.input), node.columns)
+    if isinstance(node, Compute):
+        return Compute(_rewrite(node.input), node.expr, node.alias)
+    if isinstance(node, ComputeList):
+        return ComputeList(_rewrite(node.input), node.items)
+    if isinstance(node, Sort):
+        return Sort(_rewrite(node.input), node.by, node.ascending, node.limit)
+    if isinstance(node, Limit):
+        return Limit(_rewrite(node.input), node.n)
+    if isinstance(node, Count):
+        return Count(_rewrite(node.input))
+    if isinstance(node, Agg):
+        return Agg(_rewrite(node.input), node.func_rule, node.attribute, node.alias)
+    if isinstance(node, GroupAgg):
+        return GroupAgg(
+            _rewrite(node.input), node.keys, node.func_rule, node.attribute, node.alias
+        )
+    if isinstance(node, MultiAgg):
+        return MultiAgg(_rewrite(node.input), node.items)
+    if isinstance(node, Distinct):
+        return Distinct(_rewrite(node.input), node.attribute)
+    if isinstance(node, Join):
+        return Join(
+            _rewrite(node.left),
+            _rewrite(node.right),
+            node.left_on,
+            node.right_on,
+            node.right_collection,
+        )
+    return node  # Scan / RawQuery: leaves

@@ -3,14 +3,19 @@
 A series carries two representations, mirroring AFrame's design:
 
 - ``statement`` — the language fragment for composing into other
-  expressions (filters, logical combinations).  Built from the rewrite
-  rules' comparison/logical/arithmetic templates.
-- ``query`` — its own underlying query (a projection of the expression
-  over the parent frame's query), used when the series itself is the
-  target of an action (``head()``, aggregates).
+  expressions (filters, logical combinations).  Built *eagerly* from the
+  rewrite rules' comparison/logical/arithmetic templates, so composition
+  errors (a backend whose rules can't express the operation) surface at
+  the line that wrote the expression, not at action time.
+- an :class:`~repro.core.plan.Expr` tree recording the same expression
+  backend-agnostically.  Plans built from it recompile for any backend
+  (:meth:`PolyFrame.retarget`); rendering it reproduces ``statement``
+  byte-for-byte.
 
-Both are plain strings in the backend's language: the core never inspects
-them, which is what makes PolyFrame retargetable.
+The series' own underlying ``query`` (a projection of the expression over
+the parent frame's plan) is no longer a stored string: it is a logical
+plan, compiled lazily when the series itself is the target of an action
+(``head()``, aggregates).
 """
 
 from __future__ import annotations
@@ -19,6 +24,26 @@ from typing import Any, Callable, TYPE_CHECKING
 
 from repro.eager import EagerFrame, frame_from_records
 from repro.errors import RewriteError
+from repro.core.plan.compiler import compile_plan_for, stamp_stats
+from repro.core.plan.expr import (
+    BinaryExpr,
+    ColumnExpr,
+    Expr,
+    IsInExpr,
+    LiteralExpr,
+    LogicalExpr,
+    MapExpr,
+    NullCheckExpr,
+    OpaqueExpr,
+)
+from repro.core.plan.nodes import (
+    Agg,
+    Compute,
+    Count,
+    Distinct,
+    Limit,
+    PlanNode,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.connectors.base import DatabaseConnector
@@ -55,12 +80,15 @@ class PolySeries:
         self,
         connector: "DatabaseConnector",
         collection: str,
-        base_query: str,
+        base_query: str | None,
         statement: str,
         *,
         attribute: str | None = None,
         alias: str | None = None,
         query: str | None = None,
+        expr: Expr | None = None,
+        base_plan: PlanNode | None = None,
+        plan: PlanNode | None = None,
     ) -> None:
         self._connector = connector
         self._collection = collection
@@ -69,13 +97,25 @@ class PolySeries:
         self.attribute = attribute
         self.alias = alias or attribute or "value"
         self._query = query
+        self._expr = expr
+        self._base_plan = base_plan
+        self._plan = plan
+        if self._expr is None and attribute is not None:
+            self._expr = ColumnExpr(attribute)
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property
+    def plan(self) -> PlanNode | None:
+        """The series' logical plan, if it has a standalone one."""
+        return self._plan
+
+    @property
     def query(self) -> str:
-        """The series' own underlying query."""
+        """The series' own underlying query (compiled lazily)."""
+        if self._plan is not None and self._connector is not None:
+            return compile_plan_for(self._connector, self._plan).text
         if self._query is None:
             raise RewriteError("series has no standalone query")
         return self._query
@@ -95,6 +135,22 @@ class PolySeries:
     # ------------------------------------------------------------------
     # Expression composition
     # ------------------------------------------------------------------
+    def _as_expr(self) -> Expr:
+        """This series as a backend-agnostic expression node.
+
+        Series built outside the IR (raw statements) become opaque
+        fragments: they still compose and compile on this backend, but pin
+        any plan they appear in to it.
+        """
+        if self._expr is not None:
+            return self._expr
+        return OpaqueExpr(self.statement)
+
+    def _operand_expr(self, other: Any) -> Expr:
+        if isinstance(other, PolySeries):
+            return other._as_expr()
+        return LiteralExpr(other)
+
     def _left_operand(self) -> str:
         """What comparison/arithmetic templates receive as ``$left``."""
         if self._reference_style == "attribute":
@@ -119,10 +175,17 @@ class PolySeries:
             return other.statement
         return self._rw.literal(other)
 
-    def _derived(self, statement: str, alias: str) -> "PolySeries":
-        query = self._rw.apply(
-            "q9", subquery=self._base_query, statement=statement, alias=alias
-        )
+    def _derived(
+        self, statement: str, alias: str, expr: Expr | None = None
+    ) -> "PolySeries":
+        plan = None
+        query = None
+        if self._base_plan is not None and expr is not None:
+            plan = Compute(self._base_plan, expr, alias)
+        elif self._base_query is not None:
+            query = self._rw.apply(
+                "q9", subquery=self._base_query, statement=statement, alias=alias
+            )
         return PolySeries(
             self._connector,
             self._collection,
@@ -130,6 +193,9 @@ class PolySeries:
             statement,
             alias=alias,
             query=query,
+            expr=expr,
+            base_plan=self._base_plan,
+            plan=plan,
         )
 
     def _compare(self, op: str, other: Any) -> "PolySeries":
@@ -137,7 +203,8 @@ class PolySeries:
         statement = self._rw.apply(
             rule, left=self._left_operand(), right=self._right_operand(other)
         )
-        return self._derived(statement, alias=f"{self.alias}_{rule}")
+        expr = BinaryExpr(rule, self._as_expr(), self._operand_expr(other))
+        return self._derived(statement, alias=f"{self.alias}_{rule}", expr=expr)
 
     def __eq__(self, other: Any) -> "PolySeries":  # type: ignore[override]
         return self._compare("==", other)
@@ -163,11 +230,13 @@ class PolySeries:
     def _logical(self, rule: str, other: "PolySeries | None") -> "PolySeries":
         if other is None:
             statement = self._rw.apply(rule, left=self.statement)
+            expr: Expr = LogicalExpr(rule, self._as_expr())
         else:
             if not isinstance(other, PolySeries):
                 raise TypeError("logical operators require another PolySeries")
             statement = self._rw.apply(rule, left=self.statement, right=other.statement)
-        return self._derived(statement, alias=f"{self.alias}_{rule}")
+            expr = LogicalExpr(rule, self._as_expr(), other._as_expr())
+        return self._derived(statement, alias=f"{self.alias}_{rule}", expr=expr)
 
     def __and__(self, other: "PolySeries") -> "PolySeries":
         return self._logical("and", other)
@@ -183,7 +252,8 @@ class PolySeries:
         statement = self._rw.apply(
             rule, left=self._left_operand(), right=self._right_operand(other)
         )
-        return self._derived(statement, alias=f"{self.alias}_{rule}")
+        expr = BinaryExpr(rule, self._as_expr(), self._operand_expr(other))
+        return self._derived(statement, alias=f"{self.alias}_{rule}", expr=expr)
 
     def __add__(self, other: Any) -> "PolySeries":
         return self._arith("+", other)
@@ -218,12 +288,17 @@ class PolySeries:
             statement = self._rw.apply(rule, attribute=self.attribute)
         else:
             statement = self._rw.apply(rule, operand=self.statement)
-        derived = self._derived(statement, alias=self.alias)
+        expr = MapExpr(rule, self._as_expr())
+        derived = self._derived(statement, alias=self.alias, expr=expr)
         # Mapping applies to the already projected column, mirroring the
         # paper's two-stage translations (project, then compute).
-        derived._query = self._rw.apply(
-            "q9", subquery=self.query, statement=statement, alias=self.alias
-        )
+        if self._plan is not None:
+            derived._plan = Compute(self._plan, expr, self.alias)
+        else:
+            derived._plan = None
+            derived._query = self._rw.apply(
+                "q9", subquery=self.query, statement=statement, alias=self.alias
+            )
         return derived
 
     def isin(self, values: list[Any]) -> "PolySeries":
@@ -236,24 +311,34 @@ class PolySeries:
             raise RewriteError("isin() requires at least one value")
         rendered = self._rw.join_list([self._rw.literal(value) for value in values])
         statement = self._rw.apply("isin", left=self._left_operand(), list=rendered)
-        return self._derived(statement, alias=f"{self.alias}_isin")
+        expr = IsInExpr(self._as_expr(), tuple(values))
+        return self._derived(statement, alias=f"{self.alias}_isin", expr=expr)
 
     def isna(self) -> "PolySeries":
         """Boolean mask of absent values (expression 13)."""
         statement = self._rw.apply("isnull", left=self._left_operand())
-        return self._derived(statement, alias=f"{self.alias}_isnull")
+        expr = NullCheckExpr("isnull", self._as_expr())
+        return self._derived(statement, alias=f"{self.alias}_isnull", expr=expr)
 
     def notna(self) -> "PolySeries":
         statement = self._rw.apply("notnull", left=self._left_operand())
-        return self._derived(statement, alias=f"{self.alias}_notnull")
+        expr = NullCheckExpr("notnull", self._as_expr())
+        return self._derived(statement, alias=f"{self.alias}_notnull", expr=expr)
 
     # ------------------------------------------------------------------
     # Actions
     # ------------------------------------------------------------------
     def head(self, n: int = 5) -> EagerFrame:
         """Evaluate the series' query with a LIMIT and return results."""
-        query = self._rw.apply("limit", subquery=self.query, num=n)
+        if self._plan is not None and self._connector is not None:
+            compiled = compile_plan_for(self._connector, Limit(self._plan, n))
+            query = compiled.text
+        else:
+            compiled = None
+            query = self._rw.apply("limit", subquery=self.query, num=n)
         result = self._connector.send(query, self._collection)
+        if compiled is not None:
+            stamp_stats(result, compiled)
         records = self._connector.postprocess(result)
         frame = frame_from_records(records)
         if frame.columns == ["value"]:
@@ -263,16 +348,25 @@ class PolySeries:
     def _aggregate(self, func: str) -> Any:
         if self.attribute is None:
             raise RewriteError("aggregates require a plain column")
-        agg_func = self._rw.apply(func, attribute=self.attribute)
         agg_alias = f"{func}_{self.attribute}"
-        query = self._rw.apply(
-            "q7",
-            subquery=self.query,
-            agg_func=agg_func,
-            agg_alias=agg_alias,
-        )
+        if self._plan is not None and self._connector is not None:
+            compiled = compile_plan_for(
+                self._connector, Agg(self._plan, func, self.attribute, agg_alias)
+            )
+            query = compiled.text
+        else:
+            compiled = None
+            agg_func = self._rw.apply(func, attribute=self.attribute)
+            query = self._rw.apply(
+                "q7",
+                subquery=self.query,
+                agg_func=agg_func,
+                agg_alias=agg_alias,
+            )
         query = self._rw.apply("return_all", subquery=query)
         result = self._connector.send(query, self._collection)
+        if compiled is not None:
+            stamp_stats(result, compiled)
         return result.scalar()
 
     def max(self) -> Any:
@@ -297,9 +391,20 @@ class PolySeries:
         """Distinct values of the column (a generic-rule building block)."""
         if self.attribute is None:
             raise RewriteError("unique() requires a plain column")
-        query = self._rw.apply("q14", subquery=self._base_query, attribute=self.attribute)
+        if self._base_plan is not None and self._connector is not None:
+            compiled = compile_plan_for(
+                self._connector, Distinct(self._base_plan, self.attribute)
+            )
+            query = compiled.text
+        else:
+            compiled = None
+            query = self._rw.apply(
+                "q14", subquery=self._base_query, attribute=self.attribute
+            )
         query = self._rw.apply("return_all", subquery=query)
         result = self._connector.send(query, self._collection)
+        if compiled is not None:
+            stamp_stats(result, compiled)
         values = []
         for record in result.records:
             if isinstance(record, dict):
@@ -317,9 +422,18 @@ class PolySeries:
         """
         if self.attribute is None:
             raise RewriteError("nunique() requires a plain column")
-        distinct = self._rw.apply(
-            "q14", subquery=self._base_query, attribute=self.attribute
-        )
-        query = self._rw.apply("q3", subquery=distinct)
+        if self._base_plan is not None and self._connector is not None:
+            compiled = compile_plan_for(
+                self._connector, Count(Distinct(self._base_plan, self.attribute))
+            )
+            query = compiled.text
+        else:
+            compiled = None
+            distinct = self._rw.apply(
+                "q14", subquery=self._base_query, attribute=self.attribute
+            )
+            query = self._rw.apply("q3", subquery=distinct)
         result = self._connector.send(query, self._collection)
+        if compiled is not None:
+            stamp_stats(result, compiled)
         return int(result.scalar())

@@ -21,6 +21,8 @@ class QueryStats:
     string_store_reads: int = 0  # used by the graph engine's record layout
     retries: int = 0  # extra execution attempts spent recovering shards/queries
     failed_shards: int = 0  # shards dropped from a degraded scatter-gather
+    compile_cache_hits: int = 0  # compiled-query cache hits behind this result
+    compile_cache_misses: int = 0  # plans that had to be compiled from scratch
 
     def merge(self, other: "QueryStats") -> None:
         self.heap_fetches += other.heap_fetches
@@ -29,6 +31,8 @@ class QueryStats:
         self.string_store_reads += other.string_store_reads
         self.retries += other.retries
         self.failed_shards += other.failed_shards
+        self.compile_cache_hits += other.compile_cache_hits
+        self.compile_cache_misses += other.compile_cache_misses
 
 
 @dataclass

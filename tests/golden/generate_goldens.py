@@ -1,0 +1,93 @@
+"""Regenerate the golden query-text files for the plan-parity suite.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tests/golden/generate_goldens.py
+
+The goldens record, per backend, every query string PolyFrame sends while
+evaluating each of the 13 Table III benchmark expressions (seeded params,
+600-record Wisconsin dataset).  They were captured from the pre-IR eager
+rewriter; optimization level 0 of the plan compiler must reproduce them
+byte-for-byte (``tests/test_plan_parity.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro import (
+    AsterixDBConnector,
+    MongoDBConnector,
+    Neo4jConnector,
+    PolyFrame,
+    PostgresConnector,
+)
+from repro.bench.expressions import EXPRESSIONS, DataFrameAPI, benchmark_params
+from repro.docstore import MongoDatabase
+from repro.graphdb import Neo4jDatabase
+from repro.sqlengine import SQLDatabase
+from repro.sqlpp import AsterixDB
+from repro.wisconsin import loaders, wisconsin_records
+
+RECORDS = 600
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+
+def build_connectors():
+    records = wisconsin_records(RECORDS)
+    adb = AsterixDB(query_prep_overhead=0.0)
+    loaders.load_asterixdb(adb, "Bench", "data", records)
+    loaders.load_asterixdb(adb, "Bench", "data2", records)
+    pg = SQLDatabase(name="postgres")
+    loaders.load_postgres(pg, "Bench", "data", records)
+    loaders.load_postgres(pg, "Bench", "data2", records)
+    mongo = MongoDatabase(query_prep_overhead=0.0)
+    loaders.load_mongodb(mongo, "data", records)
+    loaders.load_mongodb(mongo, "data2", records)
+    neo = Neo4jDatabase(query_prep_overhead=0.0)
+    loaders.load_neo4j(neo, "data", records)
+    loaders.load_neo4j(neo, "data2", records)
+    return {
+        "asterixdb": AsterixDBConnector(adb),
+        "postgres": PostgresConnector(pg),
+        "mongodb": MongoDBConnector(mongo),
+        "neo4j": Neo4jConnector(neo),
+    }
+
+
+def capture_backend(connector) -> dict[str, list[str]]:
+    params = benchmark_params()
+    api = DataFrameAPI()
+    captured: dict[str, list[str]] = {}
+    original_send = connector.send
+
+    for expr in EXPRESSIONS:
+        sent: list[str] = []
+
+        def recording_send(query, collection, _sent=sent):
+            _sent.append(query)
+            return original_send(query, collection)
+
+        connector.send = recording_send
+        try:
+            df = PolyFrame("Bench", "data", connector)
+            df2 = PolyFrame("Bench", "data2", connector)
+            expr.run(df, df2, params, api)
+        finally:
+            connector.send = original_send
+        captured[str(expr.id)] = sent
+    return captured
+
+
+def main() -> None:
+    for backend, connector in build_connectors().items():
+        path = os.path.join(HERE, f"queries_{backend}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(capture_backend(connector), handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -85,6 +85,18 @@ class TestRunner:
         assert m.creation_seconds > 0
         assert m.total_seconds == m.creation_seconds + m.expression_seconds
 
+    def test_compile_metrics_recorded_for_polyframe(self, small_systems):
+        params = benchmark_params()
+        m = run_expression(
+            small_systems["PolyFrame-PostgreSQL"], expression(3), params, dataset="XS"
+        )
+        assert m.status == STATUS_OK
+        assert m.compile_ms > 0.0
+        assert m.nesting_depth >= 1
+        pandas_m = run_expression(small_systems["Pandas"], expression(3), params)
+        assert pandas_m.compile_ms == 0.0  # the eager baseline compiles nothing
+        assert pandas_m.nesting_depth == 0
+
     def test_polyframe_creation_is_cheap(self, small_systems):
         params = benchmark_params()
         pandas_m = run_expression(small_systems["Pandas"], expression(1), params)

@@ -11,7 +11,10 @@ from repro.bench.runner import Measurement
 def sample():
     return [
         Measurement("Pandas", "XS", 1, "ok", 0.05, 0.001),
-        Measurement("PolyFrame-Neo4j", "XL", 13, "ok", 0.0001, 0.02),
+        Measurement(
+            "PolyFrame-Neo4j", "XL", 13, "ok", 0.0001, 0.02,
+            compile_ms=0.4, nesting_depth=3,
+        ),
         Measurement("Pandas", "M", 1, "oom", 0.3, 0.0),
     ]
 
@@ -34,5 +37,16 @@ def test_csv_has_header_and_rows():
     text = to_csv(sample())
     lines = text.strip().splitlines()
     assert lines[0].startswith("system,dataset,expression_id")
+    assert lines[0].endswith("compile_ms,nesting_depth")
     assert len(lines) == 4
     assert "PolyFrame-Neo4j" in lines[2]
+
+
+def test_compile_columns_round_trip():
+    rows = measurements_to_dicts(sample())
+    assert rows[1]["compile_ms"] == 0.4
+    assert rows[1]["nesting_depth"] == 3
+    assert rows[0]["compile_ms"] == 0.0  # eager baseline: no compilation
+    rehydrated = from_json(to_json(sample()))
+    assert rehydrated[1].compile_ms == 0.4
+    assert rehydrated[1].nesting_depth == 3
