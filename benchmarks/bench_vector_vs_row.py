@@ -1,0 +1,91 @@
+"""Vectorized vs row-at-a-time execution on a full-scan workload.
+
+The acceptance workload for the shared execution kernel: a full-scan
+filter + aggregate over 100k Wisconsin rows (no usable index, so both
+engines read every row).  The row engine walks the expression AST once
+per row; the vector engine dispatches it once per 1024-row batch.  The
+speedup is reported and asserted to stay above 2x.
+
+Runs under pytest-benchmark like the figure benches, or standalone::
+
+    PYTHONPATH=src python benchmarks/bench_vector_vs_row.py
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.sqlengine import SQLDatabase
+from repro.wisconsin import loaders, wisconsin_records
+
+NUM_ROWS = int(os.environ.get("REPRO_BENCH_VECTOR_ROWS", 100_000))
+QUERY = (
+    "SELECT t.twenty AS k, COUNT(*) AS n, SUM(t.unique1) AS s "
+    "FROM Bench.data t "
+    "WHERE t.ten < 8 AND t.onePercent >= 10 "
+    "GROUP BY t.twenty"
+)
+REPEATS = 3
+
+
+def _build(exec_engine: str) -> SQLDatabase:
+    db = SQLDatabase(name="postgres", exec_engine=exec_engine)
+    loaders.load_postgres(
+        db, "Bench", "data", wisconsin_records(NUM_ROWS, seed=2021), indexes=False
+    )
+    return db
+
+
+def _best_of(db: SQLDatabase, repeats: int = REPEATS) -> tuple[float, list]:
+    timings = []
+    records = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        records = db.execute(QUERY).records
+        timings.append(time.perf_counter() - started)
+    return min(timings), records
+
+
+def run() -> dict:
+    row_db = _build("row")
+    vector_db = _build("vector")
+    assert vector_db.execute(QUERY).stats.exec_engine == "vector"
+
+    row_seconds, row_records = _best_of(row_db)
+    vector_seconds, vector_records = _best_of(vector_db)
+    assert row_records == vector_records
+
+    return {
+        "rows": NUM_ROWS,
+        "row_seconds": row_seconds,
+        "vector_seconds": vector_seconds,
+        "speedup": row_seconds / vector_seconds,
+        "row_rows_per_sec": NUM_ROWS / row_seconds,
+        "vector_rows_per_sec": NUM_ROWS / vector_seconds,
+    }
+
+
+def format_result(result: dict) -> str:
+    lines = [
+        f"full-scan filter+aggregate, {result['rows']:,} rows, best of {REPEATS}",
+        f"  row engine:    {result['row_seconds'] * 1000:8.1f} ms"
+        f"  ({result['row_rows_per_sec']:,.0f} rows/s)",
+        f"  vector engine: {result['vector_seconds'] * 1000:8.1f} ms"
+        f"  ({result['vector_rows_per_sec']:,.0f} rows/s)",
+        f"  speedup:       {result['speedup']:8.2f}x",
+    ]
+    return "\n".join(lines)
+
+
+def test_vector_beats_row_by_2x(results_dir):
+    from conftest import write_result
+
+    result = run()
+    write_result(results_dir, "vector_vs_row.txt", format_result(result))
+    assert result["speedup"] >= 2.0, format_result(result)
+
+
+if __name__ == "__main__":
+    result = run()
+    print(format_result(result))

@@ -26,6 +26,8 @@ _FIELDS = (
     "degraded",
     "compile_ms",
     "nesting_depth",
+    "rows_per_sec",
+    "exec_engine",
 )
 
 
@@ -44,6 +46,8 @@ def measurements_to_dicts(measurements: Sequence[Measurement]) -> list[dict]:
             "degraded": m.degraded,
             "compile_ms": m.compile_ms,
             "nesting_depth": m.nesting_depth,
+            "rows_per_sec": m.rows_per_sec,
+            "exec_engine": m.exec_engine,
         }
         for m in measurements
     ]
@@ -79,6 +83,8 @@ def from_json(text: str) -> list[Measurement]:
                 degraded=bool(row.get("degraded", False)),
                 compile_ms=float(row.get("compile_ms", 0.0)),
                 nesting_depth=int(row.get("nesting_depth", 0)),
+                rows_per_sec=float(row.get("rows_per_sec", 0.0)),
+                exec_engine=str(row.get("exec_engine", "")),
             )
         )
     return out

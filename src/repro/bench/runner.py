@@ -44,6 +44,12 @@ class Measurement:
     walking, or a cache probe on a hit) the expression spent, and
     ``nesting_depth`` the deepest query it compiled — both 0 for systems
     without a connector (the eager baseline).
+
+    ``rows_per_sec`` is the engine-side scan throughput of the expression
+    (rows touched / engine-reported seconds, 0.0 when either is unknown)
+    and ``exec_engine`` which execution path served it (``'row'`` /
+    ``'vector'``, empty for backends without the distinction) — together
+    they make vector-vs-row runs comparable across ``BENCH_*.json`` files.
     """
 
     system: str
@@ -56,6 +62,8 @@ class Measurement:
     degraded: bool = False
     compile_ms: float = 0.0
     nesting_depth: int = 0
+    rows_per_sec: float = 0.0
+    exec_engine: str = ""
 
     @property
     def total_seconds(self) -> float:
@@ -106,10 +114,12 @@ def run_expression(
         expression = _adjust_for_simulated_parallelism(system, expression, send_mark)
         retries, degraded = _resilience_outcomes(system, send_mark)
         compile_ms, nesting_depth = _compile_outcomes(system, compile_mark)
+        rows_per_sec, exec_engine = _throughput_outcomes(system, send_mark)
     return Measurement(
         system.name, dataset, expr.id, STATUS_OK, creation, expression,
         retries=retries, degraded=degraded,
         compile_ms=compile_ms, nesting_depth=nesting_depth,
+        rows_per_sec=rows_per_sec, exec_engine=exec_engine,
     )
 
 
@@ -139,6 +149,27 @@ def _resilience_outcomes(system: SystemUnderTest, send_mark: int) -> tuple[int, 
     retries = sum(record.retries for record in records)
     degraded = any(record.outcome == "partial" for record in records)
     return retries, degraded
+
+
+def _throughput_outcomes(system: SystemUnderTest, send_mark: int) -> tuple[float, str]:
+    """Scan throughput and execution engine of the expression's queries.
+
+    Throughput is rows touched (heap fetches + index entries) over the
+    engine-reported elapsed time, summed across the expression's sends;
+    0.0 when the engine touched no rows or reported no time.  The engine
+    label is the single engine every send agrees on, or ``'mixed'``.
+    """
+    if system.connector is None:
+        return 0.0, ""
+    records = system.connector.send_log[send_mark:]
+    if not records:
+        return 0.0, ""
+    rows = sum(record.rows_scanned for record in records)
+    reported = sum(record.reported_seconds for record in records)
+    rows_per_sec = rows / reported if rows and reported > 0 else 0.0
+    engines = {record.exec_engine for record in records if record.exec_engine}
+    exec_engine = engines.pop() if len(engines) == 1 else ("mixed" if engines else "")
+    return rows_per_sec, exec_engine
 
 
 def _compile_outcomes(system: SystemUnderTest, compile_mark: int) -> tuple[float, int]:

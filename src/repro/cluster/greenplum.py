@@ -34,6 +34,7 @@ class GreenplumCluster:
         retry_policy: RetryPolicy | None = None,
         fault_injector: FaultInjector | None = None,
         allow_partial: bool = False,
+        exec_engine: str | None = None,
     ) -> None:
         if num_nodes < 1:
             raise ValueError("a cluster needs at least one node")
@@ -47,6 +48,7 @@ class GreenplumCluster:
                 self.features,
                 query_prep_overhead=query_prep_overhead,
                 name=f"greenplum-seg{i}",
+                exec_engine=exec_engine,
             )
             for i in range(num_nodes)
         ]

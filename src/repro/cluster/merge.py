@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.errors import UnsupportedOperationError
+from repro.exec.kernels import regroup_records, sort_records
 from repro.sqlengine.ast_nodes import (
     AGGREGATE_FUNCTIONS,
     ColumnRef,
@@ -65,11 +66,14 @@ def merge_records(spec: MergeSpec, shard_records: list[list[Any]]) -> list[Any]:
         return _merge_groups(spec, shard_records)
     merged: list[Any] = [record for records in shard_records for record in records]
     if spec.kind == "ordered_limit" and spec.order_columns:
-        for column, descending in reversed(spec.order_columns):
-            merged.sort(
-                key=lambda record: index_key(_field(record, column)),
-                reverse=descending,
-            )
+        merged = sort_records(
+            merged,
+            lambda record: tuple(
+                index_key(_field(record, column))
+                for column, _descending in spec.order_columns
+            ),
+            [descending for _column, descending in spec.order_columns],
+        )
     if spec.limit is not None:
         merged = merged[: spec.limit]
     return merged
@@ -98,23 +102,9 @@ def _merge_scalar(spec: MergeSpec, shard_records: list[list[Any]]) -> list[Any]:
 
 
 def _merge_groups(spec: MergeSpec, shard_records: list[list[Any]]) -> list[Any]:
-    groups: dict[tuple, dict[str, list[Any]]] = {}
-    key_values: dict[tuple, dict[str, Any]] = {}
-    for records in shard_records:
-        for record in records:
-            key = tuple(index_key(record.get(name)) for name in spec.group_keys)
-            if key not in groups:
-                groups[key] = {name: [] for name in spec.group_columns}
-                key_values[key] = {name: record.get(name) for name in spec.group_keys}
-            for name in spec.group_columns:
-                groups[key][name].append(record.get(name))
-    out = []
-    for key, partials in groups.items():
-        record = dict(key_values[key])
-        for name, combiner in spec.group_columns.items():
-            record[name] = combiner(partials[name])
-        out.append(record)
-    return out
+    # The hash-grouping kernel is shared with the vector engine's
+    # aggregate operator; combining per-shard finals is just a re-group.
+    return regroup_records(shard_records, spec.group_keys, spec.group_columns)
 
 
 # ----------------------------------------------------------------------

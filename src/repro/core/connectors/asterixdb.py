@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.core.connectors.base import DatabaseConnector
+from repro.core.connectors.base import DatabaseConnector, set_exec_engine
 from repro.sqlengine.result import ResultSet
 from repro.sqlpp import AsterixDB
 
@@ -12,8 +12,10 @@ from repro.sqlpp import AsterixDB
 class AsterixDBConnector(DatabaseConnector):
     """Sends SQL++ text to an :class:`~repro.sqlpp.AsterixDB` instance.
 
-    ``**resilience`` forwards ``retry_policy``/``timeout``/
-    ``circuit_breaker``/``fault_injector`` to :class:`DatabaseConnector`.
+    ``exec_engine`` ('row' / 'vector') selects the execution path of the
+    wrapped database (every node, for clusters); ``**resilience``
+    forwards ``retry_policy``/``timeout``/``circuit_breaker``/
+    ``fault_injector`` to :class:`DatabaseConnector`.
     """
 
     language = "sqlpp"
@@ -22,10 +24,14 @@ class AsterixDBConnector(DatabaseConnector):
         self,
         database: AsterixDB,
         rule_overrides: dict[str, str] | None = None,
+        *,
+        exec_engine: str | None = None,
         **resilience: Any,
     ) -> None:
         super().__init__(rule_overrides, **resilience)
         self._db = database
+        if exec_engine is not None:
+            set_exec_engine(database, exec_engine)
 
     def _execute(self, query: str, collection: str) -> ResultSet:
         return self._db.execute(query)

@@ -57,6 +57,12 @@ class SendRecord:
     succeeded); ``shard_retries`` counts extra per-shard attempts a
     cluster's scatter-gather spent below this send; ``outcome`` is one of
     ``'ok'``, ``'partial'``, ``'error'``, ``'rejected'``.
+
+    ``rows_scanned`` is the engine's total data touches for the query
+    (heap fetches plus index entries), and ``exec_engine`` which
+    execution path produced the answer (``'row'`` / ``'vector'``, empty
+    for engines without the distinction) — the bench layer derives
+    ``rows_per_sec`` from these.
     """
 
     real_seconds: float
@@ -64,11 +70,29 @@ class SendRecord:
     attempts: int = 1
     outcome: str = OUTCOME_OK
     shard_retries: int = 0
+    rows_scanned: int = 0
+    exec_engine: str = ""
 
     @property
     def retries(self) -> int:
         """Total extra attempts spent on this query, at every level."""
         return max(0, self.attempts - 1) + self.shard_retries
+
+
+def set_exec_engine(database: Any, exec_engine: str) -> None:
+    """Point *database* (or every node of a cluster) at an execution engine.
+
+    The connector-level counterpart of the ``REPRO_EXEC`` environment
+    variable, for the embedded SQL/SQL++ engines that support both paths.
+    """
+    if exec_engine not in ("row", "vector"):
+        raise ValueError(f"unknown exec_engine {exec_engine!r}")
+    nodes = getattr(database, "nodes", None)
+    if nodes is not None:
+        for node in nodes:
+            node.exec_engine = exec_engine
+    else:
+        database.exec_engine = exec_engine
 
 
 def _default_optimization_level() -> int:
@@ -226,6 +250,8 @@ class DatabaseConnector(abc.ABC):
             attempts=attempt,
             outcome=OUTCOME_PARTIAL if result.partial else OUTCOME_OK,
             shard_retries=result.stats.retries,
+            rows_scanned=result.stats.heap_fetches + result.stats.index_entries,
+            exec_engine=result.stats.exec_engine,
         )
         self.send_log.append(record)
         if logger.isEnabledFor(logging.DEBUG):

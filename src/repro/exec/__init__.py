@@ -1,0 +1,53 @@
+"""Shared vectorized (batch-at-a-time) execution layer.
+
+Every embedded engine in this reproduction interprets queries row at a
+time over Python dicts, which caps throughput at per-row interpreter
+overhead — the bottleneck PyTond (arXiv:2407.11616) and HiFrames
+(arXiv:1704.02341) identify as the thing pushing dataframes into a
+database runtime is supposed to remove.  This package is the batch
+alternative those engines share:
+
+- :mod:`repro.exec.batch` — the :class:`ColumnBatch` representation:
+  per-column Python lists plus validity masks distinguishing VALID /
+  NULL / MISSING, in fixed-size batches.
+- :mod:`repro.exec.vectorops` — a vectorized expression evaluator whose
+  null semantics match the row evaluator's exactly (three-valued logic,
+  MISSING propagation, WHERE truthiness).
+- :mod:`repro.exec.kernels` — relational kernels (hash grouping,
+  decorate-sort-undecorate ordering) shared by the vector operators and
+  the cluster scatter-gather merge layer.
+- :mod:`repro.exec.operators` — batch-at-a-time physical operators
+  (scan, filter, project, hash aggregate, sort, top-k, limit, distinct)
+  the SQL/SQL++ engines select per query (``REPRO_EXEC=vector``).
+
+The row engines remain the default and the fallback for any plan shape
+or expression the vector layer does not cover; the two paths are pinned
+against each other by a randomized parity suite.  See
+``docs/execution.md``.
+"""
+
+from repro.exec.batch import (
+    DEFAULT_BATCH_SIZE,
+    MASK_MISSING,
+    MASK_NULL,
+    MASK_VALID,
+    ColumnBatch,
+    Vector,
+    concat_batches,
+)
+from repro.exec.kernels import GroupTable, regroup_records, sort_records
+from repro.exec.vectorops import VectorEvaluator
+
+__all__ = [
+    "ColumnBatch",
+    "DEFAULT_BATCH_SIZE",
+    "GroupTable",
+    "MASK_MISSING",
+    "MASK_NULL",
+    "MASK_VALID",
+    "Vector",
+    "VectorEvaluator",
+    "concat_batches",
+    "regroup_records",
+    "sort_records",
+]

@@ -1,0 +1,249 @@
+"""Columnar batches: per-column value lists with validity masks.
+
+A :class:`ColumnBatch` holds a fixed-size slice of a record stream
+transposed into columns.  Each column is a :class:`Vector`: a plain
+Python list of payloads plus an optional validity mask distinguishing
+the three states of the engines' data model (AsterixDB's ADM):
+
+- ``MASK_VALID`` (0) — a concrete value is present,
+- ``MASK_NULL`` (1) — the attribute was present with value ``null``,
+- ``MASK_MISSING`` (2) — the attribute was absent from the record.
+
+A mask of ``None`` means every slot is valid — the common case for
+generated/benchmark data, and the fast path every kernel checks first.
+Payload slots that are not valid hold ``None`` and must never be read
+without consulting the mask.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.storage.keys import SENTINEL_MISSING
+
+#: Number of rows per batch.  Large enough to amortize per-batch kernel
+#: dispatch, small enough that a LIMIT stops upstream work early.
+DEFAULT_BATCH_SIZE = 1024
+
+MASK_VALID = 0
+MASK_NULL = 1
+MASK_MISSING = 2
+
+_ABSENT = object()  # internal sentinel for dict.get probes
+
+
+class Vector:
+    """One column (or expression result) for every row of a batch."""
+
+    __slots__ = ("values", "mask")
+
+    def __init__(self, values: list, mask: bytearray | None = None) -> None:
+        self.values = values
+        self.mask = mask
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Vector({self.to_python()!r})"
+
+    @property
+    def all_valid(self) -> bool:
+        mask = self.mask
+        return mask is None or mask.count(MASK_VALID) == len(mask)
+
+    @classmethod
+    def from_python(cls, values: Iterable[Any]) -> "Vector":
+        """Build from in-band values (``None`` = NULL, sentinel = MISSING)."""
+        out: list = []
+        mask: bytearray | None = None
+        for index, value in enumerate(values):
+            if value is None or value is SENTINEL_MISSING:
+                if mask is None:
+                    mask = bytearray(index)
+                out.append(None)
+                mask.append(MASK_MISSING if value is SENTINEL_MISSING else MASK_NULL)
+            else:
+                out.append(value)
+                if mask is not None:
+                    mask.append(MASK_VALID)
+        return cls(out, mask)
+
+    @classmethod
+    def broadcast(cls, value: Any, length: int) -> "Vector":
+        """A constant column: *value* repeated *length* times."""
+        if value is None:
+            return cls([None] * length, bytearray([MASK_NULL]) * length)
+        if value is SENTINEL_MISSING:
+            return cls([None] * length, bytearray([MASK_MISSING]) * length)
+        return cls([value] * length, None)
+
+    def item(self, index: int) -> Any:
+        """Slot *index* as an in-band Python value."""
+        if self.mask is not None:
+            state = self.mask[index]
+            if state == MASK_NULL:
+                return None
+            if state == MASK_MISSING:
+                return SENTINEL_MISSING
+        return self.values[index]
+
+    def to_python(self) -> list:
+        """The whole vector as in-band values (NULL→None, MISSING→sentinel)."""
+        if self.mask is None:
+            return list(self.values)
+        out = []
+        for value, state in zip(self.values, self.mask):
+            if state == MASK_VALID:
+                out.append(value)
+            elif state == MASK_NULL:
+                out.append(None)
+            else:
+                out.append(SENTINEL_MISSING)
+        return out
+
+    def take(self, indices: Sequence[int]) -> "Vector":
+        """Gather the given row positions into a new vector."""
+        values = self.values
+        if self.mask is None:
+            return Vector([values[i] for i in indices], None)
+        mask = self.mask
+        return Vector(
+            [values[i] for i in indices],
+            bytearray(mask[i] for i in indices),
+        )
+
+
+class ColumnBatch:
+    """A batch of rows stored column-wise under one binding alias."""
+
+    __slots__ = ("alias", "length", "columns")
+
+    def __init__(self, alias: str, length: int, columns: dict[str, Vector]) -> None:
+        self.alias = alias
+        self.length = length
+        self.columns = columns
+
+    def __len__(self) -> int:
+        return self.length
+
+    @classmethod
+    def from_records(
+        cls,
+        records: Sequence[dict[str, Any]],
+        *,
+        alias: str = "",
+        columns: Iterable[str] | None = None,
+    ) -> "ColumnBatch":
+        """Transpose dict records into columns.
+
+        ``columns`` restricts the transpose to the named attributes (a
+        projection-pushdown hint from the planner); ``None`` transposes
+        the union of every record's keys, in first-seen order.
+        """
+        length = len(records)
+        if columns is None:
+            names: dict[str, None] = {}
+            for record in records:
+                for key in record:
+                    names[key] = None
+            column_names: Iterable[str] = names
+        else:
+            column_names = columns
+        out: dict[str, Vector] = {}
+        for name in column_names:
+            values: list = []
+            append = values.append
+            mask: bytearray | None = None
+            for index, record in enumerate(records):
+                value = record.get(name, _ABSENT)
+                if value is _ABSENT or value is None or value is SENTINEL_MISSING:
+                    if mask is None:
+                        mask = bytearray(index)  # zeros: rows so far are valid
+                    append(None)
+                    mask.append(MASK_NULL if value is None else MASK_MISSING)
+                else:
+                    append(value)
+                    if mask is not None:
+                        mask.append(MASK_VALID)
+            out[name] = Vector(values, mask)
+        return cls(alias, length, out)
+
+    # ------------------------------------------------------------------
+    # Structural transforms (all cheap: column dicts are shared, never
+    # copied per row)
+    # ------------------------------------------------------------------
+    def rename(self, alias: str) -> "ColumnBatch":
+        return ColumnBatch(alias, self.length, self.columns)
+
+    def restrict(self, names: Iterable[str]) -> "ColumnBatch":
+        """Keep only the named columns (absent names simply drop out)."""
+        kept = {name: self.columns[name] for name in names if name in self.columns}
+        return ColumnBatch(self.alias, self.length, kept)
+
+    def take(self, indices: Sequence[int]) -> "ColumnBatch":
+        """Gather the given row positions into a new (shorter) batch."""
+        return ColumnBatch(
+            self.alias,
+            len(indices),
+            {name: vector.take(indices) for name, vector in self.columns.items()},
+        )
+
+    # ------------------------------------------------------------------
+    # Row extraction (the batch/record boundary)
+    # ------------------------------------------------------------------
+    def row_record(self, index: int) -> dict[str, Any]:
+        """Row *index* back as a record dict; MISSING attributes drop out."""
+        record: dict[str, Any] = {}
+        for name, vector in self.columns.items():
+            mask = vector.mask
+            if mask is None:
+                record[name] = vector.values[index]
+            else:
+                state = mask[index]
+                if state == MASK_VALID:
+                    record[name] = vector.values[index]
+                elif state == MASK_NULL:
+                    record[name] = None
+                # MISSING: the attribute stays absent
+        return record
+
+    def records(self) -> Iterator[dict[str, Any]]:
+        """All rows as record dicts, in batch order."""
+        for index in range(self.length):
+            yield self.row_record(index)
+
+
+def concat_batches(batches: Sequence[ColumnBatch]) -> ColumnBatch:
+    """Concatenate batches into one (used by materializing sorts).
+
+    The output column set is the union of the inputs'; rows from a batch
+    that lacks a column are MISSING there.
+    """
+    if not batches:
+        return ColumnBatch("", 0, {})
+    alias = batches[0].alias
+    total = sum(batch.length for batch in batches)
+    names: dict[str, None] = {}
+    for batch in batches:
+        for name in batch.columns:
+            names[name] = None
+    columns: dict[str, Vector] = {}
+    for name in names:
+        values: list = []
+        mask: bytearray | None = None
+        for batch in batches:
+            vector = batch.columns.get(name)
+            if vector is None:
+                if mask is None:
+                    mask = bytearray(len(values))  # zeros: rows so far valid
+                values.extend([None] * batch.length)
+                mask.extend(bytes([MASK_MISSING]) * batch.length)
+            else:
+                if vector.mask is not None and mask is None:
+                    mask = bytearray(len(values))
+                values.extend(vector.values)
+                if mask is not None:
+                    mask.extend(vector.mask or bytearray(len(vector.values)))
+        columns[name] = Vector(values, mask)
+    return ColumnBatch(alias, total, columns)

@@ -1,0 +1,518 @@
+"""Batch-at-a-time physical operators.
+
+The vector counterpart of :mod:`repro.sqlengine.physical`: a small
+operator tree the engine selects per query when ``REPRO_EXEC=vector``.
+Two node kinds mirror the row engine's split between environment and
+record streams:
+
+- :class:`VectorSource` nodes produce :class:`ColumnBatch` streams
+  (scan, filter, rename, restrict, sort);
+- :class:`VectorHead` nodes turn batches back into the record stream the
+  engine returns (project, aggregate, record sort, limit).
+
+Output shaping deliberately reuses the row engine's helpers
+(:func:`~repro.sqlengine.physical.make_accumulator`, aggregate
+substitution, dedup keys) so the two paths cannot drift apart; the
+per-row expression interpretation — the hot loop — is what the batch
+path replaces.
+
+Work counters match the row operators (a full scan still counts one
+``full_scans`` and one ``heap_fetches`` per row) so plan-shape
+assertions hold under either engine; ``QueryStats.batches`` counts the
+batches that flowed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.exec.batch import DEFAULT_BATCH_SIZE, ColumnBatch, concat_batches
+from repro.exec.kernels import Descending
+from repro.exec.vectorops import VectorEvaluator
+from repro.sqlengine.ast_nodes import (
+    Expression,
+    OrderItem,
+    SelectItem,
+    Star,
+)
+from repro.sqlengine.physical import (
+    ExecutionContext,
+    _collect_aggregates,
+    _dedup_key,
+    _eval_with_aggregates,
+    make_accumulator,
+)
+from repro.storage.keys import SENTINEL_MISSING, index_key
+
+
+def _order_key(value: Any) -> Any:
+    """In-band value → total-order sort key (MISSING folds into NULL)."""
+    return index_key(None if value is SENTINEL_MISSING else value)
+
+
+class VectorNode:
+    """Base class for vector plan nodes (shared tree printing)."""
+
+    def children(self) -> tuple["VectorNode", ...]:
+        return ()
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def tree_string(self, indent: int = 0) -> str:
+        lines = ["  " * indent + self.describe()]
+        lines.extend(child.tree_string(indent + 1) for child in self.children())
+        return "\n".join(lines)
+
+
+class VectorSource(VectorNode):
+    """A node producing a stream of column batches."""
+
+    def batches(
+        self, ctx: ExecutionContext, evaluator: VectorEvaluator
+    ) -> Iterator[ColumnBatch]:
+        raise NotImplementedError
+
+
+class VectorHead(VectorNode):
+    """A node producing the final record stream."""
+
+    def rows(
+        self, ctx: ExecutionContext, evaluator: VectorEvaluator
+    ) -> Iterator[Any]:
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# Batch-producing nodes
+# ----------------------------------------------------------------------
+
+
+class VecScan(VectorSource):
+    """Full columnar heap scan.
+
+    ``columns`` is the planner's projection-pushdown hint: the set of
+    attributes any expression downstream can touch, or ``None`` when the
+    query may need whole records (``*`` / ``SELECT VALUE t``).
+    """
+
+    def __init__(
+        self,
+        table: str,
+        alias: str,
+        columns: tuple[str, ...] | None = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> None:
+        self.table = table
+        self.alias = alias
+        self.columns = columns
+        self.batch_size = batch_size
+
+    def batches(self, ctx, evaluator):
+        ctx.stats.full_scans += 1
+        heap = ctx.catalog.table(self.table).heap
+        for batch in heap.scan_batches(
+            self.batch_size, alias=self.alias, columns=self.columns
+        ):
+            ctx.stats.heap_fetches += batch.length
+            ctx.stats.batches += 1
+            yield batch
+
+    def describe(self) -> str:
+        cols = f" [{', '.join(self.columns)}]" if self.columns is not None else ""
+        return f"VecScan {self.table} AS {self.alias}{cols}"
+
+
+class VecFilter(VectorSource):
+    def __init__(self, child: VectorSource, predicate: Expression) -> None:
+        self.child = child
+        self.predicate = predicate
+
+    def children(self):
+        return (self.child,)
+
+    def batches(self, ctx, evaluator):
+        for batch in self.child.batches(ctx, evaluator):
+            selected = evaluator.true_indices(
+                evaluator.evaluate(self.predicate, batch)
+            )
+            if not selected:
+                continue
+            if len(selected) == batch.length:
+                yield batch
+            else:
+                yield batch.take(selected)
+
+    def describe(self) -> str:
+        return f"VecFilter {self.predicate}"
+
+
+class VecRename(VectorSource):
+    """The vector counterpart of ``Rebind``: change the binding alias."""
+
+    def __init__(self, child: VectorSource, alias: str) -> None:
+        self.child = child
+        self.alias = alias
+
+    def children(self):
+        return (self.child,)
+
+    def batches(self, ctx, evaluator):
+        for batch in self.child.batches(ctx, evaluator):
+            yield batch.rename(self.alias)
+
+    def describe(self) -> str:
+        return f"VecRename -> {self.alias}"
+
+
+class VecRestrict(VectorSource):
+    def __init__(self, child: VectorSource, columns: tuple[str, ...]) -> None:
+        self.child = child
+        self.columns = columns
+
+    def children(self):
+        return (self.child,)
+
+    def batches(self, ctx, evaluator):
+        for batch in self.child.batches(ctx, evaluator):
+            yield batch.restrict(self.columns)
+
+    def describe(self) -> str:
+        return f"VecRestrict ({', '.join(self.columns)})"
+
+
+class VecSort(VectorSource):
+    """Materializing sort: keys evaluated once per batch, not per row."""
+
+    def __init__(self, child: VectorSource, keys: tuple[OrderItem, ...]) -> None:
+        self.child = child
+        self.keys = keys
+
+    def children(self):
+        return (self.child,)
+
+    def batches(self, ctx, evaluator):
+        collected = list(self.child.batches(ctx, evaluator))
+        if not collected:
+            return
+        batch = concat_batches(collected)
+        key_vectors = [evaluator.evaluate(key.expr, batch) for key in self.keys]
+        descending = [key.descending for key in self.keys]
+        decorated = [
+            tuple(
+                Descending(k) if desc else k
+                for k, desc in zip(
+                    (_order_key(vector.item(i)) for vector in key_vectors),
+                    descending,
+                )
+            )
+            for i in range(batch.length)
+        ]
+        order = sorted(range(batch.length), key=decorated.__getitem__)
+        yield batch.take(order)
+
+    def describe(self) -> str:
+        keys = ", ".join(
+            f"{key.expr}{' DESC' if key.descending else ''}" for key in self.keys
+        )
+        return f"VecSort {keys}"
+
+
+class VecTopK(VectorSource):
+    """Bounded sort: batch-evaluated keys feeding a size-k heap."""
+
+    def __init__(
+        self, child: VectorSource, keys: tuple[OrderItem, ...], k: int
+    ) -> None:
+        self.child = child
+        self.keys = keys
+        self.k = k
+
+    def children(self):
+        return (self.child,)
+
+    def batches(self, ctx, evaluator):
+        import heapq
+
+        descending = [key.descending for key in self.keys]
+        entries: list[tuple[tuple, int, ColumnBatch, int]] = []
+        position = 0
+        for batch in self.child.batches(ctx, evaluator):
+            key_vectors = [evaluator.evaluate(key.expr, batch) for key in self.keys]
+            for i in range(batch.length):
+                decorated = tuple(
+                    Descending(k) if desc else k
+                    for k, desc in zip(
+                        (_order_key(vector.item(i)) for vector in key_vectors),
+                        descending,
+                    )
+                )
+                entries.append((decorated, position, batch, i))
+                position += 1
+        best = heapq.nsmallest(self.k, entries, key=lambda t: (t[0], t[1]))
+        for _key, _pos, batch, i in best:
+            yield batch.take([i])
+
+    def describe(self) -> str:
+        keys = ", ".join(
+            f"{key.expr}{' DESC' if key.descending else ''}" for key in self.keys
+        )
+        return f"VecTopK[{self.k}] {keys}"
+
+
+# ----------------------------------------------------------------------
+# Record-producing heads
+# ----------------------------------------------------------------------
+
+
+class VecProject(VectorHead):
+    def __init__(
+        self,
+        child: VectorSource,
+        items: tuple[SelectItem, ...],
+        select_value: bool,
+        distinct: bool = False,
+    ) -> None:
+        self.child = child
+        self.items = items
+        self.select_value = select_value
+        self.distinct = distinct
+
+    def children(self):
+        return (self.child,)
+
+    def rows(self, ctx, evaluator):
+        seen: set | None = set() if self.distinct else None
+        for batch in self.child.batches(ctx, evaluator):
+            for record in self._project_batch(batch, evaluator):
+                if seen is not None:
+                    key = _dedup_key(record)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                yield record
+
+    def _project_batch(
+        self, batch: ColumnBatch, evaluator: VectorEvaluator
+    ) -> Iterator[Any]:
+        if self.select_value:
+            vector = evaluator.evaluate(self.items[0].expr, batch)
+            for i in range(batch.length):
+                value = vector.item(i)
+                yield None if value is SENTINEL_MISSING else value
+            return
+        # (kind, payload): 'star' expands the whole binding record,
+        # 'expr' emits one named value per row.
+        shaped: list[tuple[str, Any]] = []
+        for item in self.items:
+            if isinstance(item.expr, Star):
+                qualifier = item.expr.qualifier
+                expands = qualifier is None or qualifier == batch.alias
+                shaped.append(("star", expands))
+            else:
+                shaped.append(
+                    ("expr", (item.output_name(), evaluator.evaluate(item.expr, batch)))
+                )
+        for i in range(batch.length):
+            record: dict[str, Any] = {}
+            for kind, payload in shaped:
+                if kind == "star":
+                    if payload:
+                        record.update(batch.row_record(i))
+                    continue
+                name, vector = payload
+                value = vector.item(i)
+                if value is SENTINEL_MISSING:
+                    continue  # SQL++: MISSING fields vanish from records
+                record[name] = value
+            yield record
+
+    def describe(self) -> str:
+        head = "VecProjectValue" if self.select_value else "VecProject"
+        return f"{head} {', '.join(str(item.expr) for item in self.items)}"
+
+
+class VecAggregate(VectorHead):
+    """Grouped (or scalar) aggregation over batches.
+
+    Aggregate argument expressions are evaluated once per batch; output
+    shaping reuses the row engine's aggregate-substitution helper
+    against a representative row, so non-aggregate output expressions
+    behave identically under both engines.
+    """
+
+    def __init__(
+        self,
+        child: VectorSource,
+        group_by: tuple[Expression, ...],
+        items: tuple[SelectItem, ...],
+        select_value: bool,
+    ) -> None:
+        self.child = child
+        self.group_by = group_by
+        self.items = items
+        self.select_value = select_value
+        self._agg_calls = _collect_aggregates(items)
+
+    def children(self):
+        return (self.child,)
+
+    def rows(self, ctx, evaluator):
+        if self.group_by:
+            yield from self._grouped(ctx, evaluator)
+        else:
+            yield from self._scalar(ctx, evaluator)
+
+    def _scalar(self, ctx, evaluator):
+        accumulators = [make_accumulator(call) for call in self._agg_calls]
+        representative: Any = None
+        for batch in self.child.batches(ctx, evaluator):
+            if representative is None and batch.length:
+                representative = {batch.alias: batch.row_record(0)}
+            for call, accumulator in zip(self._agg_calls, accumulators):
+                accumulator.add_rows(batch.length)
+                if not call.star:
+                    vector = evaluator.evaluate(call.args[0], batch)
+                    accumulator.add_many(vector.to_python())
+        results = {
+            id(call): accumulator.result()
+            for call, accumulator in zip(self._agg_calls, accumulators)
+        }
+        # SQL: aggregates over an empty input still produce one row.
+        yield self._shape_output(
+            ctx, representative if representative is not None else {}, results
+        )
+
+    def _grouped(self, ctx, evaluator):
+        groups: dict[tuple, tuple[list, Any]] = {}
+        for batch in self.child.batches(ctx, evaluator):
+            key_vectors = [
+                evaluator.evaluate(expr, batch) for expr in self.group_by
+            ]
+            arg_vectors = [
+                None if call.star else evaluator.evaluate(call.args[0], batch)
+                for call in self._agg_calls
+            ]
+            for i in range(batch.length):
+                key = tuple(_order_key(vector.item(i)) for vector in key_vectors)
+                entry = groups.get(key)
+                if entry is None:
+                    entry = (
+                        [make_accumulator(call) for call in self._agg_calls],
+                        {batch.alias: batch.row_record(i)},
+                    )
+                    groups[key] = entry
+                accumulators = entry[0]
+                for j, accumulator in enumerate(accumulators):
+                    accumulator.add_row()
+                    vector = arg_vectors[j]
+                    if vector is not None:
+                        accumulator.add(vector.item(i))
+        for accumulators, representative in groups.values():
+            results = {
+                id(call): accumulator.result()
+                for call, accumulator in zip(self._agg_calls, accumulators)
+            }
+            yield self._shape_output(ctx, representative, results)
+
+    def _shape_output(self, ctx, row, agg_results):
+        values: dict[str, Any] = {}
+        single_value: Any = None
+        for item in self.items:
+            value = _eval_with_aggregates(ctx.evaluator, item.expr, row, agg_results)
+            if self.select_value:
+                single_value = value
+            else:
+                values[item.output_name()] = value
+        return single_value if self.select_value else values
+
+    def describe(self) -> str:
+        keys = ", ".join(str(expr) for expr in self.group_by) or "<scalar>"
+        return f"VecAggregate[{keys}]"
+
+
+class VecRecordSort(VectorHead):
+    """Sort the output record stream; keys computed once per record."""
+
+    def __init__(self, child: VectorHead, keys: tuple[OrderItem, ...]) -> None:
+        self.child = child
+        self.keys = keys
+
+    def children(self):
+        return (self.child,)
+
+    def rows(self, ctx, evaluator):
+        records = list(self.child.rows(ctx, evaluator))
+        row_evaluate = ctx.evaluator.evaluate
+        descending = [key.descending for key in self.keys]
+
+        def env_of(record: Any) -> dict[str, Any]:
+            return {"t": record if isinstance(record, dict) else {"value": record}}
+
+        decorated = []
+        for record in records:
+            env = env_of(record)
+            decorated.append(
+                tuple(
+                    Descending(k) if desc else k
+                    for k, desc in zip(
+                        (
+                            _order_key(row_evaluate(key.expr, env))
+                            for key in self.keys
+                        ),
+                        descending,
+                    )
+                )
+            )
+        order = sorted(range(len(records)), key=decorated.__getitem__)
+        for i in order:
+            yield records[i]
+
+    def describe(self) -> str:
+        keys = ", ".join(
+            f"{key.expr}{' DESC' if key.descending else ''}" for key in self.keys
+        )
+        return f"VecRecordSort {keys}"
+
+
+class VecLimit(VectorHead):
+    def __init__(self, child: VectorHead, count: int, offset: int = 0) -> None:
+        self.child = child
+        self.count = count
+        self.offset = offset
+
+    def children(self):
+        return (self.child,)
+
+    def rows(self, ctx, evaluator):
+        if self.count == 0:
+            return
+        produced = 0
+        skipped = 0
+        for record in self.child.rows(ctx, evaluator):
+            if skipped < self.offset:
+                skipped += 1
+                continue
+            yield record
+            produced += 1
+            if self.count >= 0 and produced >= self.count:
+                return
+
+    def describe(self) -> str:
+        suffix = f" OFFSET {self.offset}" if self.offset else ""
+        return f"VecLimit {self.count}{suffix}"
+
+
+class VectorPlan:
+    """A complete vector plan: a head node plus its evaluator dialect."""
+
+    def __init__(self, head: VectorHead, dialect: str) -> None:
+        self.head = head
+        self.dialect = dialect
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Any]:
+        evaluator = VectorEvaluator(self.dialect)
+        return self.head.rows(ctx, evaluator)
+
+    def tree_string(self) -> str:
+        return self.head.tree_string()

@@ -19,6 +19,7 @@ relative magnitudes from their connector presets.
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Any, Iterable
 
@@ -28,7 +29,14 @@ from repro.sqlengine.parser import parse
 from repro.sqlengine.physical import ExecutionContext
 from repro.sqlengine.planner import plan_query
 from repro.sqlengine.result import QueryStats, ResultSet
+from repro.sqlengine.vectorize import vectorize
 from repro.storage.catalog import Catalog, TableInfo
+
+
+def _default_exec_engine() -> str:
+    """Process-wide engine default: ``REPRO_EXEC=vector`` flips it."""
+    value = os.environ.get("REPRO_EXEC", "").strip().lower()
+    return value if value in ("row", "vector") else "row"
 
 
 class SQLDatabase:
@@ -43,12 +51,18 @@ class SQLDatabase:
         include_absent_in_index: bool = True,
         query_prep_overhead: float = 0.0,
         name: str = "sql",
+        exec_engine: str | None = None,
     ) -> None:
         self.name = name
         self.features = features if features is not None else OptimizerFeatures.postgres()
         self.catalog = Catalog(default_include_absent=include_absent_in_index)
         self.query_prep_overhead = query_prep_overhead
         self._evaluator = Evaluator(self.dialect)
+        if exec_engine is None:
+            exec_engine = _default_exec_engine()
+        if exec_engine not in ("row", "vector"):
+            raise ValueError(f"unknown exec_engine {exec_engine!r}")
+        self.exec_engine = exec_engine
 
     # ------------------------------------------------------------------
     # DDL / DML
@@ -101,12 +115,24 @@ class SQLDatabase:
         physical = self._compile(query_text)
         stats = QueryStats()
         ctx = ExecutionContext(self.catalog, self._evaluator, stats)
-        records = list(physical.execute(ctx))
+        plan_text = physical.tree_string()
+        vector_plan = (
+            vectorize(physical, self.dialect)
+            if self.exec_engine == "vector"
+            else None
+        )
+        if vector_plan is not None:
+            stats.exec_engine = "vector"
+            records = list(vector_plan.execute(ctx))
+            plan_text += "\n== vector ==\n" + vector_plan.tree_string()
+        else:
+            stats.exec_engine = "row"
+            records = list(physical.execute(ctx))
         elapsed = time.perf_counter() - started
         return ResultSet(
             records=records,
             stats=stats,
-            plan_text=physical.tree_string(),
+            plan_text=plan_text,
             elapsed_seconds=elapsed,
         )
 
@@ -117,11 +143,21 @@ class SQLDatabase:
         optimizer = Optimizer(self.catalog, self.features)
         rewritten = optimizer.rewrite(logical)
         physical = optimizer.to_physical(rewritten)
+        if self.exec_engine == "vector":
+            vector_plan = vectorize(physical, self.dialect)
+            if vector_plan is not None:
+                engine_text = "vector\n" + vector_plan.tree_string()
+            else:
+                engine_text = "row (vector fallback: unsupported plan shape)"
+        else:
+            engine_text = "row"
         return (
             "== logical ==\n"
             + rewritten.tree_string()
             + "\n== physical ==\n"
             + physical.tree_string()
+            + "\n== execution engine ==\n"
+            + engine_text
         )
 
     def _compile(self, query_text: str):

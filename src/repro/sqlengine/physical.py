@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Any, Iterator
 
 from repro.errors import ExecutionError, PlanningError
+from repro.exec.kernels import Descending, sort_records
 from repro.sqlengine.ast_nodes import (
     Expression,
     FuncCall,
@@ -478,14 +479,17 @@ class SortOp(PhysicalPlan):
 
     def execute(self, ctx: ExecutionContext) -> Iterator[Any]:
         rows = list(self.child.execute(ctx))
-        for order in reversed(self.keys):  # stable multi-key sort
-            rows.sort(
-                key=lambda row: index_key(
-                    _absent_to_none(ctx.evaluator.evaluate(order.expr, row))
-                ),
-                reverse=order.descending,
+        evaluate = ctx.evaluator.evaluate
+
+        def key_of(row: Any) -> tuple:
+            return tuple(
+                index_key(_absent_to_none(evaluate(order.expr, row)))
+                for order in self.keys
             )
-        yield from rows
+
+        yield from sort_records(
+            rows, key_of, [order.descending for order in self.keys]
+        )
 
     def describe(self) -> str:
         keys = ", ".join(
@@ -512,7 +516,7 @@ class TopKOp(PhysicalPlan):
             parts = []
             for order in self.keys:
                 key = index_key(_absent_to_none(ctx.evaluator.evaluate(order.expr, row)))
-                parts.append(_Reversed(key) if order.descending else key)
+                parts.append(Descending(key) if order.descending else key)
             return tuple(parts)
 
         decorated = ((sort_key(row), index, row) for index, row in enumerate(self.child.execute(ctx)))
@@ -524,21 +528,6 @@ class TopKOp(PhysicalPlan):
             f"{key.expr}{' DESC' if key.descending else ''}" for key in self.keys
         )
         return f"TopK[{self.k}] {keys}"
-
-
-class _Reversed:
-    """Inverts comparison order for descending sort keys inside tuples."""
-
-    __slots__ = ("inner",)
-
-    def __init__(self, inner: Any) -> None:
-        self.inner = inner
-
-    def __lt__(self, other: "_Reversed") -> bool:
-        return other.inner < self.inner
-
-    def __eq__(self, other: Any) -> bool:
-        return isinstance(other, _Reversed) and other.inner == self.inner
 
 
 class RecordSortOp(PhysicalPlan):
@@ -553,18 +542,21 @@ class RecordSortOp(PhysicalPlan):
 
     def execute(self, ctx: ExecutionContext) -> Iterator[Any]:
         records = list(self.child.execute(ctx))
+        evaluate = ctx.evaluator.evaluate
 
         def env_of(record: Any) -> dict[str, Any]:
             return {"t": record if isinstance(record, dict) else {"value": record}}
 
-        for order in reversed(self.keys):
-            records.sort(
-                key=lambda record: index_key(
-                    _absent_to_none(ctx.evaluator.evaluate(order.expr, env_of(record)))
-                ),
-                reverse=order.descending,
+        def key_of(record: Any) -> tuple:
+            env = env_of(record)
+            return tuple(
+                index_key(_absent_to_none(evaluate(order.expr, env)))
+                for order in self.keys
             )
-        yield from records
+
+        yield from sort_records(
+            records, key_of, [order.descending for order in self.keys]
+        )
 
     def describe(self) -> str:
         keys = ", ".join(
@@ -706,6 +698,16 @@ class _Accumulator:
     def add_row(self) -> None:
         """COUNT(*) hook: called once per row regardless of values."""
 
+    def add_rows(self, count: int) -> None:
+        """Batch COUNT(*) hook: *count* rows at once (vector engine)."""
+        for _ in range(count):
+            self.add_row()
+
+    def add_many(self, values: list[Any]) -> None:
+        """Batch value hook; subclasses override with vectorized forms."""
+        for value in values:
+            self.add(value)
+
     def result(self) -> Any:
         raise NotImplementedError
 
@@ -720,6 +722,9 @@ class _CountStar(_Accumulator):
     def add_row(self) -> None:
         self.count += 1
 
+    def add_rows(self, count: int) -> None:
+        self.count += count
+
     def result(self) -> int:
         return self.count
 
@@ -731,6 +736,12 @@ class _CountValue(_Accumulator):
     def add(self, value: Any) -> None:
         if value is not None and value is not SENTINEL_MISSING:
             self.count += 1
+
+    def add_many(self, values: list[Any]) -> None:
+        self.count += sum(
+            1 for value in values
+            if value is not None and value is not SENTINEL_MISSING
+        )
 
     def result(self) -> int:
         return self.count
@@ -751,6 +762,16 @@ class _MinMax(_Accumulator):
         elif not self.is_min and value > self.best:
             self.best = value
 
+    def add_many(self, values: list[Any]) -> None:
+        present = [
+            value for value in values
+            if value is not None and value is not SENTINEL_MISSING
+        ]
+        if not present:
+            return
+        best = min(present) if self.is_min else max(present)
+        self.add(best)
+
     def result(self) -> Any:
         return self.best
 
@@ -763,6 +784,16 @@ class _Sum(_Accumulator):
         if value is None or value is SENTINEL_MISSING:
             return
         self.total = value if self.total is None else self.total + value
+
+    def add_many(self, values: list[Any]) -> None:
+        present = [
+            value for value in values
+            if value is not None and value is not SENTINEL_MISSING
+        ]
+        if not present:
+            return
+        subtotal = sum(present[1:], present[0])
+        self.total = subtotal if self.total is None else self.total + subtotal
 
     def result(self) -> Any:
         return self.total
@@ -778,6 +809,14 @@ class _Avg(_Accumulator):
             return
         self.total += value
         self.count += 1
+
+    def add_many(self, values: list[Any]) -> None:
+        present = [
+            value for value in values
+            if value is not None and value is not SENTINEL_MISSING
+        ]
+        self.total += sum(present)
+        self.count += len(present)
 
     def result(self) -> float | None:
         return self.total / self.count if self.count else None

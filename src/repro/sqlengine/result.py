@@ -23,6 +23,8 @@ class QueryStats:
     failed_shards: int = 0  # shards dropped from a degraded scatter-gather
     compile_cache_hits: int = 0  # compiled-query cache hits behind this result
     compile_cache_misses: int = 0  # plans that had to be compiled from scratch
+    batches: int = 0  # column batches scanned by the vector engine
+    exec_engine: str = ""  # 'row' | 'vector'; 'mixed' after merging both
 
     def merge(self, other: "QueryStats") -> None:
         self.heap_fetches += other.heap_fetches
@@ -33,6 +35,12 @@ class QueryStats:
         self.failed_shards += other.failed_shards
         self.compile_cache_hits += other.compile_cache_hits
         self.compile_cache_misses += other.compile_cache_misses
+        self.batches += other.batches
+        if other.exec_engine:
+            if not self.exec_engine:
+                self.exec_engine = other.exec_engine
+            elif self.exec_engine != other.exec_engine:
+                self.exec_engine = "mixed"
 
 
 @dataclass

@@ -1,0 +1,189 @@
+"""Row-plan → vector-plan translation with conservative fallback.
+
+The optimizer keeps producing the row physical tree; when the engine is
+configured with ``exec_engine='vector'`` this module attempts to mirror
+that tree with batch operators from :mod:`repro.exec.operators`.  Any
+node the vector layer does not cover — index access paths, joins,
+derived (nested-query) bindings, index-only aggregates — makes
+:func:`vectorize` return ``None`` and the row engine runs unchanged.
+Falling back per *plan* rather than per *expression* keeps the two
+engines' work counters comparable: a plan either runs entirely
+vectorized or entirely row-at-a-time.
+
+The translator also computes a projection-pushdown hint for the scan:
+the set of attributes any expression in the plan can touch.  Plans that
+use ``*`` or whole-record references scan every attribute.
+"""
+
+from __future__ import annotations
+
+from repro.exec.operators import (
+    VecAggregate,
+    VecFilter,
+    VecLimit,
+    VecProject,
+    VecRecordSort,
+    VecRename,
+    VecRestrict,
+    VecScan,
+    VecSort,
+    VecTopK,
+    VectorHead,
+    VectorPlan,
+    VectorSource,
+)
+from repro.sqlengine.ast_nodes import (
+    BinaryOp,
+    ColumnRef,
+    Expression,
+    FuncCall,
+    IsAbsent,
+    Star,
+    UnaryOp,
+)
+from repro.sqlengine.physical import (
+    ColumnRestrictOp,
+    FilterOp,
+    HashAggregate,
+    LimitOp,
+    PhysicalPlan,
+    ProjectOp,
+    RebindOp,
+    RecordSortOp,
+    SeqScan,
+    SortOp,
+    TopKOp,
+)
+
+
+def vectorize(physical: PhysicalPlan, dialect: str) -> VectorPlan | None:
+    """Mirror *physical* with batch operators, or ``None`` if unsupported."""
+    hint = _column_hint(physical)
+    head = _head(physical, hint)
+    if head is None:
+        return None
+    return VectorPlan(head, dialect)
+
+
+# ----------------------------------------------------------------------
+# Tree translation
+# ----------------------------------------------------------------------
+
+
+def _head(node: PhysicalPlan, hint: tuple[str, ...] | None) -> VectorHead | None:
+    if isinstance(node, LimitOp):
+        child = _head(node.child, hint)
+        if child is None:
+            return None
+        return VecLimit(child, node.count, node.offset)
+    if isinstance(node, RecordSortOp):
+        child = _head(node.child, hint)
+        if child is None:
+            return None
+        return VecRecordSort(child, node.keys)
+    if isinstance(node, ProjectOp):
+        source = _source(node.child, hint)
+        if source is None:
+            return None
+        return VecProject(source, node.items, node.select_value, node.distinct)
+    if isinstance(node, HashAggregate):
+        source = _source(node.child, hint)
+        if source is None:
+            return None
+        return VecAggregate(source, node.group_by, node.items, node.select_value)
+    return None
+
+
+def _source(node: PhysicalPlan, hint: tuple[str, ...] | None) -> VectorSource | None:
+    if isinstance(node, SeqScan):
+        return VecScan(node.table, node.alias, hint)
+    if isinstance(node, FilterOp):
+        child = _source(node.child, hint)
+        if child is None:
+            return None
+        return VecFilter(child, node.predicate)
+    if isinstance(node, RebindOp):
+        child = _source(node.child, hint)
+        if child is None:
+            return None
+        return VecRename(child, node.new)
+    if isinstance(node, ColumnRestrictOp):
+        child = _source(node.child, hint)
+        if child is None:
+            return None
+        return VecRestrict(child, node.columns)
+    if isinstance(node, SortOp):
+        child = _source(node.child, hint)
+        if child is None:
+            return None
+        return VecSort(child, node.keys)
+    if isinstance(node, TopKOp):
+        child = _source(node.child, hint)
+        if child is None:
+            return None
+        return VecTopK(child, node.keys, node.k)
+    # Index scans, joins, derived binds, index-only aggregates: row engine.
+    return None
+
+
+# ----------------------------------------------------------------------
+# Projection pushdown
+# ----------------------------------------------------------------------
+
+
+def _column_hint(physical: PhysicalPlan) -> tuple[str, ...] | None:
+    """Attributes the plan's expressions can touch, or ``None`` for all.
+
+    ``None`` (scan everything) is returned whenever the plan mentions
+    ``*`` or can reference a whole binding record by name.
+    """
+    aliases: set[str] = set()
+    exprs: list[Expression] = []
+
+    def walk_plan(node: PhysicalPlan) -> None:
+        if isinstance(node, SeqScan):
+            aliases.add(node.alias)
+        elif isinstance(node, RebindOp):
+            aliases.add(node.old)
+            aliases.add(node.new)
+        elif isinstance(node, FilterOp):
+            exprs.append(node.predicate)
+        elif isinstance(node, (SortOp, TopKOp, RecordSortOp)):
+            exprs.extend(key.expr for key in node.keys)
+        elif isinstance(node, (ProjectOp, HashAggregate)):
+            exprs.extend(item.expr for item in node.items)
+            if isinstance(node, HashAggregate):
+                exprs.extend(node.group_by)
+        for child in node.children():
+            walk_plan(child)
+
+    walk_plan(physical)
+
+    names: dict[str, None] = {}
+    whole_record = False
+
+    def walk_expr(expr: Expression) -> None:
+        nonlocal whole_record
+        if isinstance(expr, Star):
+            whole_record = True
+        elif isinstance(expr, ColumnRef):
+            if expr.qualifier is None and expr.name in aliases:
+                whole_record = True
+            else:
+                names[expr.name] = None
+        elif isinstance(expr, BinaryOp):
+            walk_expr(expr.left)
+            walk_expr(expr.right)
+        elif isinstance(expr, UnaryOp):
+            walk_expr(expr.operand)
+        elif isinstance(expr, IsAbsent):
+            walk_expr(expr.operand)
+        elif isinstance(expr, FuncCall):
+            for arg in expr.args:
+                walk_expr(arg)
+
+    for expr in exprs:
+        walk_expr(expr)
+    if whole_record:
+        return None
+    return tuple(names)

@@ -38,12 +38,14 @@ class AsterixDB(SQLDatabase):
         *,
         query_prep_overhead: float = DEFAULT_PREP_OVERHEAD,
         name: str = "asterixdb",
+        exec_engine: str | None = None,
     ) -> None:
         super().__init__(
             features if features is not None else OptimizerFeatures.asterixdb(),
             include_absent_in_index=False,  # MISSING/NULL are not indexed
             query_prep_overhead=query_prep_overhead,
             name=name,
+            exec_engine=exec_engine,
         )
         self._dataverses: set[str] = set()
 

@@ -58,6 +58,30 @@ class RowHeap:
         """Yield records only, in insertion order."""
         yield from self._rows.values()
 
+    def scan_batches(
+        self,
+        batch_size: int,
+        *,
+        alias: str = "",
+        columns: tuple[str, ...] | None = None,
+    ):
+        """Yield insertion-order slices of the heap as columnar batches.
+
+        The columnar reader behind the vector execution engine: records
+        are transposed into :class:`~repro.exec.batch.ColumnBatch` chunks
+        of at most *batch_size* rows.  ``columns`` restricts the
+        transpose to the named attributes (projection pushdown).
+        """
+        # Imported here, not at module level: repro.exec pulls in the
+        # engine packages, which in turn load this module.
+        from repro.exec.batch import ColumnBatch
+
+        records = list(self._rows.values())
+        for start in range(0, len(records), batch_size):
+            yield ColumnBatch.from_records(
+                records[start : start + batch_size], alias=alias, columns=columns
+            )
+
     def rids(self) -> Iterator[int]:
         yield from self._rows.keys()
 

@@ -1,0 +1,129 @@
+"""ColumnBatch / Vector null-mask semantics.
+
+The three-state validity mask (VALID / NULL / MISSING) is the backbone
+of the vectorized engine's SQL-vs-SQL++ absent-value handling; these
+tests pin its construction, round-tripping, and structural transforms.
+"""
+
+from __future__ import annotations
+
+from repro.exec.batch import (
+    MASK_MISSING,
+    MASK_NULL,
+    MASK_VALID,
+    ColumnBatch,
+    Vector,
+    concat_batches,
+)
+from repro.storage.keys import SENTINEL_MISSING
+
+
+def test_vector_from_python_all_valid_has_no_mask():
+    vector = Vector.from_python([1, 2, 3])
+    assert vector.mask is None
+    assert vector.all_valid
+    assert vector.to_python() == [1, 2, 3]
+
+
+def test_vector_from_python_distinguishes_null_and_missing():
+    vector = Vector.from_python([1, None, SENTINEL_MISSING, 4])
+    assert list(vector.mask) == [MASK_VALID, MASK_NULL, MASK_MISSING, MASK_VALID]
+    # Invalid payload slots hold None, never the sentinel.
+    assert vector.values == [1, None, None, 4]
+    assert vector.to_python() == [1, None, SENTINEL_MISSING, 4]
+    assert not vector.all_valid
+
+
+def test_vector_item_reads_through_mask():
+    vector = Vector.from_python([None, SENTINEL_MISSING, 7])
+    assert vector.item(0) is None
+    assert vector.item(1) is SENTINEL_MISSING
+    assert vector.item(2) == 7
+
+
+def test_vector_broadcast():
+    assert Vector.broadcast(5, 3).to_python() == [5, 5, 5]
+    assert Vector.broadcast(5, 3).mask is None
+    assert Vector.broadcast(None, 2).to_python() == [None, None]
+    assert list(Vector.broadcast(None, 2).mask) == [MASK_NULL, MASK_NULL]
+    missing = Vector.broadcast(SENTINEL_MISSING, 2)
+    assert list(missing.mask) == [MASK_MISSING, MASK_MISSING]
+
+
+def test_vector_take_gathers_values_and_mask():
+    vector = Vector.from_python([10, None, SENTINEL_MISSING, 40])
+    taken = vector.take([3, 1, 0])
+    assert taken.to_python() == [40, None, 10]
+    assert list(taken.mask) == [MASK_VALID, MASK_NULL, MASK_VALID]
+    # A maskless vector stays maskless after take.
+    assert Vector.from_python([1, 2]).take([1]).mask is None
+
+
+def test_from_records_absent_vs_null():
+    batch = ColumnBatch.from_records(
+        [{"a": 1, "b": 2}, {"a": None}, {"a": 3, "b": 4}], alias="t"
+    )
+    assert batch.length == 3
+    assert batch.columns["a"].to_python() == [1, None, 3]
+    assert list(batch.columns["a"].mask) == [MASK_VALID, MASK_NULL, MASK_VALID]
+    # 'b' is absent (not null) in the middle record.
+    assert list(batch.columns["b"].mask) == [MASK_VALID, MASK_MISSING, MASK_VALID]
+    assert batch.columns["b"].item(1) is SENTINEL_MISSING
+
+
+def test_from_records_column_hint_restricts_transpose():
+    batch = ColumnBatch.from_records(
+        [{"a": 1, "b": 2}, {"a": 3, "b": 4}], alias="t", columns=("b",)
+    )
+    assert set(batch.columns) == {"b"}
+    assert batch.columns["b"].mask is None
+
+
+def test_from_records_union_in_first_seen_order():
+    batch = ColumnBatch.from_records([{"b": 1}, {"a": 2, "b": 3}])
+    assert list(batch.columns) == ["b", "a"]
+
+
+def test_row_record_drops_missing_keeps_null():
+    batch = ColumnBatch.from_records([{"a": 1}, {"a": None, "b": 5}], alias="t")
+    assert batch.row_record(0) == {"a": 1}
+    assert batch.row_record(1) == {"a": None, "b": 5}
+    assert list(batch.records()) == [{"a": 1}, {"a": None, "b": 5}]
+
+
+def test_rename_and_restrict_share_columns():
+    batch = ColumnBatch.from_records([{"a": 1, "b": 2}], alias="t")
+    renamed = batch.rename("u")
+    assert renamed.alias == "u"
+    assert renamed.columns is batch.columns
+    restricted = batch.restrict(["a", "zzz"])
+    assert set(restricted.columns) == {"a"}
+    assert restricted.columns["a"] is batch.columns["a"]
+
+
+def test_batch_take_reorders_rows():
+    batch = ColumnBatch.from_records([{"a": 1}, {"a": None}, {"a": 3}], alias="t")
+    taken = batch.take([2, 0])
+    assert taken.length == 2
+    assert list(taken.records()) == [{"a": 3}, {"a": 1}]
+
+
+def test_concat_batches_fills_absent_columns_with_missing():
+    left = ColumnBatch.from_records([{"a": 1, "b": 2}], alias="t")
+    right = ColumnBatch.from_records([{"a": 3}], alias="t")
+    merged = concat_batches([left, right])
+    assert merged.length == 2
+    assert merged.alias == "t"
+    assert list(merged.columns["b"].mask) == [MASK_VALID, MASK_MISSING]
+    assert list(merged.records()) == [{"a": 1, "b": 2}, {"a": 3}]
+
+
+def test_concat_batches_merges_masked_and_unmasked_runs():
+    first = ColumnBatch.from_records([{"a": 1}, {"a": 2}], alias="t")
+    second = ColumnBatch.from_records([{"a": None}, {"a": 4}], alias="t")
+    merged = concat_batches([first, second])
+    assert merged.columns["a"].to_python() == [1, 2, None, 4]
+    assert list(merged.columns["a"].mask) == [
+        MASK_VALID, MASK_VALID, MASK_NULL, MASK_VALID,
+    ]
+    assert concat_batches([]).length == 0

@@ -16,6 +16,10 @@ def sample():
             compile_ms=0.4, nesting_depth=3,
         ),
         Measurement("Pandas", "M", 1, "oom", 0.3, 0.0),
+        Measurement(
+            "PolyFrame-PostgreSQL", "S", 4, "ok", 0.0002, 0.004,
+            rows_per_sec=250_000.0, exec_engine="vector",
+        ),
     ]
 
 
@@ -28,7 +32,7 @@ def test_dict_rows_include_total():
 def test_json_round_trip():
     exported = to_json(sample())
     parsed = json.loads(exported)
-    assert len(parsed) == 3
+    assert len(parsed) == 4
     rehydrated = from_json(exported)
     assert rehydrated == sample()
 
@@ -37,8 +41,8 @@ def test_csv_has_header_and_rows():
     text = to_csv(sample())
     lines = text.strip().splitlines()
     assert lines[0].startswith("system,dataset,expression_id")
-    assert lines[0].endswith("compile_ms,nesting_depth")
-    assert len(lines) == 4
+    assert lines[0].endswith("compile_ms,nesting_depth,rows_per_sec,exec_engine")
+    assert len(lines) == 5
     assert "PolyFrame-Neo4j" in lines[2]
 
 
@@ -50,3 +54,18 @@ def test_compile_columns_round_trip():
     rehydrated = from_json(to_json(sample()))
     assert rehydrated[1].compile_ms == 0.4
     assert rehydrated[1].nesting_depth == 3
+
+
+def test_throughput_columns_round_trip():
+    rows = measurements_to_dicts(sample())
+    assert rows[3]["rows_per_sec"] == 250_000.0
+    assert rows[3]["exec_engine"] == "vector"
+    assert rows[0]["exec_engine"] == ""  # eager baseline: no engine label
+    rehydrated = from_json(to_json(sample()))
+    assert rehydrated[3].rows_per_sec == 250_000.0
+    assert rehydrated[3].exec_engine == "vector"
+    # Older exports without the columns rehydrate with defaults.
+    legacy = json.loads(to_json(sample()[:1]))
+    for row in legacy:
+        del row["rows_per_sec"], row["exec_engine"]
+    assert from_json(json.dumps(legacy))[0].rows_per_sec == 0.0
