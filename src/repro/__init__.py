@@ -32,6 +32,7 @@ from repro.core import (
     RewriteEngine,
     RewriteRules,
 )
+from repro.obs import Tracer, metrics
 
 #: The paper's original library name: PolyFrame is the retargetable AFrame.
 AFrame = PolyFrame
@@ -49,5 +50,7 @@ __all__ = [
     "PostgresConnector",
     "RewriteEngine",
     "RewriteRules",
+    "Tracer",
     "__version__",
+    "metrics",
 ]

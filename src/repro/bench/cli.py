@@ -18,11 +18,13 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 import tempfile
 
 from repro.bench.datasets import SINGLE_NODE_RATIOS
 from repro.bench.expressions import EXPRESSIONS, benchmark_params
+from repro.bench.export import write_trace_json
 from repro.bench.report import (
     format_scaleup_table,
     format_scaling_table,
@@ -30,6 +32,7 @@ from repro.bench.report import (
 )
 from repro.bench.runner import run_suite
 from repro.bench.systems import build_cluster_systems, build_systems
+from repro.obs import Tracer, get_tracer, set_global_tracer
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -43,6 +46,10 @@ def main(argv: list[str] | None = None) -> int:
         help="XS record count; other sizes follow the paper's ratios (default 2000)",
     )
     common.add_argument("--seed", type=int, default=7, help="parameter seed")
+    common.add_argument(
+        "--trace-json", default=None, metavar="PATH",
+        help="export the run's trace spans as JSON (implies tracing on)",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     single = subparsers.add_parser("single-node", parents=[common], help="Figures 5-8")
@@ -79,6 +86,31 @@ def main(argv: list[str] | None = None) -> int:
     return _queries()
 
 
+@contextlib.contextmanager
+def _tracing(path: str | None):
+    """Trace the suite when ``--trace-json`` asks for it.
+
+    Reuses the process-wide tracer if ``REPRO_TRACE=1`` already installed
+    one; otherwise installs a fresh one for the duration of the run and
+    restores the previous state afterwards.
+    """
+    if path is None:
+        yield
+        return
+    tracer = get_tracer()
+    installed = tracer is None or not tracer.enabled
+    if installed:
+        tracer = Tracer()
+        set_global_tracer(tracer)
+    try:
+        yield
+    finally:
+        write_trace_json(tracer, path)
+        print(f"wrote {len(tracer.spans)} trace span trees to {path}", file=sys.stderr)
+        if installed:
+            set_global_tracer(None)
+
+
 def _parse_expressions(spec: str):
     ids: set[int] = set()
     for piece in spec.split(","):
@@ -98,7 +130,7 @@ def _single_node(args, params) -> int:
         return 2
     expressions = _parse_expressions(args.expressions)
     measurements = []
-    with tempfile.TemporaryDirectory() as workdir:
+    with _tracing(args.trace_json), tempfile.TemporaryDirectory() as workdir:
         for size in sizes:
             count = int(args.xs * SINGLE_NODE_RATIOS[size])
             print(f"loading {size} ({count:,} records)...", file=sys.stderr)
@@ -112,11 +144,12 @@ def _cluster(args, params, mode: str) -> int:
     nodes_list = [int(n) for n in args.nodes.split(",")]
     records = args.xs * 10
     by_nodes = {}
-    for nodes in nodes_list:
-        count = records * nodes if mode == "scaleup" else records
-        print(f"loading {nodes}-node cluster ({count:,} records)...", file=sys.stderr)
-        systems = build_cluster_systems(nodes, count)
-        by_nodes[nodes] = run_suite(systems, EXPRESSIONS, params, dataset=f"{nodes}n")
+    with _tracing(args.trace_json):
+        for nodes in nodes_list:
+            count = records * nodes if mode == "scaleup" else records
+            print(f"loading {nodes}-node cluster ({count:,} records)...", file=sys.stderr)
+            systems = build_cluster_systems(nodes, count)
+            by_nodes[nodes] = run_suite(systems, EXPRESSIONS, params, dataset=f"{nodes}n")
     if mode == "speedup":
         print(format_speedup_table(by_nodes))
     else:

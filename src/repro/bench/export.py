@@ -2,7 +2,9 @@
 
 The text reports in :mod:`repro.bench.report` regenerate the paper's
 figures; these helpers dump the raw measurements so users can plot them
-with their own tooling.
+with their own tooling.  When a run is traced (``REPRO_TRACE=1`` or
+``--trace-json``), :func:`write_trace_json` dumps the accumulated span
+trees alongside the CSV/JSON measurements.
 """
 
 from __future__ import annotations
@@ -13,6 +15,7 @@ import json
 from typing import Sequence
 
 from repro.bench.runner import Measurement
+from repro.obs import Tracer
 
 _FIELDS = (
     "system",
@@ -65,6 +68,16 @@ def to_csv(measurements: Sequence[Measurement]) -> str:
     writer.writeheader()
     writer.writerows(measurements_to_dicts(measurements))
     return buffer.getvalue()
+
+
+def write_trace_json(tracer: Tracer, path: str) -> str:
+    """Write *tracer*'s accumulated span trees to *path*; returns the text.
+
+    The schema is documented in ``docs/observability.md`` — one root span
+    per dataframe action, each tagged by the bench runner with its
+    (system, dataset, expression_id) cell.
+    """
+    return tracer.export_json(path)
 
 
 def from_json(text: str) -> list[Measurement]:

@@ -25,6 +25,7 @@ from repro.bench.expressions import BenchParams, DataFrameAPI, Expression
 from repro.bench.systems import SystemUnderTest
 from repro.eager.memory import memory_budget
 from repro.errors import MemoryBudgetExceeded, UnsupportedOperationError
+from repro.obs import get_tracer
 
 STATUS_OK = "ok"
 STATUS_OOM = "oom"
@@ -99,6 +100,7 @@ def run_expression(
         compile_mark = (
             len(system.connector.compile_log) if system.connector is not None else 0
         )
+        tracer, trace_mark = _trace_mark(system)
         started = time.perf_counter()
         try:
             expr.run(df, df2, params, api)
@@ -110,6 +112,8 @@ def run_expression(
             return Measurement(
                 system.name, dataset, expr.id, STATUS_UNSUPPORTED, creation, elapsed
             )
+        finally:
+            _tag_spans(tracer, trace_mark, system.name, dataset, expr.id)
         expression = time.perf_counter() - started
         expression = _adjust_for_simulated_parallelism(system, expression, send_mark)
         retries, degraded = _resilience_outcomes(system, send_mark)
@@ -121,6 +125,28 @@ def run_expression(
         compile_ms=compile_ms, nesting_depth=nesting_depth,
         rows_per_sec=rows_per_sec, exec_engine=exec_engine,
     )
+
+
+def _trace_mark(system: SystemUnderTest):
+    """The active tracer (connector-scoped or process-wide) and its position."""
+    tracer = getattr(system.connector, "tracer", None) if system.connector else None
+    if tracer is None:
+        tracer = get_tracer()
+    if tracer is None or not tracer.enabled:
+        return None, 0
+    return tracer, len(tracer.spans)
+
+
+def _tag_spans(tracer, trace_mark: int, system: str, dataset: str, expr_id: int) -> None:
+    """Stamp the expression's new root spans with benchmark coordinates.
+
+    The exported trace JSON then attributes every span tree to its
+    (system, dataset, expression) cell, matching the CSV columns.
+    """
+    if tracer is None:
+        return
+    for span in tracer.spans[trace_mark:]:
+        span.set(system=system, dataset=dataset, expression_id=expr_id)
 
 
 def _adjust_for_simulated_parallelism(

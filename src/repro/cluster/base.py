@@ -17,6 +17,8 @@ from typing import Any, Callable, Sequence
 
 from repro.cluster.merge import MergeSpec, merge_records
 from repro.errors import ConnectorError, ReproError, ShardFailureError
+from repro.obs import ambient_span, metrics
+from repro.obs.profile import OpProfile
 from repro.resilience import FaultInjector, RetryPolicy
 from repro.sqlengine.result import QueryStats, ResultSet
 
@@ -63,32 +65,36 @@ def scatter_gather(
     for shard in range(num_shards):
         key = f"{backend_name}#shard{shard}"
         attempt = 0
-        while True:
-            attempt += 1
-            try:
-                if fault_injector is not None:
-                    fault_injector.before_request(key)
-                result = run_on_shard(shard)
-            except Exception as exc:
-                if retry_policy is not None and retry_policy.should_retry(exc, attempt):
-                    retry_policy.wait(attempt)
-                    continue
-                if not isinstance(exc, ConnectorError):
-                    # Engine/query errors are not shard outages; surface as-is.
-                    raise
+        with ambient_span("shard", shard=shard, backend=backend_name) as shard_span:
+            while True:
+                attempt += 1
+                try:
+                    if fault_injector is not None:
+                        fault_injector.before_request(key)
+                    result = run_on_shard(shard)
+                except Exception as exc:
+                    if retry_policy is not None and retry_policy.should_retry(exc, attempt):
+                        retry_policy.wait(attempt)
+                        continue
+                    if not isinstance(exc, ConnectorError):
+                        # Engine/query errors are not shard outages; surface as-is.
+                        raise
+                    shard_attempts.append(attempt)
+                    if allow_partial:
+                        failed_shards.append(shard)
+                        metrics.counter("shard_failures_total").inc()
+                        shard_span.set(attempts=attempt, outcome="failed")
+                        break
+                    raise ShardFailureError(
+                        f"shard {shard} of {backend_name or 'cluster'} failed after "
+                        f"{attempt} attempt(s): {exc}",
+                        shard=shard,
+                        attempts=attempt,
+                    ) from exc
                 shard_attempts.append(attempt)
-                if allow_partial:
-                    failed_shards.append(shard)
-                    break
-                raise ShardFailureError(
-                    f"shard {shard} of {backend_name or 'cluster'} failed after "
-                    f"{attempt} attempt(s): {exc}",
-                    shard=shard,
-                    attempts=attempt,
-                ) from exc
-            shard_attempts.append(attempt)
-            shard_results.append(result)
-            break
+                shard_results.append(result)
+                shard_span.set(attempts=attempt, rows=len(result.records))
+                break
     if not shard_results:
         raise ShardFailureError(
             f"every shard of {backend_name or 'cluster'} is down "
@@ -113,6 +119,19 @@ def scatter_gather(
     partial = bool(failed_shards)
     degraded = f", partial: lost shards {failed_shards}" if partial else ""
     plan = shard_results[0].plan_text
+    op_profile = None
+    if any(result.op_profile is not None for result in shard_results):
+        # Analyze mode ran on the shards: roll their operator profiles up
+        # under one coordinator node so EXPLAIN ANALYZE shows the cluster.
+        op_profile = OpProfile(
+            f"ScatterGather[{num_shards} shards, {spec.kind}]",
+            children=[r.op_profile for r in shard_results if r.op_profile is not None],
+        )
+        op_profile.rows_out = len(merged)
+        op_profile.time_ns = int(
+            sum(child.time_ns for child in op_profile.children)
+            + merge_elapsed * 1e9
+        )
     return ResultSet(
         records=merged,
         stats=stats,
@@ -120,6 +139,7 @@ def scatter_gather(
         elapsed_seconds=elapsed,
         partial=partial,
         shard_attempts=tuple(shard_attempts),
+        op_profile=op_profile,
     )
 
 

@@ -27,6 +27,8 @@ from typing import Any
 from repro.core.plan.cache import CompiledQueryCache
 from repro.core.rewrite import RewriteEngine
 from repro.errors import CircuitOpenError
+from repro.obs import metrics, span_for
+from repro.obs.trace import Tracer
 from repro.resilience import CircuitBreaker, FaultInjector, QueryTimeout, RetryPolicy
 from repro.resilience.faults import global_resilience
 from repro.sqlengine.result import ResultSet
@@ -166,6 +168,16 @@ class DatabaseConnector(abc.ABC):
         self.optimization_level = optimization_level
         self.compile_cache = CompiledQueryCache()
         self.compile_log: list = []
+        self.tracer: Tracer | None = None
+
+    def set_tracer(self, tracer: Tracer | None) -> None:
+        """Trace every action through this connector (``None`` disables).
+
+        A connector-scoped alternative to the process-wide ``REPRO_TRACE``
+        tracer; when both are configured the connector's wins.  See
+        ``docs/observability.md``.
+        """
+        self.tracer = tracer
 
     # ------------------------------------------------------------------
     # The three required methods
@@ -183,7 +195,10 @@ class DatabaseConnector(abc.ABC):
         Wraps the backend call with circuit breaking, fault injection,
         deadline enforcement, bounded retries, and timing/outcome
         bookkeeping (see :class:`SendRecord`); backends implement
-        :meth:`_execute`.
+        :meth:`_execute`.  When tracing is enabled the whole send is one
+        ``dispatch`` span with an ``attempt`` child per execution try, and
+        the finished :class:`SendRecord` is mirrored onto the span's
+        attributes.
         """
         injector = self.fault_injector
         policy = self.retry_policy
@@ -193,73 +208,104 @@ class DatabaseConnector(abc.ABC):
                 policy = global_policy
         breaker = self.circuit_breaker
 
-        total_started = time.perf_counter()
-        attempt = 0
-        while True:
-            attempt += 1
-            if breaker is not None:
-                try:
-                    breaker.allow()
-                except CircuitOpenError:
-                    self.send_log.append(
-                        SendRecord(
-                            time.perf_counter() - total_started,
-                            0.0,
-                            attempts=attempt - 1,
-                            outcome=OUTCOME_REJECTED,
-                        )
-                    )
-                    raise
-            attempt_started = time.perf_counter()
-            try:
-                if injector is not None:
-                    injector.before_request(self.name)
-                result = self._execute(query, collection)
-                if self.timeout is not None:
-                    self.timeout.check(
-                        time.perf_counter() - attempt_started,
-                        backend=self.name,
-                        query=query,
-                    )
-            except Exception as exc:
+        self._count("queries_total")
+        with span_for(self, "dispatch", backend=self.name, collection=collection) as dspan:
+            total_started = time.perf_counter()
+            attempt = 0
+            while True:
+                attempt += 1
                 if breaker is not None:
-                    breaker.record_failure()
-                if policy is not None and policy.should_retry(exc, attempt):
-                    logger.debug(
-                        "%s attempt %d failed (%s); retrying", self.name, attempt, exc
-                    )
-                    policy.wait(attempt)
-                    continue
-                self.send_log.append(
-                    SendRecord(
-                        time.perf_counter() - total_started,
-                        0.0,
-                        attempts=attempt,
-                        outcome=OUTCOME_ERROR,
-                    )
-                )
-                raise
-            break
+                    try:
+                        breaker.allow()
+                    except CircuitOpenError:
+                        self._count("circuit_rejections_total")
+                        dspan.set(outcome=OUTCOME_REJECTED, attempts=attempt - 1)
+                        self.send_log.append(
+                            SendRecord(
+                                time.perf_counter() - total_started,
+                                0.0,
+                                attempts=attempt - 1,
+                                outcome=OUTCOME_REJECTED,
+                            )
+                        )
+                        raise
+                attempt_started = time.perf_counter()
+                with span_for(self, "attempt", number=attempt) as aspan:
+                    try:
+                        if injector is not None:
+                            injector.before_request(self.name)
+                        result = self._execute(query, collection)
+                        if self.timeout is not None:
+                            self.timeout.check(
+                                time.perf_counter() - attempt_started,
+                                backend=self.name,
+                                query=query,
+                            )
+                    except Exception as exc:
+                        if breaker is not None:
+                            breaker.record_failure()
+                        if policy is not None and policy.should_retry(exc, attempt):
+                            aspan.set(
+                                error=f"{type(exc).__name__}: {exc}", retried=True
+                            )
+                            logger.debug(
+                                "%s attempt %d failed (%s); retrying",
+                                self.name, attempt, exc,
+                            )
+                            policy.wait(attempt)
+                            continue
+                        self._count("retries_total", attempt - 1)
+                        dspan.set(outcome=OUTCOME_ERROR, attempts=attempt)
+                        self.send_log.append(
+                            SendRecord(
+                                time.perf_counter() - total_started,
+                                0.0,
+                                attempts=attempt,
+                                outcome=OUTCOME_ERROR,
+                            )
+                        )
+                        raise
+                    break
 
-        if breaker is not None:
-            breaker.record_success()
-        real = time.perf_counter() - total_started
-        record = SendRecord(
-            real,
-            result.elapsed_seconds,
-            attempts=attempt,
-            outcome=OUTCOME_PARTIAL if result.partial else OUTCOME_OK,
-            shard_retries=result.stats.retries,
-            rows_scanned=result.stats.heap_fetches + result.stats.index_entries,
-            exec_engine=result.stats.exec_engine,
-        )
-        self.send_log.append(record)
+            if breaker is not None:
+                breaker.record_success()
+            real = time.perf_counter() - total_started
+            record = SendRecord(
+                real,
+                result.elapsed_seconds,
+                attempts=attempt,
+                outcome=OUTCOME_PARTIAL if result.partial else OUTCOME_OK,
+                shard_retries=result.stats.retries,
+                rows_scanned=result.stats.heap_fetches + result.stats.index_entries,
+                exec_engine=result.stats.exec_engine,
+            )
+            self.send_log.append(record)
+            self._count("retries_total", record.retries)
+            self._count("rows_scanned", record.rows_scanned)
+            metrics.histogram("query_seconds", backend=self.name).observe(real)
+            if dspan.recording:
+                dspan.set(
+                    rows=len(result.records),
+                    real_seconds=record.real_seconds,
+                    reported_seconds=record.reported_seconds,
+                    attempts=record.attempts,
+                    outcome=record.outcome,
+                    shard_retries=record.shard_retries,
+                    rows_scanned=record.rows_scanned,
+                    exec_engine=record.exec_engine,
+                )
         if logger.isEnabledFor(logging.DEBUG):
             logger.debug(
                 "%s <- %s (%d rows, %.2fms, %d attempts)\n%s",
                 self.name, collection, len(result.records), real * 1000, attempt, query,
             )
         return result
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        """Increment both the headline and the per-backend metric series."""
+        if amount:
+            metrics.counter(name).inc(amount)
+            metrics.counter(name, backend=self.name).inc(amount)
 
     @abc.abstractmethod
     def _execute(self, query: str, collection: str) -> ResultSet:

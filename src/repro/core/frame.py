@@ -15,10 +15,13 @@ recompiled for a different backend: see :meth:`PolyFrame.retarget`.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, TYPE_CHECKING
 
 from repro.eager import EagerFrame, frame_from_records
 from repro.errors import ConnectorError, RewriteError
+from repro.obs import analyze_mode, format_profile, span_for
+from repro.obs.profile import OpProfile
 from repro.core.plan.compiler import CompiledQuery, compile_plan_for, stamp_stats
 from repro.core.plan.nodes import (
     Count,
@@ -38,6 +41,30 @@ from repro.core.series import PolySeries
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.connectors.base import DatabaseConnector
     from repro.core.groupby import PolyFrameGroupBy
+
+
+@dataclass(frozen=True)
+class ProfiledResult:
+    """What :meth:`PolyFrame.profile` returns: results plus the profile.
+
+    ``frame`` holds exactly what :meth:`PolyFrame.collect` would have
+    returned (analyze mode never changes answers); ``profile`` is the
+    per-operator :class:`~repro.obs.OpProfile` tree; ``report()`` renders
+    the EXPLAIN ANALYZE text.
+    """
+
+    frame: EagerFrame
+    profile: OpProfile | None
+    query: str
+    backend: str
+    engine: str
+
+    def report(self) -> str:
+        engine = f", engine={self.engine}" if self.engine else ""
+        header = f"== operator profile ({self.backend}{engine}) =="
+        if self.profile is None:
+            return f"{header}\n(no operator profile available)"
+        return f"{header}\n{format_profile(self.profile)}"
 
 
 class PolyFrame:
@@ -100,14 +127,21 @@ class PolyFrame:
             self.connector, plan if plan is not None else self._plan, level
         )
 
-    def explain(self, verbose: bool = False) -> str:
+    def explain(self, verbose: bool = False, analyze: bool = False) -> str:
         """The query an action would send (before terminal rules).
 
         With ``verbose=True``, a three-stage report: the logical plan (as
         recorded and, if optimization changed it, as optimized), the query
         text generated for this backend, and — where the backend exposes
         one — the engine's own query plan.
+
+        With ``analyze=True``, the query actually *runs* (like SQL's
+        ``EXPLAIN ANALYZE``) and the report is the physical operator tree
+        annotated with measured wall time and row counts per operator —
+        see :meth:`profile` for programmatic access.
         """
+        if analyze:
+            return self.profile().report()
         if not verbose:
             return self.query
         compiled = self._compile()
@@ -269,24 +303,60 @@ class PolyFrame:
     # ------------------------------------------------------------------
     # Actions
     # ------------------------------------------------------------------
+    def _action_span(self, op: str):
+        """The root trace span every action opens (no-op unless tracing)."""
+        return span_for(
+            self.connector,
+            "action",
+            op=op,
+            backend=self.connector.name,
+            collection=self.collection,
+        )
+
     def head(self, n: int = 5) -> EagerFrame:
         """Fetch the first *n* rows as an eager frame."""
-        compiled = self._compile(Limit(self._plan, n))
-        return self._send_frame(compiled.text, compiled)
+        with self._action_span("head"):
+            compiled = self._compile(Limit(self._plan, n))
+            return self._send_frame(compiled.text, compiled)
 
     def collect(self) -> EagerFrame:
         """Fetch every row (``toPandas()`` in the paper's timing points)."""
-        compiled = self._compile()
-        query = self._rw.apply("return_all", subquery=compiled.text)
-        return self._send_frame(query, compiled)
+        with self._action_span("collect"):
+            compiled = self._compile()
+            query = self._rw.apply("return_all", subquery=compiled.text)
+            return self._send_frame(query, compiled)
 
     toPandas = collect
 
+    def profile(self) -> ProfiledResult:
+        """Run this frame's query in analyze mode (``EXPLAIN ANALYZE``).
+
+        Executes the same query :meth:`collect` would, with per-operator
+        profiling enabled in the backend engine, and returns the results
+        *and* the measured operator tree.  Results are identical to
+        :meth:`collect`'s.
+        """
+        with self._action_span("profile"):
+            compiled = self._compile()
+            query = self._rw.apply("return_all", subquery=compiled.text)
+            with analyze_mode():
+                result = self.connector.send(query, self.collection)
+            stamp_stats(result, compiled)
+            frame = frame_from_records(self.connector.postprocess(result))
+        return ProfiledResult(
+            frame=frame,
+            profile=result.op_profile,
+            query=query,
+            backend=self.connector.name,
+            engine=result.stats.exec_engine,
+        )
+
     def __len__(self) -> int:
-        compiled = self._compile(Count(self._plan))
-        result = self.connector.send(compiled.text, self.collection)
-        stamp_stats(result, compiled)
-        return int(result.scalar())
+        with self._action_span("len"):
+            compiled = self._compile(Count(self._plan))
+            result = self.connector.send(compiled.text, self.collection)
+            stamp_stats(result, compiled)
+            return int(result.scalar())
 
     def describe(self) -> EagerFrame:
         """Summary statistics per numeric attribute (a generic rule)."""

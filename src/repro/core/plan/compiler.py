@@ -43,6 +43,7 @@ from repro.core.plan.nodes import (
 )
 from repro.core.plan.optimizer import optimize
 from repro.errors import RewriteError
+from repro.obs import metrics, span_for
 
 
 @dataclass(frozen=True)
@@ -208,22 +209,30 @@ def stamp_stats(result, *compiled: CompiledQuery) -> None:
 # Connector-aware entry point: optimize, cache, record
 # ----------------------------------------------------------------------
 def compile_plan_for(connector, plan: PlanNode, level: int | None = None) -> CompiledQuery:
-    """Compile *plan* for *connector*, through its compiled-query cache."""
+    """Compile *plan* for *connector*, through its compiled-query cache.
+
+    Traced as a ``compile`` span (child of the surrounding action span,
+    when one is open) and counted in the metrics registry as
+    ``compile_cache_hits`` / ``compile_cache_misses``.
+    """
     if level is None:
         level = connector.optimization_level
-    started = time.perf_counter()
-    optimized = optimize(plan, level)
-    key = (connector.name, level, optimized.fingerprint())
-    cached = connector.compile_cache.lookup(key)
-    if cached is not None:
-        text, depth = cached
-        cache_hit = True
-    else:
-        text = compile_plan(optimized, connector.rewriter, fuse_scans=level >= 2)
-        depth = connector.nesting_depth(text)
-        connector.compile_cache.store(key, text, depth)
-        cache_hit = False
-    compile_ms = (time.perf_counter() - started) * 1000.0
+    with span_for(connector, "compile", backend=connector.name, level=level) as span:
+        started = time.perf_counter()
+        optimized = optimize(plan, level)
+        key = (connector.name, level, optimized.fingerprint())
+        cached = connector.compile_cache.lookup(key)
+        if cached is not None:
+            text, depth = cached
+            cache_hit = True
+        else:
+            text = compile_plan(optimized, connector.rewriter, fuse_scans=level >= 2)
+            depth = connector.nesting_depth(text)
+            connector.compile_cache.store(key, text, depth)
+            cache_hit = False
+        compile_ms = (time.perf_counter() - started) * 1000.0
+        metrics.counter("compile_cache_hits" if cache_hit else "compile_cache_misses").inc()
+        span.set(cache_hit=cache_hit, depth=depth, compile_ms=compile_ms)
     connector.compile_log.append(
         CompileRecord(cache_hit=cache_hit, level=level, compile_ms=compile_ms, depth=depth)
     )

@@ -24,6 +24,7 @@ from typing import Any, Callable, TYPE_CHECKING
 
 from repro.eager import EagerFrame, frame_from_records
 from repro.errors import RewriteError
+from repro.obs import span_for
 from repro.core.plan.compiler import compile_plan_for, stamp_stats
 from repro.core.plan.expr import (
     BinaryExpr,
@@ -328,18 +329,29 @@ class PolySeries:
     # ------------------------------------------------------------------
     # Actions
     # ------------------------------------------------------------------
+    def _action_span(self, op: str):
+        """The root trace span every action opens (no-op unless tracing)."""
+        return span_for(
+            self._connector,
+            "action",
+            op=op,
+            backend=self._connector.name,
+            collection=self._collection,
+        )
+
     def head(self, n: int = 5) -> EagerFrame:
         """Evaluate the series' query with a LIMIT and return results."""
-        if self._plan is not None and self._connector is not None:
-            compiled = compile_plan_for(self._connector, Limit(self._plan, n))
-            query = compiled.text
-        else:
-            compiled = None
-            query = self._rw.apply("limit", subquery=self.query, num=n)
-        result = self._connector.send(query, self._collection)
-        if compiled is not None:
-            stamp_stats(result, compiled)
-        records = self._connector.postprocess(result)
+        with self._action_span("head"):
+            if self._plan is not None and self._connector is not None:
+                compiled = compile_plan_for(self._connector, Limit(self._plan, n))
+                query = compiled.text
+            else:
+                compiled = None
+                query = self._rw.apply("limit", subquery=self.query, num=n)
+            result = self._connector.send(query, self._collection)
+            if compiled is not None:
+                stamp_stats(result, compiled)
+            records = self._connector.postprocess(result)
         frame = frame_from_records(records)
         if frame.columns == ["value"]:
             frame = frame.rename({"value": self.alias})
@@ -349,25 +361,26 @@ class PolySeries:
         if self.attribute is None:
             raise RewriteError("aggregates require a plain column")
         agg_alias = f"{func}_{self.attribute}"
-        if self._plan is not None and self._connector is not None:
-            compiled = compile_plan_for(
-                self._connector, Agg(self._plan, func, self.attribute, agg_alias)
-            )
-            query = compiled.text
-        else:
-            compiled = None
-            agg_func = self._rw.apply(func, attribute=self.attribute)
-            query = self._rw.apply(
-                "q7",
-                subquery=self.query,
-                agg_func=agg_func,
-                agg_alias=agg_alias,
-            )
-        query = self._rw.apply("return_all", subquery=query)
-        result = self._connector.send(query, self._collection)
-        if compiled is not None:
-            stamp_stats(result, compiled)
-        return result.scalar()
+        with self._action_span(func):
+            if self._plan is not None and self._connector is not None:
+                compiled = compile_plan_for(
+                    self._connector, Agg(self._plan, func, self.attribute, agg_alias)
+                )
+                query = compiled.text
+            else:
+                compiled = None
+                agg_func = self._rw.apply(func, attribute=self.attribute)
+                query = self._rw.apply(
+                    "q7",
+                    subquery=self.query,
+                    agg_func=agg_func,
+                    agg_alias=agg_alias,
+                )
+            query = self._rw.apply("return_all", subquery=query)
+            result = self._connector.send(query, self._collection)
+            if compiled is not None:
+                stamp_stats(result, compiled)
+            return result.scalar()
 
     def max(self) -> Any:
         return self._aggregate("max")
@@ -391,20 +404,21 @@ class PolySeries:
         """Distinct values of the column (a generic-rule building block)."""
         if self.attribute is None:
             raise RewriteError("unique() requires a plain column")
-        if self._base_plan is not None and self._connector is not None:
-            compiled = compile_plan_for(
-                self._connector, Distinct(self._base_plan, self.attribute)
-            )
-            query = compiled.text
-        else:
-            compiled = None
-            query = self._rw.apply(
-                "q14", subquery=self._base_query, attribute=self.attribute
-            )
-        query = self._rw.apply("return_all", subquery=query)
-        result = self._connector.send(query, self._collection)
-        if compiled is not None:
-            stamp_stats(result, compiled)
+        with self._action_span("unique"):
+            if self._base_plan is not None and self._connector is not None:
+                compiled = compile_plan_for(
+                    self._connector, Distinct(self._base_plan, self.attribute)
+                )
+                query = compiled.text
+            else:
+                compiled = None
+                query = self._rw.apply(
+                    "q14", subquery=self._base_query, attribute=self.attribute
+                )
+            query = self._rw.apply("return_all", subquery=query)
+            result = self._connector.send(query, self._collection)
+            if compiled is not None:
+                stamp_stats(result, compiled)
         values = []
         for record in result.records:
             if isinstance(record, dict):
@@ -422,18 +436,19 @@ class PolySeries:
         """
         if self.attribute is None:
             raise RewriteError("nunique() requires a plain column")
-        if self._base_plan is not None and self._connector is not None:
-            compiled = compile_plan_for(
-                self._connector, Count(Distinct(self._base_plan, self.attribute))
-            )
-            query = compiled.text
-        else:
-            compiled = None
-            distinct = self._rw.apply(
-                "q14", subquery=self._base_query, attribute=self.attribute
-            )
-            query = self._rw.apply("q3", subquery=distinct)
-        result = self._connector.send(query, self._collection)
-        if compiled is not None:
-            stamp_stats(result, compiled)
-        return int(result.scalar())
+        with self._action_span("nunique"):
+            if self._base_plan is not None and self._connector is not None:
+                compiled = compile_plan_for(
+                    self._connector, Count(Distinct(self._base_plan, self.attribute))
+                )
+                query = compiled.text
+            else:
+                compiled = None
+                distinct = self._rw.apply(
+                    "q14", subquery=self._base_query, attribute=self.attribute
+                )
+                query = self._rw.apply("q3", subquery=distinct)
+            result = self._connector.send(query, self._collection)
+            if compiled is not None:
+                stamp_stats(result, compiled)
+            return int(result.scalar())

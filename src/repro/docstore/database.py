@@ -5,6 +5,7 @@ from __future__ import annotations
 import time
 from typing import Any, Iterable
 
+from repro import obs
 from repro.errors import CatalogError
 from repro.docstore.collection import Collection
 from repro.docstore.pipeline import PipelineExecutor
@@ -75,17 +76,34 @@ class MongoDatabase:
         """The metadata fast count — *not* reachable from a pipeline."""
         return self.collection(name).estimated_document_count()
 
-    def aggregate(self, name: str, pipeline: list[dict[str, Any]]) -> ResultSet:
-        """Run an aggregation pipeline, returning a ResultSet."""
+    def aggregate(
+        self, name: str, pipeline: list[dict[str, Any]], *, analyze: bool = False
+    ) -> ResultSet:
+        """Run an aggregation pipeline, returning a ResultSet.
+
+        With ``analyze=True`` (or inside :func:`repro.obs.analyze_mode`,
+        or under tracing) each pipeline stage is profiled and the
+        per-stage timing/row-count chain rides on ``ResultSet.op_profile``.
+        """
         started = time.perf_counter()
-        if self.query_prep_overhead > 0:
-            time.sleep(self.query_prep_overhead)
-        stats = QueryStats()
-        executor = PipelineExecutor(self)
-        records = executor.execute(self.collection(name), pipeline, stats)
+        with obs.ambient_span("execute", backend=self.name) as span:
+            if self.query_prep_overhead > 0:
+                time.sleep(self.query_prep_overhead)
+            stats = QueryStats()
+            executor = PipelineExecutor(self)
+            want_profile = analyze or span.recording or obs.analyze_active()
+            records = executor.execute(
+                self.collection(name), pipeline, stats, profile=want_profile
+            )
+            profile = executor.last_profile
+            if span.recording:
+                span.set(rows=len(records))
+                if profile is not None:
+                    obs.attach_profile(span, profile)
         return ResultSet(
             records=records,
             stats=stats,
             plan_text=f"aggregate({name}, {len(pipeline)} stages)",
             elapsed_seconds=time.perf_counter() - started,
+            op_profile=profile,
         )

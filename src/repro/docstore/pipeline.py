@@ -25,6 +25,7 @@ from typing import Any, Iterable, Iterator, TYPE_CHECKING
 from repro.errors import ExecutionError, UnsupportedOperationError
 from repro.docstore.collection import Collection
 from repro.docstore.exprs import ExprEvaluator, get_path
+from repro.obs.profile import OpProfile, profiled_rows
 from repro.sqlengine.result import QueryStats
 from repro.storage.keys import SENTINEL_MISSING, index_key
 
@@ -39,19 +40,41 @@ class PipelineExecutor:
 
     def __init__(self, database: "MongoDatabase") -> None:
         self._db = database
+        #: Per-stage profile of the last ``profile=True`` execution.
+        self.last_profile: OpProfile | None = None
 
     def execute(
         self,
         collection: Collection,
         stages: list[dict[str, Any]],
         stats: QueryStats,
+        *,
+        profile: bool = False,
     ) -> list[Any]:
+        self.last_profile = None
         stages = [dict(stage) for stage in stages]
-        source, remaining = self._choose_source(collection, stages, stats)
+        source, remaining, source_desc = self._choose_source(collection, stages, stats)
         docs: Iterable[Any] = source
+        if not profile:
+            for stage in remaining:
+                docs = self._apply_stage(collection, docs, stage, stats)
+            return list(docs)
+
+        # Analyze mode: the pipeline is a linear operator chain — wrap the
+        # chosen source and every remaining stage's iterator so each link
+        # records its own wall time and row count.
+        node = OpProfile(source_desc)
+        docs = profiled_rows(node, docs)
         for stage in remaining:
-            docs = self._apply_stage(collection, docs, stage, stats)
-        return list(docs)
+            stage_op = next(iter(stage))
+            parent = OpProfile(stage_op, children=[node])
+            docs = profiled_rows(
+                parent, self._apply_stage(collection, docs, stage, stats)
+            )
+            node = parent
+        records = list(docs)
+        self.last_profile = node
+        return records
 
     # ------------------------------------------------------------------
     # Source selection (the index-capable pipeline prefix)
@@ -61,7 +84,7 @@ class PipelineExecutor:
         collection: Collection,
         stages: list[dict[str, Any]],
         stats: QueryStats,
-    ) -> tuple[Iterator[dict[str, Any]], list[dict[str, Any]]]:
+    ) -> tuple[Iterator[dict[str, Any]], list[dict[str, Any]], str]:
         index = 0
         while index < len(stages) and stages[index] == {"$match": {}}:
             index += 1
@@ -70,18 +93,23 @@ class PipelineExecutor:
         if stages and "$match" in stages[0]:
             chosen = self._try_index_match(collection, stages[0]["$match"], stats)
             if chosen is not None:
-                source, fully_consumed = chosen
+                source, fully_consumed, field = chosen
                 # A partially indexable $match (e.g. $and of equalities)
                 # keeps the whole stage as a residual re-check.
                 remaining = stages[1:] if fully_consumed else stages
-                return source, remaining
+                return source, remaining, f"IndexScan({collection.name}.{field})"
 
         if stages and "$sort" in stages[0]:
             chosen = self._try_index_sort(collection, stages, stats)
             if chosen is not None:
-                return chosen
+                source, remaining, field = chosen
+                return source, remaining, f"IndexOrderedScan({collection.name}.{field})"
 
-        return self._full_scan(collection, stats), stages
+        return (
+            self._full_scan(collection, stats),
+            stages,
+            f"CollectionScan({collection.name})",
+        )
 
     def _full_scan(self, collection: Collection, stats: QueryStats) -> Iterator[dict[str, Any]]:
         stats.full_scans += 1
@@ -91,13 +119,13 @@ class PipelineExecutor:
 
     def _try_index_match(
         self, collection: Collection, match: dict[str, Any], stats: QueryStats
-    ) -> tuple[Iterator[dict[str, Any]], bool] | None:
+    ) -> tuple[Iterator[dict[str, Any]], bool, str] | None:
         """Serve an equality $match from an index when possible.
 
-        Returns ``(document iterator, fully_consumed)``; ``fully_consumed``
-        is False when the probe covers only part of the predicate (an
-        ``$and`` of equalities — expression 3's shape) and the stage must
-        be re-applied as a residual filter.
+        Returns ``(document iterator, fully_consumed, field)``;
+        ``fully_consumed`` is False when the probe covers only part of the
+        predicate (an ``$and`` of equalities — expression 3's shape) and
+        the stage must be re-applied as a residual filter.
         """
         equalities, exhaustive = self._extract_equalities(match)
         for field, value in equalities:
@@ -111,7 +139,7 @@ class PipelineExecutor:
                     yield collection.fetch(rid)
 
             fully_consumed = exhaustive and len(equalities) == 1
-            return probe(), fully_consumed
+            return probe(), fully_consumed, field
         return None
 
     def _extract_equalities(
@@ -155,7 +183,7 @@ class PipelineExecutor:
         collection: Collection,
         stages: list[dict[str, Any]],
         stats: QueryStats,
-    ) -> tuple[Iterator[dict[str, Any]], list[dict[str, Any]]] | None:
+    ) -> tuple[Iterator[dict[str, Any]], list[dict[str, Any]], str] | None:
         """Serve a leading $sort (with downstream $limit) by index order."""
         sort_spec = stages[0]["$sort"]
         if len(sort_spec) != 1:
@@ -181,7 +209,7 @@ class PipelineExecutor:
                 if limit is not None and produced >= limit:
                     return
 
-        return ordered(), stages[1:]
+        return ordered(), stages[1:], field
 
     # ------------------------------------------------------------------
     # Stage execution

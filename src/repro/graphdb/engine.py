@@ -5,6 +5,7 @@ from __future__ import annotations
 import time
 from typing import Any, Iterable
 
+from repro import obs
 from repro.graphdb.cypher_parser import parse
 from repro.graphdb.executor import CypherExecutor
 from repro.graphdb.store import GraphStore
@@ -55,18 +56,31 @@ class Neo4jDatabase:
         return self.store.counts.node_count(label)
 
     # ------------------------------------------------------------------
-    def execute(self, cypher: str) -> ResultSet:
-        """Parse and run a Cypher query."""
+    def execute(self, cypher: str, *, analyze: bool = False) -> ResultSet:
+        """Parse and run a Cypher query.
+
+        With ``analyze=True`` (or inside :func:`repro.obs.analyze_mode`,
+        or under tracing) each clause step is profiled and the per-clause
+        timing/row-count chain rides on ``ResultSet.op_profile``.
+        """
         started = time.perf_counter()
-        if self.query_prep_overhead > 0:
-            time.sleep(self.query_prep_overhead)
-        query = parse(cypher)
-        stats = QueryStats()
-        executor = CypherExecutor(self.store, stats)
-        records = executor.run(query)
+        with obs.ambient_span("execute", backend=self.name) as span:
+            if self.query_prep_overhead > 0:
+                time.sleep(self.query_prep_overhead)
+            query = parse(cypher)
+            stats = QueryStats()
+            executor = CypherExecutor(self.store, stats)
+            want_profile = analyze or span.recording or obs.analyze_active()
+            records = executor.run(query, profile=want_profile)
+            profile = executor.last_profile
+            if span.recording:
+                span.set(rows=len(records))
+                if profile is not None:
+                    obs.attach_profile(span, profile)
         return ResultSet(
             records=records,
             stats=stats,
             plan_text=f"cypher({len(query.clauses)} clauses)",
             elapsed_seconds=time.perf_counter() - started,
+            op_profile=profile,
         )

@@ -21,6 +21,7 @@ import math
 from typing import Any, Iterator
 
 from repro.errors import ExecutionError
+from repro.obs.profile import OpProfile, profiled_rows
 from repro.graphdb.cypher_ast import (
     AGGREGATES,
     Bin,
@@ -75,35 +76,60 @@ class CypherExecutor:
     def __init__(self, store: GraphStore, stats: QueryStats) -> None:
         self._store = store
         self._stats = stats
+        #: Per-clause profile of the last ``profile=True`` execution.
+        self.last_profile: OpProfile | None = None
 
     # ==================================================================
-    def run(self, query: CypherQuery) -> list[Any]:
+    def run(self, query: CypherQuery, *, profile: bool = False) -> list[Any]:
+        self.last_profile = None
         clauses = _normalize(query)
         fast_count = self._try_count_store(clauses)
         if fast_count is not None:
+            if profile:
+                node = OpProfile("CountStoreLookup")
+                node.rows_out = len(fast_count)
+                self.last_profile = node
             return fast_count
 
         string_reads_before = self._store.strings.reads
         # Clauses chain as lazy generators (Neo4j's row pipeline), so a
         # trailing LIMIT stops upstream work — expressions 2, 5, and 10
-        # never touch more than a handful of nodes.
+        # never touch more than a handful of nodes.  In analyze mode each
+        # clause's generator is wrapped so the chain records per-clause
+        # wall time and row counts.
         rows: Iterator[Row] = iter([{}])
         bound_vars: set[str] = set()
         final_items: tuple[WithItem, ...] | None = None
+        node: OpProfile | None = None
         for clause in clauses:
             if isinstance(clause, _MatchStep):
                 rows = self._execute_match(rows, clause, bound_vars)
                 bound_vars = bound_vars | {pattern.var for pattern in clause.patterns}
+                desc = "Match({})".format(
+                    ", ".join(
+                        f"{p.var}:{p.label}" if p.label else p.var
+                        for p in clause.patterns
+                    )
+                )
             else:
                 assert isinstance(clause, WithClause)
                 rows = self._execute_with(rows, clause)
                 bound_vars = {item.output_name() for item in clause.items}
                 if clause.is_return:
                     final_items = clause.items
+                desc = "Return" if clause.is_return else "With"
+                if clause.where is not None:
+                    desc += "+Filter"
+            if profile:
+                parent = OpProfile(desc, children=[node] if node is not None else [])
+                rows = profiled_rows(parent, rows)
+                node = parent
         if final_items is None:
             raise ExecutionError("query has no RETURN clause")
         out = [self._materialize_output(row, final_items) for row in rows]
         self._stats.string_store_reads += self._store.strings.reads - string_reads_before
+        if profile:
+            self.last_profile = node
         return out
 
     # ------------------------------------------------------------------

@@ -1,0 +1,218 @@
+"""Per-operator execution profiles — the EXPLAIN ANALYZE machinery.
+
+Every embedded engine can run a query in *analyze* mode: each physical
+operator (row engine), vector node (columnar engine), pipeline stage
+(docstore), or clause step (graph) is wrapped so its wall time and row
+counts are recorded into an :class:`OpProfile` tree mirroring the plan.
+The profile rides back on ``ResultSet.op_profile`` and renders as a
+PostgreSQL-style annotated plan via :func:`format_profile`.
+
+Profiling runs when explicitly requested (``explain(analyze=True)``, the
+engines' ``analyze=`` keyword, or the :func:`analyze_mode` context) and
+automatically whenever the query executes inside an open trace span — so
+trace JSON attributes wall time down to individual operators.  Timings
+are inclusive (an operator's time contains its children's, exactly like
+``EXPLAIN ANALYZE``'s ``actual time``) and use the monotonic clock.
+
+The wrappers shadow the *bound* iterator methods of each plan-node
+instance (``node.execute = wrapper``), so no operator class needs to know
+about profiling and un-analyzed execution pays nothing.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+__all__ = [
+    "OpProfile",
+    "analyze_active",
+    "analyze_mode",
+    "attach_profile",
+    "format_profile",
+    "instrument_tree",
+    "profiled_rows",
+]
+
+
+class OpProfile:
+    """Measured execution of one plan operator (a node in a profile tree)."""
+
+    __slots__ = ("name", "rows_out", "time_ns", "batches", "children")
+
+    def __init__(self, name: str, children: "list[OpProfile] | None" = None) -> None:
+        self.name = name
+        self.rows_out = 0
+        self.time_ns = 0
+        self.batches = 0
+        self.children: list[OpProfile] = children if children is not None else []
+
+    @property
+    def time_ms(self) -> float:
+        return self.time_ns / 1e6
+
+    @property
+    def rows_in(self) -> int | None:
+        """Rows this operator consumed: the sum of its children's output."""
+        if not self.children:
+            return None
+        return sum(child.rows_out for child in self.children)
+
+    def walk(self) -> Iterator["OpProfile"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "operator": self.name,
+            "time_ms": self.time_ms,
+            "rows_out": self.rows_out,
+        }
+        if self.rows_in is not None:
+            out["rows_in"] = self.rows_in
+        if self.batches:
+            out["batches"] = self.batches
+        out["children"] = [child.to_dict() for child in self.children]
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"OpProfile({self.name!r}, rows={self.rows_out}, {self.time_ms:.3f}ms)"
+
+
+def format_profile(profile: OpProfile, indent: int = 0) -> str:
+    """Render a profile tree as an EXPLAIN ANALYZE-style annotated plan."""
+    parts = [f"actual time={profile.time_ms:.3f} ms"]
+    if profile.rows_in is not None:
+        parts.append(f"rows in={profile.rows_in}")
+    parts.append(f"rows out={profile.rows_out}")
+    if profile.batches:
+        parts.append(f"batches={profile.batches}")
+    line = "  " * indent + f"{profile.name}  ({', '.join(parts)})"
+    lines = [line]
+    for child in profile.children:
+        lines.append(format_profile(child, indent + 1))
+    return "\n".join(lines)
+
+
+def attach_profile(span: Any, profile: OpProfile) -> None:
+    """Mirror a profile tree as synthetic operator spans under *span*."""
+    child = span.add_child(
+        profile.name,
+        profile.time_ms,
+        kind="operator",
+        rows_out=profile.rows_out,
+    )
+    if profile.batches:
+        child.set(batches=profile.batches)
+    for sub in profile.children:
+        attach_profile(child, sub)
+
+
+# ----------------------------------------------------------------------
+# Iterator wrappers (the measurement primitives)
+# ----------------------------------------------------------------------
+def profiled_rows(profile: OpProfile, iterable: Any) -> Iterator[Any]:
+    """Yield from *iterable*, charging pull time and row counts to *profile*."""
+    iterator = iter(iterable)
+    while True:
+        started = time.perf_counter_ns()
+        try:
+            row = next(iterator)
+        except StopIteration:
+            profile.time_ns += time.perf_counter_ns() - started
+            return
+        profile.time_ns += time.perf_counter_ns() - started
+        profile.rows_out += 1
+        yield row
+
+
+def profiled_batches(profile: OpProfile, iterable: Any) -> Iterator[Any]:
+    """Like :func:`profiled_rows` for column batches (counts rows and batches)."""
+    iterator = iter(iterable)
+    while True:
+        started = time.perf_counter_ns()
+        try:
+            batch = next(iterator)
+        except StopIteration:
+            profile.time_ns += time.perf_counter_ns() - started
+            return
+        profile.time_ns += time.perf_counter_ns() - started
+        profile.batches += 1
+        profile.rows_out += batch.length
+        yield batch
+
+
+# ----------------------------------------------------------------------
+# Plan-tree instrumentation
+# ----------------------------------------------------------------------
+def instrument_tree(node: Any) -> OpProfile:
+    """Wrap every operator of a plan tree in place; return the profile root.
+
+    Works on both engine shapes by duck typing: vector sources expose
+    ``batches(ctx, evaluator)``, vector heads ``rows(ctx, evaluator)``,
+    and row-engine operators ``execute(ctx)``.  Each node *instance* gets
+    its bound method shadowed with a timing/counting wrapper — safe
+    because engines build a fresh plan tree per query.
+    """
+    profile = OpProfile(node.describe())
+    for child in node.children():
+        profile.children.append(instrument_tree(child))
+
+    if callable(getattr(node, "batches", None)):
+        inner = node.batches
+
+        def batches(*args: Any, _inner=inner, _profile=profile) -> Iterator[Any]:
+            return profiled_batches(_profile, _timed_call(_profile, _inner, args))
+
+        node.batches = batches
+    elif callable(getattr(node, "rows", None)):
+        inner = node.rows
+
+        def rows(*args: Any, _inner=inner, _profile=profile) -> Iterator[Any]:
+            return profiled_rows(_profile, _timed_call(_profile, _inner, args))
+
+        node.rows = rows
+    else:
+        inner = node.execute
+
+        def execute(*args: Any, _inner=inner, _profile=profile) -> Iterator[Any]:
+            return profiled_rows(_profile, _timed_call(_profile, _inner, args))
+
+        node.execute = execute
+    return profile
+
+
+def _timed_call(profile: OpProfile, fn: Any, args: tuple) -> Any:
+    """Charge any eager (pre-iteration) work in *fn* to *profile*."""
+    started = time.perf_counter_ns()
+    result = fn(*args)
+    profile.time_ns += time.perf_counter_ns() - started
+    return result
+
+
+# ----------------------------------------------------------------------
+# Analyze-mode context (how the frame layer requests profiling)
+# ----------------------------------------------------------------------
+class _AnalyzeState(threading.local):
+    def __init__(self) -> None:
+        self.depth = 0
+
+
+_ANALYZE = _AnalyzeState()
+
+
+@contextmanager
+def analyze_mode() -> Iterator[None]:
+    """Every engine execution inside this context collects an op profile."""
+    _ANALYZE.depth += 1
+    try:
+        yield
+    finally:
+        _ANALYZE.depth -= 1
+
+
+def analyze_active() -> bool:
+    return _ANALYZE.depth > 0

@@ -23,6 +23,7 @@ import os
 import time
 from typing import Any, Iterable
 
+from repro import obs
 from repro.sqlengine.expressions import Evaluator
 from repro.sqlengine.optimizer import Optimizer, OptimizerFeatures
 from repro.sqlengine.parser import parse
@@ -107,33 +108,51 @@ class SQLDatabase:
     # ------------------------------------------------------------------
     # Query execution
     # ------------------------------------------------------------------
-    def execute(self, query_text: str) -> ResultSet:
-        """Parse, optimize, and run *query_text*, returning a ResultSet."""
+    def execute(self, query_text: str, *, analyze: bool = False) -> ResultSet:
+        """Parse, optimize, and run *query_text*, returning a ResultSet.
+
+        With ``analyze=True`` (or inside :func:`repro.obs.analyze_mode`,
+        or under tracing) every physical/vector operator is profiled and
+        the per-operator timing/row-count tree rides back on
+        ``ResultSet.op_profile`` — results are identical either way.
+        """
         started = time.perf_counter()
-        if self.query_prep_overhead > 0:
-            time.sleep(self.query_prep_overhead)
-        physical = self._compile(query_text)
-        stats = QueryStats()
-        ctx = ExecutionContext(self.catalog, self._evaluator, stats)
-        plan_text = physical.tree_string()
-        vector_plan = (
-            vectorize(physical, self.dialect)
-            if self.exec_engine == "vector"
-            else None
-        )
-        if vector_plan is not None:
-            stats.exec_engine = "vector"
-            records = list(vector_plan.execute(ctx))
-            plan_text += "\n== vector ==\n" + vector_plan.tree_string()
-        else:
-            stats.exec_engine = "row"
-            records = list(physical.execute(ctx))
+        with obs.ambient_span("execute", backend=self.name, dialect=self.dialect) as span:
+            if self.query_prep_overhead > 0:
+                time.sleep(self.query_prep_overhead)
+            physical = self._compile(query_text)
+            stats = QueryStats()
+            ctx = ExecutionContext(self.catalog, self._evaluator, stats)
+            plan_text = physical.tree_string()
+            vector_plan = (
+                vectorize(physical, self.dialect)
+                if self.exec_engine == "vector"
+                else None
+            )
+            profile = None
+            want_profile = analyze or span.recording or obs.analyze_active()
+            if vector_plan is not None:
+                stats.exec_engine = "vector"
+                if want_profile:
+                    profile = obs.instrument_tree(vector_plan.head)
+                records = list(vector_plan.execute(ctx))
+                plan_text += "\n== vector ==\n" + vector_plan.tree_string()
+            else:
+                stats.exec_engine = "row"
+                if want_profile:
+                    profile = obs.instrument_tree(physical)
+                records = list(physical.execute(ctx))
+            if span.recording:
+                span.set(rows=len(records), engine=stats.exec_engine)
+                if profile is not None:
+                    obs.attach_profile(span, profile)
         elapsed = time.perf_counter() - started
         return ResultSet(
             records=records,
             stats=stats,
             plan_text=plan_text,
             elapsed_seconds=elapsed,
+            op_profile=profile,
         )
 
     def explain(self, query_text: str) -> str:

@@ -52,6 +52,10 @@ class ResultSet:
     shards (opt-in via ``allow_partial=True``).  ``shard_attempts`` holds
     the per-shard execution attempt counts for cluster queries, in shard
     order (empty for single-node results).
+
+    ``op_profile`` is the per-operator execution profile
+    (:class:`repro.obs.OpProfile`) when the query ran in analyze mode or
+    under tracing; ``None`` otherwise.
     """
 
     records: list[Any] = field(default_factory=list)
@@ -60,6 +64,7 @@ class ResultSet:
     elapsed_seconds: float = 0.0
     partial: bool = False
     shard_attempts: tuple[int, ...] = ()
+    op_profile: Any = None
 
     def __len__(self) -> int:
         return len(self.records)

@@ -6,10 +6,17 @@ must evaluate each ORDER BY key expression exactly once per input row
 These tests count evaluator invocations on a 10k-row sort so any
 regression to re-evaluation is an immediate failure, not a slowdown
 someone has to notice.
+
+The one wall-clock assertion here (vector vs row on a full scan) takes
+the median of three runs and retries once before failing, so a loaded
+machine can't flake it; the full-strength 2x pin lives in
+``benchmarks/bench_vector_vs_row.py``.
 """
 
 from __future__ import annotations
 
+import statistics
+import time
 from typing import Any, Iterator
 
 from repro.exec.kernels import Descending, sort_records
@@ -110,3 +117,53 @@ def test_descending_wrapper_orders_inversely():
     assert Descending(2) < Descending(1)
     assert not Descending(1) < Descending(2)
     assert [d.inner for d in sorted(Descending(x) for x in (3, 1, 2))] == [3, 2, 1]
+
+
+# ----------------------------------------------------------------------
+# Vector-vs-row wall-clock smoke (flake-resistant)
+# ----------------------------------------------------------------------
+_SCAN_ROWS = 12_000
+_SCAN_QUERY = (
+    "SELECT COUNT(*) AS n, SUM(t.unique1) AS s FROM Bench.data t "
+    "WHERE t.ten < 8 AND t.onePercent >= 10"
+)
+
+
+def _median_scan_seconds(db, repeats: int = 3) -> float:
+    timings = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        db.execute(_SCAN_QUERY)
+        timings.append(time.perf_counter() - started)
+    return statistics.median(timings)
+
+
+def test_vector_engine_faster_than_row_on_full_scan():
+    """Vector execution beats row-at-a-time on a full scan (modest 1.2x pin).
+
+    Median-of-3 timings per engine and one whole-measurement retry keep
+    this deterministic-ish check from flaking on a busy host while still
+    catching a vector-path regression to row speed.
+    """
+    from repro.sqlengine import SQLDatabase
+    from repro.wisconsin import loaders, wisconsin_records
+
+    records = wisconsin_records(_SCAN_ROWS, seed=2021)
+    engines = {}
+    for exec_engine in ("row", "vector"):
+        db = SQLDatabase(name="postgres", exec_engine=exec_engine)
+        loaders.load_postgres(db, "Bench", "data", records, indexes=False)
+        engines[exec_engine] = db
+    assert engines["vector"].execute(_SCAN_QUERY).stats.exec_engine == "vector"
+
+    for attempt in (1, 2):
+        speedup = _median_scan_seconds(engines["row"]) / _median_scan_seconds(
+            engines["vector"]
+        )
+        if speedup >= 1.2:
+            break
+        if attempt == 2:
+            raise AssertionError(
+                f"vector engine only {speedup:.2f}x faster than row "
+                f"(expected >= 1.2x, median of 3, after one retry)"
+            )

@@ -1,0 +1,196 @@
+"""Unit tests for the observability primitives themselves.
+
+The cross-layer behaviour is pinned by ``tests/test_obs_spans.py`` and
+``tests/test_explain_analyze.py``; these tests cover the `repro.obs`
+building blocks directly — span trees, JSON export, the metrics
+registry, and the profile helpers.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    OpProfile,
+    Span,
+    Tracer,
+    ambient_span,
+    analyze_active,
+    analyze_mode,
+    format_profile,
+)
+from repro.obs.trace import NOOP_SPAN
+
+
+# ----------------------------------------------------------------------
+# Spans and tracers
+# ----------------------------------------------------------------------
+def test_spans_nest_and_time():
+    tracer = Tracer()
+    with tracer.span("outer", a=1) as outer:
+        with tracer.span("inner") as inner:
+            inner.set(b=2)
+    assert tracer.spans == [outer]
+    assert outer.find("inner") == [inner]
+    assert inner.attributes == {"b": 2}
+    assert outer.duration_ms >= inner.duration_ms >= 0.0
+    assert [s.name for s in outer.walk()] == ["outer", "inner"]
+
+
+def test_exception_marks_span_and_still_finishes():
+    tracer = Tracer()
+    with pytest.raises(ValueError):
+        with tracer.span("boom"):
+            raise ValueError("nope")
+    (root,) = tracer.spans
+    assert root.attributes["error"] == "ValueError: nope"
+
+
+def test_add_child_synthetic_duration():
+    tracer = Tracer()
+    with tracer.span("parent") as parent:
+        child = parent.add_child("op", 1.5, rows_out=7)
+    assert child.duration_ms == pytest.approx(1.5)
+    assert parent.children == [child]
+    assert child.attributes == {"rows_out": 7}
+
+
+def test_json_export_schema(tmp_path):
+    tracer = Tracer()
+    with tracer.span("root", op="head"):
+        with tracer.span("leaf"):
+            pass
+    path = tmp_path / "trace.json"
+    text = tracer.export_json(str(path))
+    payload = json.loads(path.read_text())
+    assert payload == json.loads(text)
+    assert payload["schema"] == "repro-trace/1"
+    assert payload["dropped_roots"] == 0
+    (root,) = payload["spans"]
+    assert root["name"] == "root"
+    assert root["attributes"] == {"op": "head"}
+    assert root["children"][0]["name"] == "leaf"
+    assert root["duration_ms"] >= 0
+
+
+def test_max_roots_drops_and_counts():
+    tracer = Tracer(max_roots=2)
+    for _ in range(5):
+        with tracer.span("r"):
+            pass
+    assert len(tracer.spans) == 2
+    assert tracer.dropped == 3
+    tracer.reset()
+    assert tracer.spans == [] and tracer.dropped == 0
+
+
+def test_ambient_span_nests_under_open_span_of_any_tracer():
+    tracer = Tracer()
+    with tracer.span("outer") as outer:
+        with ambient_span("engine") as inner:
+            assert isinstance(inner, Span)
+    assert outer.find("engine")
+    assert tracer.spans == [outer]
+
+
+def test_ambient_span_is_noop_without_tracer(monkeypatch):
+    from repro.obs.trace import _reset_global_tracer
+
+    monkeypatch.delenv("REPRO_TRACE", raising=False)
+    _reset_global_tracer()
+    try:
+        assert ambient_span("anything") is NOOP_SPAN
+    finally:
+        _reset_global_tracer()
+
+
+def test_noop_span_is_inert():
+    assert NOOP_SPAN.recording is False
+    with NOOP_SPAN as span:
+        assert span.set(x=1) is NOOP_SPAN
+        assert span.add_child("c", 1.0) is NOOP_SPAN
+    assert NOOP_SPAN.find("c") == []
+    assert list(NOOP_SPAN.walk()) == []
+    assert NOOP_SPAN.to_dict() == {}
+
+
+# ----------------------------------------------------------------------
+# Metrics registry
+# ----------------------------------------------------------------------
+def test_counter_series_by_labels():
+    registry = MetricsRegistry()
+    registry.counter("queries_total").inc()
+    registry.counter("queries_total", backend="pg").inc(2)
+    assert registry.counter_value("queries_total") == 1
+    assert registry.counter_value("queries_total", backend="pg") == 2
+    assert registry.counter_value("queries_total", backend="neo") == 0
+
+
+def test_counter_rejects_negative():
+    registry = MetricsRegistry()
+    with pytest.raises(ValueError):
+        registry.counter("c").inc(-1)
+
+
+def test_histogram_summary_stats():
+    registry = MetricsRegistry()
+    h = registry.histogram("query_seconds", backend="pg")
+    for value in (0.5, 0.1, 0.3):
+        h.observe(value)
+    assert h.count == 3
+    assert h.minimum == 0.1 and h.maximum == 0.5
+    assert h.mean == pytest.approx(0.3)
+    assert registry.histogram("empty").mean == 0.0
+
+
+def test_snapshot_and_reset():
+    registry = MetricsRegistry()
+    registry.counter("queries_total", backend="pg").inc()
+    registry.histogram("query_seconds").observe(0.25)
+    snap = registry.snapshot()
+    assert snap["counters"] == {"queries_total{backend=pg}": 1}
+    assert snap["histograms"]["query_seconds"]["count"] == 1
+    assert snap["histograms"]["query_seconds"]["sum"] == 0.25
+    registry.reset()
+    assert registry.snapshot() == {"counters": {}, "histograms": {}}
+
+
+# ----------------------------------------------------------------------
+# Profiles
+# ----------------------------------------------------------------------
+def test_profile_rows_in_and_format():
+    leaf = OpProfile("Scan")
+    leaf.rows_out = 10
+    leaf.time_ns = 2_000_000
+    root = OpProfile("Filter", children=[leaf])
+    root.rows_out = 4
+    root.time_ns = 3_000_000
+    assert leaf.rows_in is None
+    assert root.rows_in == 10
+    text = format_profile(root)
+    assert "Filter  (actual time=3.000 ms, rows in=10, rows out=4)" in text
+    assert text.splitlines()[1].startswith("  Scan")
+    d = root.to_dict()
+    assert d["rows_in"] == 10 and "rows_in" not in d["children"][0]
+    assert "batches" not in d
+
+
+def test_profile_batches_rendered():
+    node = OpProfile("VecScan")
+    node.rows_out = 8
+    node.batches = 2
+    assert "batches=2" in format_profile(node)
+    assert node.to_dict()["batches"] == 2
+
+
+def test_analyze_mode_nests():
+    assert not analyze_active()
+    with analyze_mode():
+        assert analyze_active()
+        with analyze_mode():
+            assert analyze_active()
+        assert analyze_active()
+    assert not analyze_active()
