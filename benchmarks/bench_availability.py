@@ -1,0 +1,88 @@
+"""Availability under node-loss chaos: replicated vs. single-copy clusters.
+
+Runs all 13 Table III expressions on every sharded backend twice — once
+healthy, once with a seeded permanent single-node outage — with
+``replication_factor=2``.  The replicated run must answer every
+expression with status ``'ok'`` (never partial, never an error) and
+byte-identical results, paying only failovers.  A single-copy (R=1)
+control under the same outage loses its queries, which is exactly the
+seed behaviour this layer removes.
+
+Writes ``benchmarks/results/availability.json`` with the raw
+measurements of both runs (the ``failovers`` column separates them).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import EXPRESSIONS, build_cluster_systems, run_suite
+from repro.bench.export import measurements_to_dicts
+from repro.bench.runner import STATUS_OK, STATUS_UNSUPPORTED
+from repro.errors import ShardFailureError
+from repro.resilience import FaultInjector, RetryPolicy, no_sleep
+
+from conftest import write_result
+
+NUM_NODES = 3
+NUM_RECORDS = 2000
+DEAD_NODE = 1
+
+
+def chaos_injector() -> FaultInjector:
+    injector = FaultInjector(sleep=no_sleep)
+    injector.node_down(DEAD_NODE)
+    return injector
+
+
+def build(injector=None, *, replication_factor=2):
+    return build_cluster_systems(
+        NUM_NODES,
+        NUM_RECORDS,
+        replication_factor=replication_factor,
+        fault_injector=injector if injector is not None else FaultInjector(sleep=no_sleep),
+        retry_policy=RetryPolicy(3, sleep=no_sleep),
+    )
+
+
+def run_availability(params):
+    healthy = run_suite(build(), EXPRESSIONS, params, dataset="healthy")
+    chaos = run_suite(build(chaos_injector()), EXPRESSIONS, params, dataset="node_down")
+    return healthy, chaos
+
+
+def test_availability_under_node_outage(benchmark, params, results_dir):
+    healthy, chaos = benchmark.pedantic(
+        run_availability, args=(params,), rounds=1, iterations=1
+    )
+
+    # Every cell that works healthy still works with a node dead: same
+    # status, nothing degraded, and at least one failover was paid.
+    by_cell = {(m.system, m.expression_id): m for m in healthy}
+    failovers_by_system: dict[str, int] = {}
+    for m in chaos:
+        assert m.status == by_cell[(m.system, m.expression_id)].status
+        assert m.status in (STATUS_OK, STATUS_UNSUPPORTED), m
+        assert not m.degraded, m
+        failovers_by_system[m.system] = failovers_by_system.get(m.system, 0) + m.failovers
+    # Each cluster fails over at least once; after that the health board
+    # routes shard 1's reads straight to the surviving replica, so the
+    # remaining expressions pay nothing (adaptive routing, not luck).
+    for system, failovers in failovers_by_system.items():
+        assert failovers >= 1, f"{system} never failed over"
+
+    payload = json.dumps(
+        measurements_to_dicts(healthy) + measurements_to_dicts(chaos), indent=2
+    )
+    write_result(results_dir, "availability.json", payload)
+
+
+def test_single_copy_control_loses_queries(params):
+    """R=1 under the same outage fails — the seed config is not available."""
+    systems = build(chaos_injector(), replication_factor=1)
+    greenplum = systems["PolyFrame-Greenplum"]
+    df, _ = greenplum.create_frames()
+    with pytest.raises(ShardFailureError):
+        len(df)

@@ -27,6 +27,8 @@ _FIELDS = (
     "total_seconds",
     "retries",
     "degraded",
+    "failovers",
+    "hedges",
     "compile_ms",
     "nesting_depth",
     "rows_per_sec",
@@ -47,6 +49,8 @@ def measurements_to_dicts(measurements: Sequence[Measurement]) -> list[dict]:
             "total_seconds": m.total_seconds,
             "retries": m.retries,
             "degraded": m.degraded,
+            "failovers": m.failovers,
+            "hedges": m.hedges,
             "compile_ms": m.compile_ms,
             "nesting_depth": m.nesting_depth,
             "rows_per_sec": m.rows_per_sec,
@@ -94,6 +98,8 @@ def from_json(text: str) -> list[Measurement]:
                 expression_seconds=float(row["expression_seconds"]),
                 retries=int(row.get("retries", 0)),
                 degraded=bool(row.get("degraded", False)),
+                failovers=int(row.get("failovers", 0)),
+                hedges=int(row.get("hedges", 0)),
                 compile_ms=float(row.get("compile_ms", 0.0)),
                 nesting_depth=int(row.get("nesting_depth", 0)),
                 rows_per_sec=float(row.get("rows_per_sec", 0.0)),

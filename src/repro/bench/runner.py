@@ -39,7 +39,10 @@ class Measurement:
     ``retries`` counts extra query attempts the resilience layer spent
     (connector-level retries plus per-shard retries) while evaluating the
     expression; ``degraded`` marks that at least one answer was partial
-    (a shard was dropped under ``allow_partial=True``).
+    (a shard was dropped under ``allow_partial=True``).  ``failovers``
+    and ``hedges`` count shard reads the replication layer moved to
+    another replica and hedged (raced) replica requests — both 0 for
+    single-copy configurations.
 
     ``compile_ms`` is the total plan-compilation time (optimizer + rewrite
     walking, or a cache probe on a hit) the expression spent, and
@@ -61,6 +64,8 @@ class Measurement:
     expression_seconds: float
     retries: int = 0
     degraded: bool = False
+    failovers: int = 0
+    hedges: int = 0
     compile_ms: float = 0.0
     nesting_depth: int = 0
     rows_per_sec: float = 0.0
@@ -116,12 +121,12 @@ def run_expression(
             _tag_spans(tracer, trace_mark, system.name, dataset, expr.id)
         expression = time.perf_counter() - started
         expression = _adjust_for_simulated_parallelism(system, expression, send_mark)
-        retries, degraded = _resilience_outcomes(system, send_mark)
+        retries, degraded, failovers, hedges = _resilience_outcomes(system, send_mark)
         compile_ms, nesting_depth = _compile_outcomes(system, compile_mark)
         rows_per_sec, exec_engine = _throughput_outcomes(system, send_mark)
     return Measurement(
         system.name, dataset, expr.id, STATUS_OK, creation, expression,
-        retries=retries, degraded=degraded,
+        retries=retries, degraded=degraded, failovers=failovers, hedges=hedges,
         compile_ms=compile_ms, nesting_depth=nesting_depth,
         rows_per_sec=rows_per_sec, exec_engine=exec_engine,
     )
@@ -167,14 +172,18 @@ def _adjust_for_simulated_parallelism(
     return max(0.0, wall_seconds - real + reported)
 
 
-def _resilience_outcomes(system: SystemUnderTest, send_mark: int) -> tuple[int, bool]:
-    """Retries spent and whether any answer was degraded, per expression."""
+def _resilience_outcomes(
+    system: SystemUnderTest, send_mark: int
+) -> tuple[int, bool, int, int]:
+    """Retries, degradation, failovers, and hedges spent per expression."""
     if system.connector is None:
-        return 0, False
+        return 0, False, 0, 0
     records = system.connector.send_log[send_mark:]
     retries = sum(record.retries for record in records)
     degraded = any(record.outcome == "partial" for record in records)
-    return retries, degraded
+    failovers = sum(getattr(record, "failovers", 0) for record in records)
+    hedges = sum(getattr(record, "hedges", 0) for record in records)
+    return retries, degraded, failovers, hedges
 
 
 def _throughput_outcomes(system: SystemUnderTest, send_mark: int) -> tuple[float, str]:

@@ -144,13 +144,31 @@ def build_cluster_systems(
     which: tuple[str, ...] = CLUSTER_SYSTEMS,
     seed: int = 2021,
     shard_key: str = "unique1",
+    replication_factor: int | None = None,
+    fault_injector: Any = None,
+    retry_policy: Any = None,
+    hedge: Any = None,
+    quorum_reads: bool = False,
 ) -> dict[str, SystemUnderTest]:
-    """Systems for the speedup/scaleup experiments (Figures 9 and 10)."""
+    """Systems for the speedup/scaleup experiments (Figures 9 and 10).
+
+    ``replication_factor``/``fault_injector``/``retry_policy``/``hedge``/
+    ``quorum_reads`` flow into every cluster — the availability bench and
+    the chaos tests use them to run the full benchmark suite against
+    replicated clusters under seeded faults.
+    """
     records = _wisconsin(num_records, seed)
     systems: dict[str, SystemUnderTest] = {}
+    cluster_kwargs: dict[str, Any] = {
+        "replication_factor": replication_factor,
+        "fault_injector": fault_injector,
+        "retry_policy": retry_policy,
+        "hedge": hedge,
+        "quorum_reads": quorum_reads,
+    }
 
     if "PolyFrame-AsterixDB" in which:
-        cluster = AsterixDBCluster(num_nodes)
+        cluster = AsterixDBCluster(num_nodes, **cluster_kwargs)
         cluster.create_dataverse(NAMESPACE)
         for dataset in (DATASET, DATASET2):
             cluster.create_dataset(NAMESPACE, dataset, primary_key=loaders.PRIMARY_KEY)
@@ -162,7 +180,7 @@ def build_cluster_systems(
         )
 
     if "PolyFrame-MongoDB" in which:
-        cluster = MongoDBCluster(num_nodes)
+        cluster = MongoDBCluster(num_nodes, **cluster_kwargs)
         for dataset in (DATASET, DATASET2):
             cluster.create_collection(dataset)
             cluster.insert_many(dataset, records, shard_key=shard_key)
@@ -173,7 +191,7 @@ def build_cluster_systems(
         )
 
     if "PolyFrame-Greenplum" in which:
-        cluster = GreenplumCluster(num_nodes)
+        cluster = GreenplumCluster(num_nodes, **cluster_kwargs)
         for dataset in (DATASET, DATASET2):
             qualified = f"{NAMESPACE}.{dataset}"
             cluster.create_table(qualified, primary_key=loaders.PRIMARY_KEY)

@@ -15,6 +15,14 @@ is the documented simulation substitute for real multi-machine timing; the
 speedup/scaleup *shapes* in Figures 9 and 10 derive from exactly this
 quantity.
 
+Every cluster can run replicated (``replication_factor=R``): each shard
+is placed on R nodes by chained declustering
+(:class:`~repro.cluster.replica.ReplicaSet`), shard reads fail over
+between replicas, slow attempts are hedged, and reads can be
+quorum-checked — see ``docs/resilience.md``.  The default R=1 keeps the
+seed's single-copy behaviour; ``REPRO_REPLICATION`` raises it
+process-wide.
+
 Neo4j has no cluster wrapper: the community edition does not support
 sharded clusters, so the paper (and this reproduction) excludes it.
 MongoDB's ``$lookup`` refuses to run against sharded data (expression 12),
@@ -24,5 +32,27 @@ also as in the paper.
 from repro.cluster.asterixdb_cluster import AsterixDBCluster
 from repro.cluster.greenplum import GreenplumCluster
 from repro.cluster.mongo_cluster import MongoDBCluster
+from repro.cluster.replica import (
+    ENV_REPLICATION,
+    HedgePolicy,
+    NodeHealth,
+    NodeHealthBoard,
+    ReplicaSet,
+    ReplicaStore,
+    records_checksum,
+    resolve_replication_factor,
+)
 
-__all__ = ["AsterixDBCluster", "GreenplumCluster", "MongoDBCluster"]
+__all__ = [
+    "ENV_REPLICATION",
+    "AsterixDBCluster",
+    "GreenplumCluster",
+    "HedgePolicy",
+    "MongoDBCluster",
+    "NodeHealth",
+    "NodeHealthBoard",
+    "ReplicaSet",
+    "ReplicaStore",
+    "records_checksum",
+    "resolve_replication_factor",
+]

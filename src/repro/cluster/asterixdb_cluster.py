@@ -2,11 +2,18 @@
 
 from __future__ import annotations
 
-from typing import Any, Iterable
+from typing import Any, Callable, Iterable
 
-from repro.cluster.base import scatter_gather, shard_records
+from repro.cluster.base import scatter_gather_replicated, shard_records
 from repro.cluster.merge import spec_for_select
-from repro.resilience import FaultInjector, RetryPolicy
+from repro.cluster.replica import (
+    HedgePolicy,
+    NodeHealthBoard,
+    ReplicaSet,
+    ReplicaStore,
+    resolve_replication_factor,
+)
+from repro.resilience import CircuitBreaker, FaultInjector, RetryPolicy, cluster_resilience
 from repro.sqlengine.parser import parse
 from repro.sqlengine.result import ResultSet
 from repro.sqlpp import AsterixDB
@@ -20,6 +27,9 @@ class AsterixDBCluster:
     (``execute``, ``create_dataverse``/``create_dataset``/``load``,
     ``create_index``, ``catalog``) so the standard
     :class:`~repro.core.connectors.AsterixDBConnector` works unchanged.
+    With ``replication_factor`` > 1 each shard keeps copies on
+    neighbouring nodes and queries fail over between them (AsterixDB's
+    replication/fault-tolerance story) — see ``docs/resilience.md``.
     """
 
     def __init__(
@@ -30,6 +40,10 @@ class AsterixDBCluster:
         retry_policy: RetryPolicy | None = None,
         fault_injector: FaultInjector | None = None,
         allow_partial: bool = False,
+        replication_factor: int | None = None,
+        hedge: HedgePolicy | None = None,
+        quorum_reads: bool = False,
+        breaker_factory: Callable[[int], CircuitBreaker | None] | None = None,
     ) -> None:
         if num_nodes < 1:
             raise ValueError("a cluster needs at least one node")
@@ -37,25 +51,38 @@ class AsterixDBCluster:
         self.retry_policy = retry_policy
         self.fault_injector = fault_injector
         self.allow_partial = allow_partial
-        self.nodes = [
-            AsterixDB(query_prep_overhead=query_prep_overhead, name=f"asterixdb-node{i}")
-            for i in range(num_nodes)
-        ]
         self.name = f"asterixdb-cluster[{num_nodes}]"
+        self.replication_factor = resolve_replication_factor(replication_factor, num_nodes)
+        self.replica_set = ReplicaSet(num_nodes, num_nodes, self.replication_factor)
+
+        def make_engine(shard: int, node: int) -> AsterixDB:
+            suffix = f"node{node}" if node == shard else f"node{node}-r{shard}"
+            return AsterixDB(
+                query_prep_overhead=query_prep_overhead, name=f"asterixdb-{suffix}"
+            )
+
+        self.store = ReplicaStore(self.replica_set, make_engine)
+        #: One primary engine per shard — the seed-compatible view.
+        self.nodes = self.store.primaries()
+        self.health = NodeHealthBoard(
+            num_nodes, cluster_name=self.name, breaker_factory=breaker_factory
+        )
+        self.hedge = hedge if hedge is not None else HedgePolicy()
+        self.quorum_reads = quorum_reads
 
     # ------------------------------------------------------------------
-    # DDL / loading (applied to every node; data is sharded)
+    # DDL / loading (applied to every replica copy; data is sharded)
     # ------------------------------------------------------------------
     def create_dataverse(self, name: str) -> None:
-        for node in self.nodes:
-            node.create_dataverse(name)
+        for engine in self.store.all_engines():
+            engine.create_dataverse(name)
 
     def has_dataverse(self, name: str) -> bool:
         return self.nodes[0].has_dataverse(name)
 
     def create_dataset(self, dataverse: str, dataset: str, primary_key: str) -> None:
-        for node in self.nodes:
-            node.create_dataset(dataverse, dataset, primary_key)
+        for engine in self.store.all_engines():
+            engine.create_dataset(dataverse, dataset, primary_key)
 
     def load(
         self,
@@ -65,17 +92,20 @@ class AsterixDBCluster:
     ) -> int:
         shards = shard_records(list(records), self.num_nodes, shard_key)
         total = 0
-        for node, shard in zip(self.nodes, shards):
-            total += node.load(qualified_name, shard)
+        for shard, shard_rows in enumerate(shards):
+            copies = self.store.engines_for(shard)
+            total += copies[0].load(qualified_name, shard_rows)
+            for backup in copies[1:]:
+                backup.load(qualified_name, shard_rows)
         return total
 
     def create_index(self, table: str, column: str, **kwargs: Any) -> None:
-        for node in self.nodes:
-            node.create_index(table, column, **kwargs)
+        for engine in self.store.all_engines():
+            engine.create_index(table, column, **kwargs)
 
     def analyze(self, table: str) -> None:
-        for node in self.nodes:
-            node.analyze(table)
+        for engine in self.store.all_engines():
+            engine.analyze(table)
 
     @property
     def catalog(self):
@@ -90,12 +120,16 @@ class AsterixDBCluster:
     # ------------------------------------------------------------------
     def execute(self, query_text: str) -> ResultSet:
         spec = spec_for_select(parse(query_text, "sqlpp"))
-        return scatter_gather(
-            lambda shard: self.nodes[shard].execute(query_text),
-            self.num_nodes,
+        injector, policy = cluster_resilience(self.fault_injector, self.retry_policy)
+        return scatter_gather_replicated(
+            lambda shard, node: self.store.engine(shard, node).execute(query_text),
+            self.replica_set,
             spec,
-            retry_policy=self.retry_policy,
-            fault_injector=self.fault_injector,
+            health=self.health,
+            hedge=self.hedge,
+            quorum_reads=self.quorum_reads,
+            retry_policy=policy,
+            fault_injector=injector,
             backend_name=self.name,
             allow_partial=self.allow_partial,
         )

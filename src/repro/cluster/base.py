@@ -7,6 +7,15 @@ faults injected (chaos testing), failed shards are retried under a
 either raises a precise :class:`~repro.errors.ShardFailureError` or — with
 ``allow_partial=True`` — is dropped, returning the merged results of the
 surviving shards flagged ``partial=True``.  See ``docs/resilience.md``.
+
+:func:`scatter_gather_replicated` layers replication on top: each shard
+has copies on several nodes (:class:`~repro.cluster.replica.ReplicaSet`),
+an exhausted retry budget *fails over* to the next healthy replica
+instead of declaring the shard down, attempts slower than the serving
+node's tracked latency estimate are *hedged* against another replica,
+and an opt-in quorum mode cross-checks replica row checksums.  A shard
+only counts as down — ``ShardFailureError`` / ``allow_partial`` drop —
+once every replica is exhausted.
 """
 
 from __future__ import annotations
@@ -16,7 +25,20 @@ import zlib
 from typing import Any, Callable, Sequence
 
 from repro.cluster.merge import MergeSpec, merge_records
-from repro.errors import ConnectorError, ReproError, ShardFailureError
+from repro.cluster.replica import (
+    DOWN,
+    HedgePolicy,
+    NodeHealthBoard,
+    ReplicaSet,
+    records_checksum,
+)
+from repro.errors import (
+    CircuitOpenError,
+    ConnectorError,
+    ReplicaDivergenceError,
+    ReproError,
+    ShardFailureError,
+)
 from repro.obs import ambient_span, metrics
 from repro.obs.profile import OpProfile
 from repro.resilience import FaultInjector, RetryPolicy
@@ -143,8 +165,339 @@ def scatter_gather(
     )
 
 
+def _count_backend(name: str, backend_name: str, amount: int = 1) -> None:
+    """Bump a counter both plain and labeled by backend (when named)."""
+    metrics.counter(name).inc(amount)
+    if backend_name:
+        metrics.counter(name, backend=backend_name).inc(amount)
+
+
+class _ReplicaAttempt:
+    """Outcome of trying one shard on one replica (through its retry budget)."""
+
+    __slots__ = ("result", "error", "attempts", "effective_seconds")
+
+    def __init__(
+        self,
+        result: ResultSet | None,
+        error: Exception | None,
+        attempts: int,
+        effective_seconds: float,
+    ) -> None:
+        self.result = result
+        self.error = error
+        self.attempts = attempts
+        self.effective_seconds = effective_seconds
+
+
+def _run_replica_attempt(
+    run_on_replica: Callable[[int, int], ResultSet],
+    shard: int,
+    node: int,
+    key: str,
+    *,
+    health: NodeHealthBoard,
+    retry_policy: RetryPolicy | None,
+    fault_injector: FaultInjector | None,
+) -> _ReplicaAttempt:
+    """Try *shard* on *node*, retrying under *retry_policy*.
+
+    The attempt's *effective* time is the engine's reported elapsed plus
+    any injector-charged latency, so deterministic chaos (no-op sleepers)
+    still moves the health tracker and the hedging threshold.
+    """
+    attempt = 0
+    while True:
+        attempt += 1
+        injected = 0.0
+        try:
+            if fault_injector is not None:
+                injected = fault_injector.before_request(key) or 0.0
+            result = run_on_replica(shard, node)
+        except Exception as exc:
+            if retry_policy is not None and retry_policy.should_retry(exc, attempt):
+                health.record_failure(node)
+                retry_policy.wait(attempt)
+                continue
+            if not isinstance(exc, ConnectorError):
+                # Engine/query errors are not node outages; surface as-is.
+                raise
+            health.record_failure(node)
+            return _ReplicaAttempt(None, exc, attempt, 0.0)
+        effective = result.elapsed_seconds + injected
+        health.record_success(node, effective)
+        return _ReplicaAttempt(result, None, attempt, effective)
+
+
+def scatter_gather_replicated(
+    run_on_replica: Callable[[int, int], ResultSet],
+    replica_set: ReplicaSet,
+    spec: MergeSpec,
+    *,
+    health: NodeHealthBoard | None = None,
+    hedge: HedgePolicy | None = None,
+    quorum_reads: bool = False,
+    coordinator_overhead: float = DEFAULT_COORDINATOR_OVERHEAD,
+    retry_policy: RetryPolicy | None = None,
+    fault_injector: FaultInjector | None = None,
+    backend_name: str = "",
+    allow_partial: bool = False,
+) -> ResultSet:
+    """Replica-aware scatter-gather: failover, hedging, quorum checks.
+
+    For each shard, its replicas are tried healthiest-first
+    (:meth:`NodeHealthBoard.order`); a replica whose retry budget is
+    exhausted — or whose per-node circuit breaker is open — causes a
+    **failover** to the next candidate, and only when *every* replica is
+    exhausted does the shard count as down (``ShardFailureError``, or an
+    ``allow_partial`` drop).  A successful attempt whose effective time
+    exceeds the serving node's hedge threshold launches one **hedged**
+    attempt on the next healthy replica; the earlier finisher wins and
+    its completion time becomes the shard's elapsed time.  With
+    ``quorum_reads=True`` a majority of replicas (``R//2 + 1``) must
+    answer and their row checksums must agree, else
+    :class:`~repro.errors.ReplicaDivergenceError`.
+
+    *fault_injector* hooks fire once per attempt under the key
+    ``"<backend_name>#shard<i>@node<j>"`` — substring rules targeting
+    ``"#shard<i>"`` keep working, node rules match the ``@node<j>``
+    suffix.  Timing stays the seed's model: ``max(per-shard effective
+    time) + merge time + coordinator overhead``.
+    """
+    num_shards = replica_set.num_shards
+    if health is None:
+        health = NodeHealthBoard(replica_set.num_nodes, cluster_name=backend_name)
+
+    shard_results: list[ResultSet] = []
+    shard_elapsed: list[float] = []
+    shard_profiles: list[tuple[int, int, OpProfile]] = []
+    shard_attempts: list[int] = []
+    served_by: list[int] = []
+    failed_shards: list[int] = []
+    failovers = 0
+    hedges = 0
+    hedge_wins = 0
+    quorum_checked = 0
+
+    for shard in range(num_shards):
+        candidates = health.order(replica_set.replicas_for(shard))
+        with ambient_span("shard", shard=shard, backend=backend_name) as shard_span:
+            result: ResultSet | None = None
+            served = -1
+            effective = 0.0
+            attempts = 0
+            last_error: Exception | None = None
+
+            if quorum_reads and len(candidates) > 1:
+                needed = replica_set.replication_factor // 2 + 1
+                responses: list[tuple[int, ResultSet, float]] = []
+                for node in candidates:
+                    if len(responses) >= needed:
+                        break
+                    if not health.allow(node):
+                        last_error = CircuitOpenError(
+                            f"circuit open for node{node} of {backend_name or 'cluster'}"
+                        )
+                        failovers += 1
+                        _count_backend("failovers_total", backend_name)
+                        continue
+                    key = f"{backend_name}#shard{shard}@node{node}"
+                    outcome = _run_replica_attempt(
+                        run_on_replica, shard, node, key,
+                        health=health, retry_policy=retry_policy,
+                        fault_injector=fault_injector,
+                    )
+                    attempts += outcome.attempts
+                    if outcome.result is None:
+                        last_error = outcome.error
+                        failovers += 1
+                        _count_backend("failovers_total", backend_name)
+                        shard_span.add_child(
+                            "failover", 0.0, shard=shard, failed_node=node
+                        )
+                        continue
+                    responses.append((node, outcome.result, outcome.effective_seconds))
+                if len(responses) >= needed:
+                    checksums = {records_checksum(r.records) for _, r, _ in responses}
+                    if len(checksums) > 1:
+                        _count_backend("replica_divergence_total", backend_name)
+                        nodes = tuple(node for node, _, _ in responses)
+                        raise ReplicaDivergenceError(
+                            f"quorum read of shard {shard} on "
+                            f"{backend_name or 'cluster'} diverged across nodes "
+                            f"{nodes}: {len(checksums)} distinct checksums",
+                            shard=shard,
+                            nodes=nodes,
+                        )
+                    quorum_checked += 1
+                    served, result, _ = responses[0]
+                    # A quorum read completes when its slowest member answers.
+                    effective = max(eff for _, _, eff in responses)
+                    shard_span.set(quorum=f"{len(responses)}/{needed}")
+            else:
+                for position, node in enumerate(candidates):
+                    if position > 0:
+                        failovers += 1
+                        _count_backend("failovers_total", backend_name)
+                        shard_span.add_child(
+                            "failover", 0.0, shard=shard,
+                            from_node=candidates[position - 1], to_node=node,
+                        )
+                    if not health.allow(node):
+                        last_error = CircuitOpenError(
+                            f"circuit open for node{node} of {backend_name or 'cluster'}"
+                        )
+                        continue
+                    key = f"{backend_name}#shard{shard}@node{node}"
+                    outcome = _run_replica_attempt(
+                        run_on_replica, shard, node, key,
+                        health=health, retry_policy=retry_policy,
+                        fault_injector=fault_injector,
+                    )
+                    attempts += outcome.attempts
+                    if outcome.result is None:
+                        last_error = outcome.error
+                        continue
+                    result = outcome.result
+                    served = node
+                    effective = outcome.effective_seconds
+
+                    # Tail-latency hedging: race a slow-but-successful
+                    # attempt against the next healthy replica.
+                    threshold = (
+                        hedge.threshold_for(health.node(node))
+                        if hedge is not None
+                        else None
+                    )
+                    if threshold is not None and effective > threshold:
+                        hedge_node = next(
+                            (
+                                n
+                                for n in candidates[position + 1:]
+                                if health.allow(n) and health.node(n).state != DOWN
+                            ),
+                            None,
+                        )
+                        if hedge_node is not None:
+                            hedges += 1
+                            _count_backend("hedges_total", backend_name)
+                            hedge_key = f"{backend_name}#shard{shard}@node{hedge_node}"
+                            # A hedge is a race, not a retry: one attempt only.
+                            hedged = _run_replica_attempt(
+                                run_on_replica, shard, hedge_node, hedge_key,
+                                health=health, retry_policy=None,
+                                fault_injector=fault_injector,
+                            )
+                            attempts += hedged.attempts
+                            won = False
+                            if hedged.result is not None:
+                                # The hedge launched `threshold` seconds in;
+                                # it wins if it still finishes first.
+                                hedged_total = threshold + hedged.effective_seconds
+                                if hedged_total < effective:
+                                    won = True
+                                    hedge_wins += 1
+                                    _count_backend("hedge_wins_total", backend_name)
+                                    result = hedged.result
+                                    served = hedge_node
+                                    effective = hedged_total
+                            shard_span.add_child(
+                                "hedge",
+                                hedged.effective_seconds * 1000.0,
+                                shard=shard,
+                                node=hedge_node,
+                                win=won,
+                            )
+                    break
+
+            shard_attempts.append(attempts)
+            if result is None:
+                if allow_partial:
+                    failed_shards.append(shard)
+                    served_by.append(-1)
+                    metrics.counter("shard_failures_total").inc()
+                    shard_span.set(attempts=attempts, outcome="failed")
+                    continue
+                if len(candidates) == 1:
+                    message = (
+                        f"shard {shard} of {backend_name or 'cluster'} failed after "
+                        f"{attempts} attempt(s): {last_error}"
+                    )
+                else:
+                    message = (
+                        f"shard {shard} of {backend_name or 'cluster'} failed on "
+                        f"all {len(candidates)} replicas after {attempts} "
+                        f"attempt(s): {last_error}"
+                    )
+                raise ShardFailureError(
+                    message, shard=shard, attempts=attempts
+                ) from last_error
+            shard_results.append(result)
+            shard_elapsed.append(effective)
+            served_by.append(served)
+            if result.op_profile is not None:
+                shard_profiles.append((shard, served, result.op_profile))
+            shard_span.set(attempts=attempts, rows=len(result.records), node=served)
+
+    if not shard_results:
+        raise ShardFailureError(
+            f"every shard of {backend_name or 'cluster'} is down "
+            f"({num_shards} of {num_shards} failed)",
+            attempts=sum(shard_attempts),
+        )
+
+    merge_started = time.perf_counter()
+    merged = merge_records(spec, [result.records for result in shard_results])
+    merge_elapsed = time.perf_counter() - merge_started
+
+    stats = QueryStats()
+    for result in shard_results:
+        stats.merge(result.stats)
+    stats.retries += sum(attempts - 1 for attempts in shard_attempts)
+    stats.failed_shards += len(failed_shards)
+    stats.failovers += failovers
+    stats.hedges += hedges
+    stats.hedge_wins += hedge_wins
+    stats.quorum_reads += quorum_checked
+    elapsed = max(shard_elapsed) + merge_elapsed + coordinator_overhead
+    partial = bool(failed_shards)
+    degraded = f", partial: lost shards {failed_shards}" if partial else ""
+    plan = shard_results[0].plan_text
+    op_profile = None
+    if shard_profiles:
+        # Analyze mode ran on the shards: roll their operator profiles up
+        # under one coordinator node, each child naming its serving replica.
+        children = []
+        for shard, node, profile in shard_profiles:
+            wrapper = OpProfile(f"Shard[{shard}]@node{node}", children=[profile])
+            wrapper.rows_out = profile.rows_out
+            wrapper.time_ns = profile.time_ns
+            children.append(wrapper)
+        op_profile = OpProfile(
+            f"ScatterGather[{num_shards} shards, {spec.kind}]", children=children
+        )
+        op_profile.rows_out = len(merged)
+        op_profile.time_ns = int(
+            sum(child.time_ns for child in children) + merge_elapsed * 1e9
+        )
+    return ResultSet(
+        records=merged,
+        stats=stats,
+        plan_text=f"scatter-gather[{num_shards} shards, {spec.kind}{degraded}]\n{plan}",
+        elapsed_seconds=elapsed,
+        partial=partial,
+        shard_attempts=tuple(shard_attempts),
+        op_profile=op_profile,
+        served_by=tuple(served_by),
+    )
+
+
 def round_robin_shards(records: Sequence[dict[str, Any]], num_shards: int) -> list[list[dict[str, Any]]]:
     """Partition records across shards round-robin (uniform placement)."""
+    if num_shards < 1:
+        raise ReproError(
+            f"round_robin_shards needs at least one shard, got {num_shards}"
+        )
     shards: list[list[dict[str, Any]]] = [[] for _ in range(num_shards)]
     for index, record in enumerate(records):
         shards[index % num_shards].append(record)
@@ -178,6 +531,10 @@ def shard_records(
     ``shard_key='unique1'``.  Placement uses :func:`stable_hash` so the
     same key lands on the same shard in every process.
     """
+    if num_shards < 1:
+        raise ReproError(
+            f"shard_records needs at least one shard, got {num_shards}"
+        )
     if shard_key is None:
         return round_robin_shards(records, num_shards)
     shards: list[list[dict[str, Any]]] = [[] for _ in range(num_shards)]

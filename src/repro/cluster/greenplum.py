@@ -5,15 +5,26 @@ PostgreSQL 9.5: no index-only scans (expressions 6/7) and no backward index
 scans (expression 9 table-scans instead).  This cluster wraps SQL nodes
 configured with :meth:`OptimizerFeatures.greenplum`, which switches exactly
 those two features off.
+
+With ``replication_factor`` > 1 each shard also keeps copies on the next
+nodes over (chained declustering); queries fail over and hedge between
+copies — see ``docs/resilience.md``.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterable
+from typing import Any, Callable, Iterable
 
-from repro.cluster.base import scatter_gather, shard_records
+from repro.cluster.base import scatter_gather_replicated, shard_records
 from repro.cluster.merge import spec_for_select
-from repro.resilience import FaultInjector, RetryPolicy
+from repro.cluster.replica import (
+    HedgePolicy,
+    NodeHealthBoard,
+    ReplicaSet,
+    ReplicaStore,
+    resolve_replication_factor,
+)
+from repro.resilience import CircuitBreaker, FaultInjector, RetryPolicy, cluster_resilience
 from repro.sqlengine import OptimizerFeatures, SQLDatabase
 from repro.sqlengine.parser import parse
 from repro.sqlengine.result import ResultSet
@@ -35,6 +46,10 @@ class GreenplumCluster:
         fault_injector: FaultInjector | None = None,
         allow_partial: bool = False,
         exec_engine: str | None = None,
+        replication_factor: int | None = None,
+        hedge: HedgePolicy | None = None,
+        quorum_reads: bool = False,
+        breaker_factory: Callable[[int], CircuitBreaker | None] | None = None,
     ) -> None:
         if num_nodes < 1:
             raise ValueError("a cluster needs at least one node")
@@ -43,21 +58,33 @@ class GreenplumCluster:
         self.fault_injector = fault_injector
         self.allow_partial = allow_partial
         self.features = features if features is not None else OptimizerFeatures.greenplum()
-        self.nodes = [
-            SQLDatabase(
+        self.name = f"greenplum[{num_nodes}]"
+        self.replication_factor = resolve_replication_factor(replication_factor, num_nodes)
+        self.replica_set = ReplicaSet(num_nodes, num_nodes, self.replication_factor)
+
+        def make_engine(shard: int, node: int) -> SQLDatabase:
+            # The primary keeps the seed's name; backups say what they hold.
+            suffix = f"seg{node}" if node == shard else f"seg{node}-r{shard}"
+            return SQLDatabase(
                 self.features,
                 query_prep_overhead=query_prep_overhead,
-                name=f"greenplum-seg{i}",
+                name=f"greenplum-{suffix}",
                 exec_engine=exec_engine,
             )
-            for i in range(num_nodes)
-        ]
-        self.name = f"greenplum[{num_nodes}]"
+
+        self.store = ReplicaStore(self.replica_set, make_engine)
+        #: One primary engine per shard — the seed-compatible view.
+        self.nodes = self.store.primaries()
+        self.health = NodeHealthBoard(
+            num_nodes, cluster_name=self.name, breaker_factory=breaker_factory
+        )
+        self.hedge = hedge if hedge is not None else HedgePolicy()
+        self.quorum_reads = quorum_reads
 
     # ------------------------------------------------------------------
     def create_table(self, name: str, columns: Iterable[str] | None = None, primary_key: str | None = None) -> None:
-        for node in self.nodes:
-            node.create_table(name, columns, primary_key)
+        for engine in self.store.all_engines():
+            engine.create_table(name, columns, primary_key)
 
     def insert(
         self,
@@ -67,17 +94,20 @@ class GreenplumCluster:
     ) -> int:
         shards = shard_records(list(records), self.num_nodes, shard_key)
         total = 0
-        for node, shard in zip(self.nodes, shards):
-            total += node.insert(table, shard)
+        for shard, shard_rows in enumerate(shards):
+            copies = self.store.engines_for(shard)
+            total += copies[0].insert(table, shard_rows)
+            for backup in copies[1:]:
+                backup.insert(table, shard_rows)
         return total
 
     def create_index(self, table: str, column: str, **kwargs: Any) -> None:
-        for node in self.nodes:
-            node.create_index(table, column, **kwargs)
+        for engine in self.store.all_engines():
+            engine.create_index(table, column, **kwargs)
 
     def analyze(self, table: str) -> None:
-        for node in self.nodes:
-            node.analyze(table)
+        for engine in self.store.all_engines():
+            engine.analyze(table)
 
     @property
     def catalog(self):
@@ -89,12 +119,16 @@ class GreenplumCluster:
     # ------------------------------------------------------------------
     def execute(self, query_text: str) -> ResultSet:
         spec = spec_for_select(parse(query_text, "sql"))
-        return scatter_gather(
-            lambda shard: self.nodes[shard].execute(query_text),
-            self.num_nodes,
+        injector, policy = cluster_resilience(self.fault_injector, self.retry_policy)
+        return scatter_gather_replicated(
+            lambda shard, node: self.store.engine(shard, node).execute(query_text),
+            self.replica_set,
             spec,
-            retry_policy=self.retry_policy,
-            fault_injector=self.fault_injector,
+            health=self.health,
+            hedge=self.hedge,
+            quorum_reads=self.quorum_reads,
+            retry_policy=policy,
+            fault_injector=injector,
             backend_name=self.name,
             allow_partial=self.allow_partial,
         )

@@ -2,13 +2,20 @@
 
 from __future__ import annotations
 
-from typing import Any, Iterable
+from typing import Any, Callable, Iterable
 
-from repro.cluster.base import scatter_gather, shard_records
+from repro.cluster.base import scatter_gather_replicated, shard_records
 from repro.cluster.merge import spec_for_pipeline
+from repro.cluster.replica import (
+    HedgePolicy,
+    NodeHealthBoard,
+    ReplicaSet,
+    ReplicaStore,
+    resolve_replication_factor,
+)
 from repro.docstore import MongoDatabase
 from repro.docstore.database import DEFAULT_PREP_OVERHEAD
-from repro.resilience import FaultInjector, RetryPolicy
+from repro.resilience import CircuitBreaker, FaultInjector, RetryPolicy, cluster_resilience
 from repro.sqlengine.result import ResultSet
 
 
@@ -18,7 +25,10 @@ class MongoDBCluster:
     Compatible with :class:`~repro.core.connectors.MongoDBConnector`
     (``aggregate``, ``has_collection``, ``create_collection``).  As the
     paper notes, ``$lookup`` only joins unsharded data, so expression 12
-    raises :class:`~repro.errors.UnsupportedOperationError` here.
+    raises :class:`~repro.errors.UnsupportedOperationError` here.  With
+    ``replication_factor`` > 1 each shard keeps replica-set-style copies
+    on neighbouring nodes and reads fail over between them — see
+    ``docs/resilience.md``.
     """
 
     def __init__(
@@ -29,6 +39,10 @@ class MongoDBCluster:
         retry_policy: RetryPolicy | None = None,
         fault_injector: FaultInjector | None = None,
         allow_partial: bool = False,
+        replication_factor: int | None = None,
+        hedge: HedgePolicy | None = None,
+        quorum_reads: bool = False,
+        breaker_factory: Callable[[int], CircuitBreaker | None] | None = None,
     ) -> None:
         if num_nodes < 1:
             raise ValueError("a cluster needs at least one node")
@@ -36,16 +50,29 @@ class MongoDBCluster:
         self.retry_policy = retry_policy
         self.fault_injector = fault_injector
         self.allow_partial = allow_partial
-        self.nodes = [
-            MongoDatabase(query_prep_overhead=query_prep_overhead, name=f"mongod-{i}")
-            for i in range(num_nodes)
-        ]
         self.name = f"mongodb-cluster[{num_nodes}]"
+        self.replication_factor = resolve_replication_factor(replication_factor, num_nodes)
+        self.replica_set = ReplicaSet(num_nodes, num_nodes, self.replication_factor)
+
+        def make_engine(shard: int, node: int) -> MongoDatabase:
+            suffix = str(node) if node == shard else f"{node}-r{shard}"
+            return MongoDatabase(
+                query_prep_overhead=query_prep_overhead, name=f"mongod-{suffix}"
+            )
+
+        self.store = ReplicaStore(self.replica_set, make_engine)
+        #: One primary engine per shard — the seed-compatible view.
+        self.nodes = self.store.primaries()
+        self.health = NodeHealthBoard(
+            num_nodes, cluster_name=self.name, breaker_factory=breaker_factory
+        )
+        self.hedge = hedge if hedge is not None else HedgePolicy()
+        self.quorum_reads = quorum_reads
 
     # ------------------------------------------------------------------
     def create_collection(self, name: str) -> None:
-        for node in self.nodes:
-            node.create_collection(name)
+        for engine in self.store.all_engines():
+            engine.create_collection(name)
 
     def has_collection(self, name: str) -> bool:
         return self.nodes[0].has_collection(name)
@@ -58,13 +85,16 @@ class MongoDBCluster:
     ) -> int:
         shards = shard_records(list(documents), self.num_nodes, shard_key)
         total = 0
-        for node, shard in zip(self.nodes, shards):
-            total += node.collection(collection).insert_many(shard)
+        for shard, shard_docs in enumerate(shards):
+            copies = self.store.engines_for(shard)
+            total += copies[0].collection(collection).insert_many(shard_docs)
+            for backup in copies[1:]:
+                backup.collection(collection).insert_many(shard_docs)
         return total
 
     def create_index(self, collection: str, field: str) -> None:
-        for node in self.nodes:
-            node.collection(collection).create_index(field)
+        for engine in self.store.all_engines():
+            engine.collection(collection).create_index(field)
 
     def estimated_document_count(self, collection: str) -> int:
         return sum(node.estimated_document_count(collection) for node in self.nodes)
@@ -76,12 +106,18 @@ class MongoDBCluster:
             # this matches the paper running expression 12 on one node.
             return self.nodes[0].aggregate(collection, pipeline)
         spec = spec_for_pipeline(pipeline)
-        return scatter_gather(
-            lambda shard: self.nodes[shard].aggregate(collection, pipeline),
-            self.num_nodes,
+        injector, policy = cluster_resilience(self.fault_injector, self.retry_policy)
+        return scatter_gather_replicated(
+            lambda shard, node: self.store.engine(shard, node).aggregate(
+                collection, pipeline
+            ),
+            self.replica_set,
             spec,
-            retry_policy=self.retry_policy,
-            fault_injector=self.fault_injector,
+            health=self.health,
+            hedge=self.hedge,
+            quorum_reads=self.quorum_reads,
+            retry_policy=policy,
+            fault_injector=injector,
             backend_name=self.name,
             allow_partial=self.allow_partial,
         )

@@ -57,8 +57,10 @@ class SendRecord:
 
     ``attempts`` counts connector-level execution attempts (1 = first try
     succeeded); ``shard_retries`` counts extra per-shard attempts a
-    cluster's scatter-gather spent below this send; ``outcome`` is one of
-    ``'ok'``, ``'partial'``, ``'error'``, ``'rejected'``.
+    cluster's scatter-gather spent below this send; ``failovers`` and
+    ``hedges`` count replica failovers and hedged requests spent below
+    this send (replicated clusters only); ``outcome`` is one of ``'ok'``,
+    ``'partial'``, ``'error'``, ``'rejected'``.
 
     ``rows_scanned`` is the engine's total data touches for the query
     (heap fetches plus index entries), and ``exec_engine`` which
@@ -74,6 +76,8 @@ class SendRecord:
     shard_retries: int = 0
     rows_scanned: int = 0
     exec_engine: str = ""
+    failovers: int = 0
+    hedges: int = 0
 
     @property
     def retries(self) -> int:
@@ -89,6 +93,13 @@ def set_exec_engine(database: Any, exec_engine: str) -> None:
     """
     if exec_engine not in ("row", "vector"):
         raise ValueError(f"unknown exec_engine {exec_engine!r}")
+    store = getattr(database, "store", None)
+    if store is not None and hasattr(store, "all_engines"):
+        # Replicated cluster: backups must run the same engine as
+        # primaries or a failover would silently change the exec path.
+        for engine in store.all_engines():
+            engine.exec_engine = exec_engine
+        return
     nodes = getattr(database, "nodes", None)
     if nodes is not None:
         for node in nodes:
@@ -278,6 +289,8 @@ class DatabaseConnector(abc.ABC):
                 shard_retries=result.stats.retries,
                 rows_scanned=result.stats.heap_fetches + result.stats.index_entries,
                 exec_engine=result.stats.exec_engine,
+                failovers=result.stats.failovers,
+                hedges=result.stats.hedges,
             )
             self.send_log.append(record)
             self._count("retries_total", record.retries)
@@ -293,6 +306,8 @@ class DatabaseConnector(abc.ABC):
                     shard_retries=record.shard_retries,
                     rows_scanned=record.rows_scanned,
                     exec_engine=record.exec_engine,
+                    failovers=record.failovers,
+                    hedges=record.hedges,
                 )
         if logger.isEnabledFor(logging.DEBUG):
             logger.debug(

@@ -96,15 +96,36 @@ class CircuitOpenError(ConnectorError):
 class ShardFailureError(ConnectorError):
     """A scatter-gather shard failed after exhausting its retry budget.
 
-    Carries ``shard`` (the shard index) and ``attempts`` (how many times
-    the shard was tried) so callers can report precisely which node of a
-    cluster is down.
+    With replication the budget spans every replica: the error fires only
+    once *all* copies of the shard are exhausted.  Carries ``shard`` (the
+    shard index) and ``attempts`` (how many times the shard was tried,
+    summed across replicas) so callers can report precisely which part of
+    a cluster is down.
     """
 
     def __init__(self, message: str, *, shard: int | None = None, attempts: int = 0) -> None:
         super().__init__(message)
         self.shard = shard
         self.attempts = attempts
+
+
+class ReplicaDivergenceError(ConnectorError):
+    """A quorum-checked read found replicas of a shard disagreeing.
+
+    Raised when the opt-in quorum read mode cross-checks replica row
+    checksums and they do not match — the replication analogue of a
+    failed read-repair check.  Carries ``shard`` and the ``nodes`` whose
+    answers were compared.  Deliberately not a
+    :class:`TransientBackendError`: divergence is a data-integrity
+    signal, and retrying would just re-read the same divergent copies.
+    """
+
+    def __init__(
+        self, message: str, *, shard: int | None = None, nodes: tuple[int, ...] = ()
+    ) -> None:
+        super().__init__(message)
+        self.shard = shard
+        self.nodes = tuple(nodes)
 
 
 class MemoryBudgetExceeded(MemoryError, ReproError):

@@ -13,7 +13,7 @@ together (see ``docs/observability.md``):
   row counts behind ``explain(analyze=True)`` on every backend.
 """
 
-from repro.obs.metrics import Counter, Histogram, MetricsRegistry, metrics
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, metrics
 from repro.obs.profile import (
     OpProfile,
     analyze_active,
@@ -37,6 +37,7 @@ from repro.obs.trace import (
 __all__ = [
     "NOOP_SPAN",
     "Counter",
+    "Gauge",
     "Histogram",
     "MetricsRegistry",
     "OpProfile",

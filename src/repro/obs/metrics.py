@@ -1,12 +1,12 @@
-"""Process-local metrics registry: counters and histograms.
+"""Process-local metrics registry: counters, gauges, and histograms.
 
 Always-on, cheap, pull-based: instrumented layers increment named
-counters (``queries_total``, ``retries_total``, ``compile_cache_hits``,
-``rows_scanned``, ...) and record latencies into histograms
-(``query_seconds``); callers read a point-in-time :meth:`snapshot`.
-Metrics carry optional labels (``backend="postgres"``), and each distinct
-``(name, labels)`` pair is its own series, like Prometheus client
-libraries.
+counters (``queries_total``, ``retries_total``, ``failovers_total``,
+``rows_scanned``, ...), move gauges (``nodes_down``), and record
+latencies into histograms (``query_seconds``); callers read a
+point-in-time :meth:`snapshot`.  Metrics carry optional labels
+(``backend="postgres"``), and each distinct ``(name, labels)`` pair is
+its own series, like Prometheus client libraries.
 
 The registry is process-local state, not a wire protocol — tests and the
 bench layer read it directly.  :data:`metrics` is the shared default
@@ -18,7 +18,7 @@ from __future__ import annotations
 import threading
 from typing import Any
 
-__all__ = ["Counter", "Histogram", "MetricsRegistry", "metrics"]
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "metrics"]
 
 _LabelKey = tuple[tuple[str, str], ...]
 
@@ -41,6 +41,30 @@ class Counter:
         if amount < 0:
             raise ValueError("counters only go up")
         self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (current node outages, queue depth).
+
+    Unlike :class:`Counter`, negative moves are legal: health boards
+    ``inc`` on a node going down and ``dec`` when it recovers.
+    """
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: _LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
 
 
 class Histogram:
@@ -79,6 +103,7 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._counters: dict[tuple[str, _LabelKey], Counter] = {}
+        self._gauges: dict[tuple[str, _LabelKey], Gauge] = {}
         self._histograms: dict[tuple[str, _LabelKey], Histogram] = {}
 
     def counter(self, name: str, **labels: Any) -> Counter:
@@ -88,6 +113,14 @@ class MetricsRegistry:
             with self._lock:
                 counter = self._counters.setdefault(key, Counter(name, key[1]))
         return counter
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = (name, _label_key(labels))
+        gauge = self._gauges.get(key)
+        if gauge is None:
+            with self._lock:
+                gauge = self._gauges.setdefault(key, Gauge(name, key[1]))
+        return gauge
 
     def histogram(self, name: str, **labels: Any) -> Histogram:
         key = (name, _label_key(labels))
@@ -103,6 +136,11 @@ class MetricsRegistry:
         counter = self._counters.get((name, _label_key(labels)))
         return counter.value if counter is not None else 0
 
+    def gauge_value(self, name: str, **labels: Any) -> float:
+        """Current value of a gauge series (0.0 if never moved)."""
+        gauge = self._gauges.get((name, _label_key(labels)))
+        return gauge.value if gauge is not None else 0.0
+
     def snapshot(self) -> dict[str, Any]:
         """Point-in-time dump of every series, for export/inspection."""
 
@@ -112,9 +150,11 @@ class MetricsRegistry:
             rendered = ",".join(f"{k}={v}" for k, v in labels)
             return f"{name}{{{rendered}}}"
 
-        out: dict[str, Any] = {"counters": {}, "histograms": {}}
+        out: dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {}}
         for (name, labels), counter in sorted(self._counters.items()):
             out["counters"][series_name(name, labels)] = counter.value
+        for (name, labels), gauge in sorted(self._gauges.items()):
+            out["gauges"][series_name(name, labels)] = gauge.value
         for (name, labels), histogram in sorted(self._histograms.items()):
             out["histograms"][series_name(name, labels)] = {
                 "count": histogram.count,
@@ -128,6 +168,7 @@ class MetricsRegistry:
     def reset(self) -> None:
         with self._lock:
             self._counters.clear()
+            self._gauges.clear()
             self._histograms.clear()
 
 

@@ -25,23 +25,32 @@ from repro.resilience.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
 from repro.resilience.faults import (
     ENV_FAULT_RATE,
     ENV_FAULT_SEED,
+    ENV_NODE_DOWN,
+    NODE_DOWN,
+    SLOW_NODE,
     FaultInjector,
     FaultRule,
+    cluster_resilience,
     global_resilience,
 )
-from repro.resilience.retry import DEFAULT_RETRYABLE, QueryTimeout, RetryPolicy
+from repro.resilience.retry import DEFAULT_RETRYABLE, QueryTimeout, RetryPolicy, no_sleep
 
 __all__ = [
     "CLOSED",
     "DEFAULT_RETRYABLE",
     "ENV_FAULT_RATE",
     "ENV_FAULT_SEED",
+    "ENV_NODE_DOWN",
     "HALF_OPEN",
+    "NODE_DOWN",
     "OPEN",
+    "SLOW_NODE",
     "CircuitBreaker",
     "FaultInjector",
     "FaultRule",
     "QueryTimeout",
     "RetryPolicy",
+    "cluster_resilience",
     "global_resilience",
+    "no_sleep",
 ]

@@ -8,17 +8,26 @@ list of :class:`FaultRule` entries and a ``random.Random(seed)`` instance
 time), so a given injector produces the same fault sequence on every run.
 
 Hook points call :meth:`FaultInjector.before_request` with a *key* naming
-the target: connectors use their class name (``"PostgresConnector"``) and
+the target: connectors use their class name (``"PostgresConnector"``),
 the scatter-gather coordinator uses ``"<cluster-name>#shard<i>"`` per
-shard attempt.  Rules match keys by substring, so a rule can target one
-shard (``"greenplum[4]#shard2"``), a whole backend (``"greenplum"``), or
-everything (``backend=None``).
+shard attempt, and the replica-aware path appends the serving node
+(``"<cluster-name>#shard<i>@node<j>"``).  Rules match keys by substring,
+so a rule can target one shard (``"greenplum[4]#shard2"``), a whole
+backend (``"greenplum"``), or everything (``backend=None``).  Node rules
+(:data:`NODE_DOWN`, :data:`SLOW_NODE`) instead match the ``@node<j>``
+suffix exactly, so node 1 never matches node 10.
 
-Global injection: setting ``REPRO_FAULT_RATE`` (optionally
-``REPRO_FAULT_SEED``) in the environment makes every connector without an
-explicit injector run with a process-wide injector at that transient
-failure rate, paired with a default retry policy — the CI chaos job runs
-the whole test suite this way to prove retries keep it green.
+``before_request`` returns the injected latency (seconds) it charged to
+the attempt.  The replica path adds that to the engine's reported time,
+so a no-op ``sleep`` hook still drives deterministic timeout and hedging
+behaviour without wall-clock cost.
+
+Global injection: setting ``REPRO_FAULT_RATE`` and/or ``REPRO_NODE_DOWN``
+(optionally ``REPRO_FAULT_SEED``) in the environment makes every
+connector and cluster without an explicit injector run with a
+process-wide injector, paired with a default retry policy — the CI chaos
+matrix runs the whole test suite this way to prove retries and replica
+failover keep it green.
 """
 
 from __future__ import annotations
@@ -31,17 +40,21 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.errors import TransientBackendError
-from repro.resilience.retry import RetryPolicy
+from repro.resilience.retry import RetryPolicy, no_sleep
 
 #: Environment variables controlling process-wide fault injection.
 ENV_FAULT_RATE = "REPRO_FAULT_RATE"
 ENV_FAULT_SEED = "REPRO_FAULT_SEED"
+ENV_NODE_DOWN = "REPRO_NODE_DOWN"
 
 TRANSIENT = "transient"  # raise TransientBackendError (recoverable)
 DOWN = "down"  # raise TransientBackendError on *every* request (outage)
 LATENCY = "latency"  # sleep before executing (can trip QueryTimeout)
+NODE_DOWN = "node_down"  # sticky outage of one cluster node (all its replicas)
+SLOW_NODE = "slow_node"  # sticky latency on one cluster node (drives hedging)
 
-_KINDS = (TRANSIENT, DOWN, LATENCY)
+_KINDS = (TRANSIENT, DOWN, LATENCY, NODE_DOWN, SLOW_NODE)
+_NODE_KINDS = (NODE_DOWN, SLOW_NODE)
 
 
 @dataclass
@@ -53,6 +66,11 @@ class FaultRule:
     faults each request with that probability, drawn from the injector's
     seeded RNG.  ``max_faults`` caps how many faults the rule may inject
     in total; ``injected`` counts how many it has.
+
+    Node rules (``node_down``/``slow_node``) carry ``node`` and are
+    *sticky*: they fire on every request whose key ends in ``@node<n>``
+    (suffix match, so node 1 never catches node 10), modelling a machine
+    that stays dead or slow until the rule is :meth:`~FaultInjector.restore`-d.
     """
 
     backend: str | None = None
@@ -62,15 +80,22 @@ class FaultRule:
     latency_seconds: float = 0.0
     max_faults: int | None = None
     injected: int = 0
+    node: int | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
             raise ValueError(f"unknown fault kind {self.kind!r}; expected one of {_KINDS}")
         if not 0.0 <= self.rate <= 1.0:
             raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        if self.kind in _NODE_KINDS and self.node is None:
+            raise ValueError(f"{self.kind} rules need a node index")
 
     def matches(self, key: str) -> bool:
-        return self.backend is None or self.backend in key
+        if self.backend is not None and self.backend not in key:
+            return False
+        if self.node is not None:
+            return key.endswith(f"@node{self.node}")
+        return True
 
     @property
     def exhausted(self) -> bool:
@@ -127,6 +152,28 @@ class FaultInjector:
             )
         )
 
+    def node_down(self, node: int, *, backend: str | None = None) -> FaultRule:
+        """Take cluster node *node* down hard: every replica it hosts fails.
+
+        Sticky — the node stays dead until the rule is :meth:`restore`-d,
+        which is what makes replica failover (not retries) the only way a
+        query survives.
+        """
+        return self.add_rule(FaultRule(backend=backend, kind=NODE_DOWN, node=node))
+
+    def slow_node(
+        self, node: int, seconds: float, *, backend: str | None = None
+    ) -> FaultRule:
+        """Make every request served by node *node* take *seconds* longer.
+
+        Sticky latency, reported through :meth:`before_request`'s return
+        value so the replica path can hedge the slow attempt onto another
+        replica even under a no-op ``sleep`` hook.
+        """
+        return self.add_rule(
+            FaultRule(backend=backend, kind=SLOW_NODE, node=node, latency_seconds=seconds)
+        )
+
     def restore(self, rule: FaultRule) -> None:
         """Remove *rule*, e.g. to bring a downed backend back up."""
         self.rules.remove(rule)
@@ -134,23 +181,33 @@ class FaultInjector:
     # ------------------------------------------------------------------
     # The hook
     # ------------------------------------------------------------------
-    def before_request(self, key: str) -> None:
+    def before_request(self, key: str) -> float:
         """Called once per execution attempt; may sleep or raise.
 
-        Raises :class:`TransientBackendError` when a matching rule fires.
-        The request count for *key* increments first, so ``fail_first=N``
-        faults requests 1..N and lets request N+1 through.
+        Raises :class:`TransientBackendError` when a matching failure rule
+        fires, and returns the total latency (seconds) injected into this
+        attempt, so callers with a no-op ``sleep`` hook can still charge
+        the delay to the attempt's clock.  The request count for *key*
+        increments first, so ``fail_first=N`` faults requests 1..N and
+        lets request N+1 through.
         """
         self._requests[key] += 1
         count = self._requests[key]
+        injected_latency = 0.0
         for rule in self.rules:
             if rule.exhausted or not rule.matches(key):
                 continue
-            if rule.kind == LATENCY:
-                if rule.rate >= 1.0 or self._rng.random() < rule.rate:
+            if rule.kind in (LATENCY, SLOW_NODE):
+                if rule.rate >= 1.0 or rule.kind == SLOW_NODE or self._rng.random() < rule.rate:
                     rule.injected += 1
+                    injected_latency += rule.latency_seconds
                     self.sleep(rule.latency_seconds)
                 continue
+            if rule.kind == NODE_DOWN:
+                rule.injected += 1
+                raise TransientBackendError(
+                    f"injected node outage: node{rule.node} hosting {key} is down"
+                )
             if rule.kind == DOWN:
                 rule.injected += 1
                 raise TransientBackendError(f"injected outage: {key} is down")
@@ -162,6 +219,7 @@ class FaultInjector:
                 raise TransientBackendError(
                     f"injected transient failure on {key} (request #{count})"
                 )
+        return injected_latency
 
     # ------------------------------------------------------------------
     # Introspection
@@ -188,13 +246,32 @@ class FaultInjector:
 _GLOBAL: tuple[FaultInjector | None, RetryPolicy | None] | None = None
 
 
+def _env_down_nodes() -> tuple[int, ...]:
+    """Node indices named by ``REPRO_NODE_DOWN`` (comma-separated)."""
+    raw = os.environ.get(ENV_NODE_DOWN, "")
+    nodes: list[int] = []
+    for part in raw.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            nodes.append(int(part))
+        except ValueError:
+            continue
+    return tuple(nodes)
+
+
 def global_resilience() -> tuple[FaultInjector | None, RetryPolicy | None]:
     """The env-configured (injector, retry policy) pair, or ``(None, None)``.
 
     Read once per process: ``REPRO_FAULT_RATE`` > 0 enables a shared
     injector failing every connector request at that rate, paired with a
     fast default retry policy sized so that a rate ≤ 0.1 virtually never
-    exhausts the budget (0.1^6 ≈ 1e-6 per query).
+    exhausts the budget (0.1^6 ≈ 1e-6 per query).  ``REPRO_NODE_DOWN``
+    additionally (or independently) takes the named cluster nodes down
+    hard — only replica failover keeps those queries alive, which is what
+    the CI ``node_down`` chaos scenario asserts.  The shared policy uses a
+    no-op sleeper so chaos runs cost no wall-clock backoff time.
     """
     global _GLOBAL
     if _GLOBAL is None:
@@ -202,17 +279,38 @@ def global_resilience() -> tuple[FaultInjector | None, RetryPolicy | None]:
             rate = float(os.environ.get(ENV_FAULT_RATE, "") or 0.0)
         except ValueError:
             rate = 0.0
-        if rate > 0.0:
+        down_nodes = _env_down_nodes()
+        if rate > 0.0 or down_nodes:
             seed = int(os.environ.get(ENV_FAULT_SEED, "") or 2021)
-            injector = FaultInjector(seed=seed)
-            injector.transient_rate(min(rate, 1.0))
+            injector = FaultInjector(seed=seed, sleep=no_sleep)
+            if rate > 0.0:
+                injector.transient_rate(min(rate, 1.0))
+            for node in down_nodes:
+                injector.node_down(node)
             policy = RetryPolicy(
-                max_attempts=6, base_delay=0.0001, max_delay=0.002, seed=seed
+                max_attempts=6, base_delay=0.0001, max_delay=0.002, seed=seed, sleep=no_sleep
             )
             _GLOBAL = (injector, policy)
         else:
             _GLOBAL = (None, None)
     return _GLOBAL
+
+
+def cluster_resilience(
+    injector: FaultInjector | None, policy: RetryPolicy | None
+) -> tuple[FaultInjector | None, RetryPolicy | None]:
+    """Resolve a cluster's (injector, policy), falling back to the env pair.
+
+    Clusters call this at query time so the process-wide chaos
+    configuration (``REPRO_FAULT_RATE``/``REPRO_NODE_DOWN``) reaches
+    scatter-gather even when the cluster was built without explicit
+    resilience knobs.  Explicit arguments always win.
+    """
+    global_injector, global_policy = global_resilience()
+    return (
+        injector if injector is not None else global_injector,
+        policy if policy is not None else global_policy,
+    )
 
 
 def _reset_global_resilience() -> None:
@@ -225,9 +323,13 @@ __all__ = [
     "DOWN",
     "ENV_FAULT_RATE",
     "ENV_FAULT_SEED",
+    "ENV_NODE_DOWN",
     "LATENCY",
+    "NODE_DOWN",
+    "SLOW_NODE",
     "TRANSIENT",
     "FaultInjector",
     "FaultRule",
+    "cluster_resilience",
     "global_resilience",
 ]

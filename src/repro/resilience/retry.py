@@ -31,6 +31,17 @@ DEFAULT_RETRYABLE: tuple[type[BaseException], ...] = (
 )
 
 
+def no_sleep(seconds: float) -> None:
+    """A sleeper that does not sleep.
+
+    Pass as ``RetryPolicy(sleep=no_sleep)`` (or ``FaultInjector(sleep=...)``)
+    so chaos tests and the CI chaos jobs exercise full retry/backoff logic
+    without paying wall-clock time.  Backoff delays are still *computed*
+    (and deterministic via the policy's seeded jitter); they are simply not
+    slept out.
+    """
+
+
 class RetryPolicy:
     """Bounded retries with exponential backoff and seeded jitter.
 
@@ -116,4 +127,4 @@ class QueryTimeout:
         return f"QueryTimeout({self.seconds})"
 
 
-__all__ = ["DEFAULT_RETRYABLE", "QueryTimeout", "RetryPolicy"]
+__all__ = ["DEFAULT_RETRYABLE", "QueryTimeout", "RetryPolicy", "no_sleep"]

@@ -21,6 +21,10 @@ class QueryStats:
     string_store_reads: int = 0  # used by the graph engine's record layout
     retries: int = 0  # extra execution attempts spent recovering shards/queries
     failed_shards: int = 0  # shards dropped from a degraded scatter-gather
+    failovers: int = 0  # shard reads moved to another replica mid-query
+    hedges: int = 0  # hedged (raced) replica requests launched
+    hedge_wins: int = 0  # hedged requests that beat the original attempt
+    quorum_reads: int = 0  # shards answered under quorum checksum checking
     compile_cache_hits: int = 0  # compiled-query cache hits behind this result
     compile_cache_misses: int = 0  # plans that had to be compiled from scratch
     batches: int = 0  # column batches scanned by the vector engine
@@ -33,6 +37,10 @@ class QueryStats:
         self.string_store_reads += other.string_store_reads
         self.retries += other.retries
         self.failed_shards += other.failed_shards
+        self.failovers += other.failovers
+        self.hedges += other.hedges
+        self.hedge_wins += other.hedge_wins
+        self.quorum_reads += other.quorum_reads
         self.compile_cache_hits += other.compile_cache_hits
         self.compile_cache_misses += other.compile_cache_misses
         self.batches += other.batches
@@ -56,6 +64,11 @@ class ResultSet:
     ``op_profile`` is the per-operator execution profile
     (:class:`repro.obs.OpProfile`) when the query ran in analyze mode or
     under tracing; ``None`` otherwise.
+
+    ``served_by`` maps each shard (by position) to the cluster node that
+    actually answered it — under failover or hedging that may not be the
+    primary.  Empty for single-node results and the legacy
+    non-replicated path.
     """
 
     records: list[Any] = field(default_factory=list)
@@ -65,6 +78,7 @@ class ResultSet:
     partial: bool = False
     shard_attempts: tuple[int, ...] = ()
     op_profile: Any = None
+    served_by: tuple[int, ...] = ()
 
     def __len__(self) -> int:
         return len(self.records)

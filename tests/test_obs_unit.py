@@ -150,12 +150,26 @@ def test_snapshot_and_reset():
     registry = MetricsRegistry()
     registry.counter("queries_total", backend="pg").inc()
     registry.histogram("query_seconds").observe(0.25)
+    registry.gauge("nodes_down", cluster="gp").inc()
     snap = registry.snapshot()
     assert snap["counters"] == {"queries_total{backend=pg}": 1}
+    assert snap["gauges"] == {"nodes_down{cluster=gp}": 1}
     assert snap["histograms"]["query_seconds"]["count"] == 1
     assert snap["histograms"]["query_seconds"]["sum"] == 0.25
     registry.reset()
-    assert registry.snapshot() == {"counters": {}, "histograms": {}}
+    assert registry.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+def test_gauge_moves_both_ways():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("nodes_down")
+    gauge.inc()
+    gauge.inc()
+    gauge.dec()
+    assert registry.gauge_value("nodes_down") == 1
+    gauge.set(5)
+    assert registry.gauge_value("nodes_down") == 5
+    assert registry.gauge_value("never_touched") == 0.0
 
 
 # ----------------------------------------------------------------------

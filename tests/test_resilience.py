@@ -49,11 +49,17 @@ def no_sleep_policy(max_attempts: int = 3, **kwargs) -> RetryPolicy:
 
 
 def make_cluster(injector=None, policy=None, *, allow_partial=False) -> GreenplumCluster:
+    # Pin replication_factor=1 and give the cluster its own (possibly
+    # empty) injector: the exact attempt/retry counts asserted below
+    # assume the seed's single-copy layout, and must hold even when the
+    # CI chaos matrix sets REPRO_REPLICATION / REPRO_NODE_DOWN /
+    # REPRO_FAULT_RATE process-wide.
     cluster = GreenplumCluster(
         NUM_NODES,
         retry_policy=policy,
-        fault_injector=injector,
+        fault_injector=injector if injector is not None else FaultInjector(),
         allow_partial=allow_partial,
+        replication_factor=1,
     )
     records = wisconsin_records(NUM_RECORDS)
     for dataset in ("Bench.data", "Bench.data2"):
