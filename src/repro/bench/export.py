@@ -33,6 +33,8 @@ _FIELDS = (
     "nesting_depth",
     "rows_per_sec",
     "exec_engine",
+    "dispatch_mode",
+    "parallelism",
 )
 
 
@@ -55,6 +57,8 @@ def measurements_to_dicts(measurements: Sequence[Measurement]) -> list[dict]:
             "nesting_depth": m.nesting_depth,
             "rows_per_sec": m.rows_per_sec,
             "exec_engine": m.exec_engine,
+            "dispatch_mode": m.dispatch_mode,
+            "parallelism": m.parallelism,
         }
         for m in measurements
     ]
@@ -104,6 +108,8 @@ def from_json(text: str) -> list[Measurement]:
                 nesting_depth=int(row.get("nesting_depth", 0)),
                 rows_per_sec=float(row.get("rows_per_sec", 0.0)),
                 exec_engine=str(row.get("exec_engine", "")),
+                dispatch_mode=str(row.get("dispatch_mode", "")),
+                parallelism=int(row.get("parallelism", 0)),
             )
         )
     return out

@@ -54,6 +54,11 @@ class Measurement:
     and ``exec_engine`` which execution path served it (``'row'`` /
     ``'vector'``, empty for backends without the distinction) — together
     they make vector-vs-row runs comparable across ``BENCH_*.json`` files.
+
+    ``dispatch_mode`` is how cluster systems ran their shard queries
+    (``'serial'`` / ``'threads'``, ``'mixed'`` if sends disagree, empty
+    for single-node systems) and ``parallelism`` the largest number of
+    shard queries in flight at once.
     """
 
     system: str
@@ -70,6 +75,8 @@ class Measurement:
     nesting_depth: int = 0
     rows_per_sec: float = 0.0
     exec_engine: str = ""
+    dispatch_mode: str = ""
+    parallelism: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -124,11 +131,13 @@ def run_expression(
         retries, degraded, failovers, hedges = _resilience_outcomes(system, send_mark)
         compile_ms, nesting_depth = _compile_outcomes(system, compile_mark)
         rows_per_sec, exec_engine = _throughput_outcomes(system, send_mark)
+        dispatch_mode, parallelism = _dispatch_outcomes(system, send_mark)
     return Measurement(
         system.name, dataset, expr.id, STATUS_OK, creation, expression,
         retries=retries, degraded=degraded, failovers=failovers, hedges=hedges,
         compile_ms=compile_ms, nesting_depth=nesting_depth,
         rows_per_sec=rows_per_sec, exec_engine=exec_engine,
+        dispatch_mode=dispatch_mode, parallelism=parallelism,
     )
 
 
@@ -159,10 +168,11 @@ def _adjust_for_simulated_parallelism(
 ) -> float:
     """Replace real send time with the engine-reported (parallel) elapsed.
 
-    The cluster simulations execute shards sequentially in-process but
-    report the wall time an N-node cluster would observe (max over shards
-    plus merge).  For single-node engines the reported and real times are
-    the same, so this adjustment is a no-op.
+    The cluster simulations report the wall time an N-node cluster would
+    observe — under serial dispatch a simulated max-over-shards plus
+    merge, under thread dispatch the measured concurrent dispatch time.
+    For single-node engines the reported and real times are the same, so
+    this adjustment is a no-op.
     """
     if system.connector is None:
         return wall_seconds
@@ -205,6 +215,24 @@ def _throughput_outcomes(system: SystemUnderTest, send_mark: int) -> tuple[float
     engines = {record.exec_engine for record in records if record.exec_engine}
     exec_engine = engines.pop() if len(engines) == 1 else ("mixed" if engines else "")
     return rows_per_sec, exec_engine
+
+
+def _dispatch_outcomes(system: SystemUnderTest, send_mark: int) -> tuple[str, int]:
+    """Shard dispatch mode and peak parallelism of the expression's queries.
+
+    The mode is the single value every send agrees on, or ``'mixed'``;
+    both are empty/0 for single-node systems whose sends carry no
+    dispatch information.
+    """
+    if system.connector is None:
+        return "", 0
+    records = system.connector.send_log[send_mark:]
+    if not records:
+        return "", 0
+    modes = {r.dispatch_mode for r in records if getattr(r, "dispatch_mode", "")}
+    dispatch_mode = modes.pop() if len(modes) == 1 else ("mixed" if modes else "")
+    parallelism = max((getattr(r, "parallelism", 0) for r in records), default=0)
+    return dispatch_mode, parallelism
 
 
 def _compile_outcomes(system: SystemUnderTest, compile_mark: int) -> tuple[float, int]:

@@ -149,13 +149,19 @@ def build_cluster_systems(
     retry_policy: Any = None,
     hedge: Any = None,
     quorum_reads: bool = False,
+    dispatch: Any = None,
+    query_prep_overhead: float | None = None,
 ) -> dict[str, SystemUnderTest]:
     """Systems for the speedup/scaleup experiments (Figures 9 and 10).
 
     ``replication_factor``/``fault_injector``/``retry_policy``/``hedge``/
     ``quorum_reads`` flow into every cluster — the availability bench and
     the chaos tests use them to run the full benchmark suite against
-    replicated clusters under seeded faults.
+    replicated clusters under seeded faults.  ``dispatch`` selects the
+    shard dispatcher (``'serial'``/``'threads'``/a
+    :class:`~repro.cluster.dispatch.Dispatcher`); ``query_prep_overhead``
+    overrides each node's simulated per-query prep cost — the parallel
+    speedup bench raises it so real thread-level overlap is measurable.
     """
     records = _wisconsin(num_records, seed)
     systems: dict[str, SystemUnderTest] = {}
@@ -165,7 +171,10 @@ def build_cluster_systems(
         "retry_policy": retry_policy,
         "hedge": hedge,
         "quorum_reads": quorum_reads,
+        "dispatch": dispatch,
     }
+    if query_prep_overhead is not None:
+        cluster_kwargs["query_prep_overhead"] = query_prep_overhead
 
     if "PolyFrame-AsterixDB" in which:
         cluster = AsterixDBCluster(num_nodes, **cluster_kwargs)

@@ -4,16 +4,22 @@ The paper runs PolyFrame against AsterixDB, MongoDB, and Greenplum clusters
 of 1-4 EC2 nodes.  Here a cluster is N embedded engine instances ("nodes"),
 each holding a hash/round-robin shard of the data.  A query is executed on
 every shard and the partial results are merged by a query-aware combiner
-(sum of counts, min of mins, group-merge, ordered top-k merge) — the same
-scatter-gather structure a real shared-nothing cluster uses.
+(sum of counts, min of mins, group-merge, ordered top-k merge, and
+partial-state finalization for AVG/STDDEV) — the same scatter-gather
+structure a real shared-nothing cluster uses.
 
-**Timing model**: shards execute sequentially in-process (the GIL would
-serialize CPU-bound Python threads anyway), and the reported
-``elapsed_seconds`` is ``max(per-shard elapsed) + merge time`` — the wall
-time an N-node cluster would observe with perfectly parallel shards.  This
-is the documented simulation substitute for real multi-machine timing; the
-speedup/scaleup *shapes* in Figures 9 and 10 derive from exactly this
-quantity.
+**Dispatch & timing model**: *how* the per-shard queries run is a
+pluggable :class:`~repro.cluster.dispatch.Dispatcher` (``dispatch=``
+kwarg / ``REPRO_DISPATCH`` env).  The default ``serial`` dispatcher runs
+shards sequentially in-process and reports a *simulated* parallel wall
+time, ``max(per-shard elapsed) + merge time`` — the wall time an N-node
+cluster would observe with perfectly parallel shards, and the quantity
+the speedup/scaleup *shapes* in Figures 9 and 10 derive from.  The
+``threads`` dispatcher runs shards genuinely concurrently on a bounded
+worker pool and reports *measured* dispatch wall time instead (the
+engines sleep through their simulated prep overhead, releasing the GIL,
+so shard-level parallelism is real).  See
+``docs/distributed-execution.md``.
 
 Every cluster can run replicated (``replication_factor=R``): each shard
 is placed on R nodes by chained declustering
@@ -30,6 +36,13 @@ also as in the paper.
 """
 
 from repro.cluster.asterixdb_cluster import AsterixDBCluster
+from repro.cluster.dispatch import (
+    ENV_DISPATCH,
+    Dispatcher,
+    SerialDispatcher,
+    ThreadPoolDispatcher,
+    resolve_dispatcher,
+)
 from repro.cluster.greenplum import GreenplumCluster
 from repro.cluster.mongo_cluster import MongoDBCluster
 from repro.cluster.replica import (
@@ -44,8 +57,10 @@ from repro.cluster.replica import (
 )
 
 __all__ = [
+    "ENV_DISPATCH",
     "ENV_REPLICATION",
     "AsterixDBCluster",
+    "Dispatcher",
     "GreenplumCluster",
     "HedgePolicy",
     "MongoDBCluster",
@@ -53,6 +68,9 @@ __all__ = [
     "NodeHealthBoard",
     "ReplicaSet",
     "ReplicaStore",
+    "SerialDispatcher",
+    "ThreadPoolDispatcher",
     "records_checksum",
+    "resolve_dispatcher",
     "resolve_replication_factor",
 ]

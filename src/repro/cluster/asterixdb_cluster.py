@@ -5,7 +5,8 @@ from __future__ import annotations
 from typing import Any, Callable, Iterable
 
 from repro.cluster.base import scatter_gather_replicated, shard_records
-from repro.cluster.merge import spec_for_select
+from repro.cluster.dispatch import Dispatcher, resolve_dispatcher
+from repro.cluster.partial import plan_select
 from repro.cluster.replica import (
     HedgePolicy,
     NodeHealthBoard,
@@ -14,7 +15,6 @@ from repro.cluster.replica import (
     resolve_replication_factor,
 )
 from repro.resilience import CircuitBreaker, FaultInjector, RetryPolicy, cluster_resilience
-from repro.sqlengine.parser import parse
 from repro.sqlengine.result import ResultSet
 from repro.sqlpp import AsterixDB
 from repro.sqlpp.engine import DEFAULT_PREP_OVERHEAD
@@ -44,10 +44,12 @@ class AsterixDBCluster:
         hedge: HedgePolicy | None = None,
         quorum_reads: bool = False,
         breaker_factory: Callable[[int], CircuitBreaker | None] | None = None,
+        dispatch: "Dispatcher | str | None" = None,
     ) -> None:
         if num_nodes < 1:
             raise ValueError("a cluster needs at least one node")
         self.num_nodes = num_nodes
+        self.dispatcher = resolve_dispatcher(dispatch)
         self.retry_policy = retry_policy
         self.fault_injector = fault_injector
         self.allow_partial = allow_partial
@@ -119,10 +121,12 @@ class AsterixDBCluster:
     # Queries
     # ------------------------------------------------------------------
     def execute(self, query_text: str) -> ResultSet:
-        spec = spec_for_select(parse(query_text, "sqlpp"))
+        # AVG/STDDEV outputs make the shards ship partial states instead
+        # of local finals; every other query passes through byte-identical.
+        shard_query, spec = plan_select(query_text, "sqlpp")
         injector, policy = cluster_resilience(self.fault_injector, self.retry_policy)
         return scatter_gather_replicated(
-            lambda shard, node: self.store.engine(shard, node).execute(query_text),
+            lambda shard, node: self.store.engine(shard, node).execute(shard_query),
             self.replica_set,
             spec,
             health=self.health,
@@ -132,4 +136,5 @@ class AsterixDBCluster:
             fault_injector=injector,
             backend_name=self.name,
             allow_partial=self.allow_partial,
+            dispatcher=self.dispatcher,
         )

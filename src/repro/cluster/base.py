@@ -16,14 +16,24 @@ node's tracked latency estimate are *hedged* against another replica,
 and an opt-in quorum mode cross-checks replica row checksums.  A shard
 only counts as down — ``ShardFailureError`` / ``allow_partial`` drop —
 once every replica is exhausted.
+
+How the per-shard work actually runs is delegated to a pluggable
+:class:`~repro.cluster.dispatch.Dispatcher`: the default
+``SerialDispatcher`` runs shards sequentially on the calling thread and
+keeps the simulated ``max(per-shard elapsed)`` wall time, while
+``ThreadPoolDispatcher`` runs them concurrently, reports *measured*
+dispatch wall time, and turns hedging into a genuine race.  See
+``docs/distributed-execution.md``.
 """
 
 from __future__ import annotations
 
+import functools
 import time
 import zlib
 from typing import Any, Callable, Sequence
 
+from repro.cluster.dispatch import Dispatcher, resolve_dispatcher
 from repro.cluster.merge import MergeSpec, merge_records
 from repro.cluster.replica import (
     DOWN,
@@ -48,6 +58,17 @@ from repro.sqlengine.result import QueryStats, ResultSet
 DEFAULT_COORDINATOR_OVERHEAD = 0.0002
 
 
+class _ShardOutcome:
+    """Result of one shard's full retry loop in :func:`scatter_gather`."""
+
+    __slots__ = ("shard", "result", "attempts")
+
+    def __init__(self, shard: int, result: ResultSet | None, attempts: int) -> None:
+        self.shard = shard
+        self.result = result
+        self.attempts = attempts
+
+
 def scatter_gather(
     run_on_shard: Callable[[int], ResultSet],
     num_shards: int,
@@ -58,13 +79,17 @@ def scatter_gather(
     fault_injector: FaultInjector | None = None,
     backend_name: str = "",
     allow_partial: bool = False,
+    dispatcher: "Dispatcher | str | None" = None,
 ) -> ResultSet:
     """Run a query on every shard and merge the partial results.
 
-    Shards execute sequentially in-process; the returned
-    ``elapsed_seconds`` is ``max(per-shard elapsed) + merge time +
-    coordinator overhead`` — the wall time of a cluster whose shards run in
-    parallel.  See the package docstring for why this simulation is used.
+    *dispatcher* decides how the per-shard tasks run.  Under the default
+    serial dispatcher shards execute sequentially in-process and the
+    returned ``elapsed_seconds`` is ``max(per-shard elapsed) + merge time
+    + coordinator overhead`` — the wall time of a cluster whose shards run
+    in parallel.  Under a real-time dispatcher (``threads``) the shards
+    genuinely run concurrently and ``elapsed_seconds`` is the *measured*
+    dispatch wall time plus merge and overhead.
 
     Failure semantics: a shard attempt that raises a
     :class:`~repro.errors.ConnectorError` (transient faults, timeouts) is
@@ -81,10 +106,9 @@ def scatter_gather(
         raise ReproError(
             f"scatter_gather needs at least one shard, got {num_shards}"
         )
-    shard_results: list[ResultSet] = []
-    shard_attempts: list[int] = []
-    failed_shards: list[int] = []
-    for shard in range(num_shards):
+    dispatcher = resolve_dispatcher(dispatcher)
+
+    def execute_shard(shard: int) -> _ShardOutcome:
         key = f"{backend_name}#shard{shard}"
         attempt = 0
         with ambient_span("shard", shard=shard, backend=backend_name) as shard_span:
@@ -99,24 +123,40 @@ def scatter_gather(
                         retry_policy.wait(attempt)
                         continue
                     if not isinstance(exc, ConnectorError):
-                        # Engine/query errors are not shard outages; surface as-is.
+                        # Engine/query errors are not shard outages; surface
+                        # as-is — but close the span honestly first so the
+                        # trace still shows how many attempts were burned.
+                        shard_span.set(attempts=attempt, outcome="error")
                         raise
-                    shard_attempts.append(attempt)
                     if allow_partial:
-                        failed_shards.append(shard)
                         metrics.counter("shard_failures_total").inc()
                         shard_span.set(attempts=attempt, outcome="failed")
-                        break
+                        return _ShardOutcome(shard, None, attempt)
+                    shard_span.set(attempts=attempt, outcome="failed")
                     raise ShardFailureError(
                         f"shard {shard} of {backend_name or 'cluster'} failed after "
                         f"{attempt} attempt(s): {exc}",
                         shard=shard,
                         attempts=attempt,
                     ) from exc
-                shard_attempts.append(attempt)
-                shard_results.append(result)
                 shard_span.set(attempts=attempt, rows=len(result.records))
-                break
+                return _ShardOutcome(shard, result, attempt)
+
+    dispatch_started = time.perf_counter()
+    outcomes = dispatcher.map_shards(
+        [functools.partial(execute_shard, shard) for shard in range(num_shards)]
+    )
+    dispatch_elapsed = time.perf_counter() - dispatch_started
+
+    shard_results: list[ResultSet] = []
+    shard_attempts: list[int] = []
+    failed_shards: list[int] = []
+    for outcome in outcomes:
+        shard_attempts.append(outcome.attempts)
+        if outcome.result is None:
+            failed_shards.append(outcome.shard)
+        else:
+            shard_results.append(outcome.result)
     if not shard_results:
         raise ShardFailureError(
             f"every shard of {backend_name or 'cluster'} is down "
@@ -133,11 +173,13 @@ def scatter_gather(
         stats.merge(result.stats)
     stats.retries += sum(attempts - 1 for attempts in shard_attempts)
     stats.failed_shards += len(failed_shards)
-    elapsed = (
-        max(result.elapsed_seconds for result in shard_results)
-        + merge_elapsed
-        + coordinator_overhead
-    )
+    stats.dispatch_mode = dispatcher.mode
+    stats.parallelism = dispatcher.parallelism_for(num_shards)
+    if dispatcher.real_time:
+        shard_wall = dispatch_elapsed
+    else:
+        shard_wall = max(result.elapsed_seconds for result in shard_results)
+    elapsed = shard_wall + merge_elapsed + coordinator_overhead
     partial = bool(failed_shards)
     degraded = f", partial: lost shards {failed_shards}" if partial else ""
     plan = shard_results[0].plan_text
@@ -229,6 +271,33 @@ def _run_replica_attempt(
         return _ReplicaAttempt(result, None, attempt, effective)
 
 
+class _ReplicaShardOutcome:
+    """Everything one shard's failover/hedge/quorum journey produced."""
+
+    __slots__ = (
+        "shard",
+        "result",
+        "attempts",
+        "effective",
+        "served",
+        "failovers",
+        "hedges",
+        "hedge_wins",
+        "quorum_checked",
+    )
+
+    def __init__(self, shard: int) -> None:
+        self.shard = shard
+        self.result: ResultSet | None = None
+        self.attempts = 0
+        self.effective = 0.0
+        self.served = -1
+        self.failovers = 0
+        self.hedges = 0
+        self.hedge_wins = 0
+        self.quorum_checked = 0
+
+
 def scatter_gather_replicated(
     run_on_replica: Callable[[int, int], ResultSet],
     replica_set: ReplicaSet,
@@ -242,6 +311,7 @@ def scatter_gather_replicated(
     fault_injector: FaultInjector | None = None,
     backend_name: str = "",
     allow_partial: bool = False,
+    dispatcher: "Dispatcher | str | None" = None,
 ) -> ResultSet:
     """Replica-aware scatter-gather: failover, hedging, quorum checks.
 
@@ -261,25 +331,23 @@ def scatter_gather_replicated(
     *fault_injector* hooks fire once per attempt under the key
     ``"<backend_name>#shard<i>@node<j>"`` — substring rules targeting
     ``"#shard<i>"`` keep working, node rules match the ``@node<j>``
-    suffix.  Timing stays the seed's model: ``max(per-shard effective
-    time) + merge time + coordinator overhead``.
+    suffix.  Under the serial dispatcher timing stays the seed's model
+    (``max(per-shard effective time) + merge time + coordinator
+    overhead``) and hedges are simulated post-hoc from the attempt's
+    effective time.  Under a racing dispatcher (``threads``) a hedge with
+    a *fixed* ``threshold_seconds`` is a real race — the hedge launches
+    once the primary has been running that long on the wall clock, and
+    the first actual finisher wins — while adaptive (EWMA-based)
+    thresholds, which live on the simulated clock, stay post-hoc in
+    every mode; the reported wall time is measured either way.
     """
     num_shards = replica_set.num_shards
     if health is None:
         health = NodeHealthBoard(replica_set.num_nodes, cluster_name=backend_name)
+    dispatcher = resolve_dispatcher(dispatcher)
 
-    shard_results: list[ResultSet] = []
-    shard_elapsed: list[float] = []
-    shard_profiles: list[tuple[int, int, OpProfile]] = []
-    shard_attempts: list[int] = []
-    served_by: list[int] = []
-    failed_shards: list[int] = []
-    failovers = 0
-    hedges = 0
-    hedge_wins = 0
-    quorum_checked = 0
-
-    for shard in range(num_shards):
+    def execute_shard(shard: int) -> _ReplicaShardOutcome:
+        out = _ReplicaShardOutcome(shard)
         candidates = health.order(replica_set.replicas_for(shard))
         with ambient_span("shard", shard=shard, backend=backend_name) as shard_span:
             result: ResultSet | None = None
@@ -298,7 +366,7 @@ def scatter_gather_replicated(
                         last_error = CircuitOpenError(
                             f"circuit open for node{node} of {backend_name or 'cluster'}"
                         )
-                        failovers += 1
+                        out.failovers += 1
                         _count_backend("failovers_total", backend_name)
                         continue
                     key = f"{backend_name}#shard{shard}@node{node}"
@@ -310,7 +378,7 @@ def scatter_gather_replicated(
                     attempts += outcome.attempts
                     if outcome.result is None:
                         last_error = outcome.error
-                        failovers += 1
+                        out.failovers += 1
                         _count_backend("failovers_total", backend_name)
                         shard_span.add_child(
                             "failover", 0.0, shard=shard, failed_node=node
@@ -329,7 +397,7 @@ def scatter_gather_replicated(
                             shard=shard,
                             nodes=nodes,
                         )
-                    quorum_checked += 1
+                    out.quorum_checked += 1
                     served, result, _ = responses[0]
                     # A quorum read completes when its slowest member answers.
                     effective = max(eff for _, _, eff in responses)
@@ -337,7 +405,7 @@ def scatter_gather_replicated(
             else:
                 for position, node in enumerate(candidates):
                     if position > 0:
-                        failovers += 1
+                        out.failovers += 1
                         _count_backend("failovers_total", backend_name)
                         shard_span.add_child(
                             "failover", 0.0, shard=shard,
@@ -349,6 +417,109 @@ def scatter_gather_replicated(
                         )
                         continue
                     key = f"{backend_name}#shard{shard}@node{node}"
+
+                    if (
+                        hedge is not None
+                        and dispatcher.supports_racing
+                        and hedge.threshold_seconds is not None
+                    ):
+                        # Real hedging: a fixed threshold is a wall-clock
+                        # SLO, so the hedge genuinely races the
+                        # still-running primary.  Adaptive (EWMA-based)
+                        # thresholds live on the simulated clock and keep
+                        # the post-hoc path below in every dispatch mode.
+                        threshold = hedge.threshold_for(health.node(node))
+                        hedge_node = (
+                            next(
+                                (
+                                    n
+                                    for n in candidates[position + 1:]
+                                    if health.allow(n) and health.node(n).state != DOWN
+                                ),
+                                None,
+                            )
+                            if threshold is not None
+                            else None
+                        )
+                        if hedge_node is not None:
+                            hedge_key = f"{backend_name}#shard{shard}@node{hedge_node}"
+                            race = dispatcher.race(
+                                functools.partial(
+                                    _run_replica_attempt,
+                                    run_on_replica, shard, node, key,
+                                    health=health, retry_policy=retry_policy,
+                                    fault_injector=fault_injector,
+                                ),
+                                functools.partial(
+                                    _run_replica_attempt,
+                                    run_on_replica, shard, hedge_node, hedge_key,
+                                    health=health, retry_policy=None,
+                                    fault_injector=fault_injector,
+                                ),
+                                threshold,
+                            )
+                            outcome = race.primary
+                            attempts += outcome.attempts
+                            hedged: _ReplicaAttempt | None = (
+                                race.hedge_value if race.hedged else None
+                            )
+                            primary_first = race.primary_first
+                            if (
+                                hedged is None
+                                and outcome.result is not None
+                                and outcome.effective_seconds > threshold
+                            ):
+                                # The primary was only *simulatedly* slow
+                                # (injector-charged latency under a no-op
+                                # sleep hook), so the wall-clock race never
+                                # fired.  Hedge post-hoc from effective
+                                # times, like the serial dispatcher, so
+                                # deterministic chaos drives the same
+                                # hedging in both modes.
+                                hedged = _run_replica_attempt(
+                                    run_on_replica, shard, hedge_node, hedge_key,
+                                    health=health, retry_policy=None,
+                                    fault_injector=fault_injector,
+                                )
+                                primary_first = (
+                                    threshold + hedged.effective_seconds
+                                    >= outcome.effective_seconds
+                                )
+                            won = False
+                            if hedged is not None:
+                                out.hedges += 1
+                                _count_backend("hedges_total", backend_name)
+                                attempts += hedged.attempts
+                            if hedged is not None and hedged.result is not None and (
+                                outcome.result is None or not primary_first
+                            ):
+                                # The hedge genuinely finished first (or
+                                # rescued a failed primary).
+                                won = True
+                                out.hedge_wins += 1
+                                _count_backend("hedge_wins_total", backend_name)
+                                result = hedged.result
+                                served = hedge_node
+                                effective = threshold + hedged.effective_seconds
+                            elif outcome.result is not None:
+                                result = outcome.result
+                                served = node
+                                effective = outcome.effective_seconds
+                            if hedged is not None:
+                                shard_span.add_child(
+                                    "hedge",
+                                    hedged.effective_seconds * 1000.0,
+                                    shard=shard,
+                                    node=hedge_node,
+                                    win=won,
+                                )
+                            if result is None:
+                                last_error = outcome.error or (
+                                    hedged.error if hedged is not None else None
+                                )
+                                continue
+                            break
+
                     outcome = _run_replica_attempt(
                         run_on_replica, shard, node, key,
                         health=health, retry_policy=retry_policy,
@@ -362,8 +533,9 @@ def scatter_gather_replicated(
                     served = node
                     effective = outcome.effective_seconds
 
-                    # Tail-latency hedging: race a slow-but-successful
-                    # attempt against the next healthy replica.
+                    # Tail-latency hedging under serial dispatch: race a
+                    # slow-but-successful attempt against the next healthy
+                    # replica, simulated post-hoc from effective times.
                     threshold = (
                         hedge.threshold_for(health.node(node))
                         if hedge is not None
@@ -379,7 +551,7 @@ def scatter_gather_replicated(
                             None,
                         )
                         if hedge_node is not None:
-                            hedges += 1
+                            out.hedges += 1
                             _count_backend("hedges_total", backend_name)
                             hedge_key = f"{backend_name}#shard{shard}@node{hedge_node}"
                             # A hedge is a race, not a retry: one attempt only.
@@ -396,7 +568,7 @@ def scatter_gather_replicated(
                                 hedged_total = threshold + hedged.effective_seconds
                                 if hedged_total < effective:
                                     won = True
-                                    hedge_wins += 1
+                                    out.hedge_wins += 1
                                     _count_backend("hedge_wins_total", backend_name)
                                     result = hedged.result
                                     served = hedge_node
@@ -410,14 +582,13 @@ def scatter_gather_replicated(
                             )
                     break
 
-            shard_attempts.append(attempts)
+            out.attempts = attempts
             if result is None:
                 if allow_partial:
-                    failed_shards.append(shard)
-                    served_by.append(-1)
                     metrics.counter("shard_failures_total").inc()
                     shard_span.set(attempts=attempts, outcome="failed")
-                    continue
+                    return out
+                shard_span.set(attempts=attempts, outcome="failed")
                 if len(candidates) == 1:
                     message = (
                         f"shard {shard} of {backend_name or 'cluster'} failed after "
@@ -432,12 +603,43 @@ def scatter_gather_replicated(
                 raise ShardFailureError(
                     message, shard=shard, attempts=attempts
                 ) from last_error
-            shard_results.append(result)
-            shard_elapsed.append(effective)
-            served_by.append(served)
-            if result.op_profile is not None:
-                shard_profiles.append((shard, served, result.op_profile))
             shard_span.set(attempts=attempts, rows=len(result.records), node=served)
+            out.result = result
+            out.effective = effective
+            out.served = served
+            return out
+
+    dispatch_started = time.perf_counter()
+    outcomes = dispatcher.map_shards(
+        [functools.partial(execute_shard, shard) for shard in range(num_shards)]
+    )
+    dispatch_elapsed = time.perf_counter() - dispatch_started
+
+    shard_results: list[ResultSet] = []
+    shard_elapsed: list[float] = []
+    shard_profiles: list[tuple[int, int, OpProfile]] = []
+    shard_attempts: list[int] = []
+    served_by: list[int] = []
+    failed_shards: list[int] = []
+    failovers = 0
+    hedges = 0
+    hedge_wins = 0
+    quorum_checked = 0
+    for out in outcomes:
+        shard_attempts.append(out.attempts)
+        failovers += out.failovers
+        hedges += out.hedges
+        hedge_wins += out.hedge_wins
+        quorum_checked += out.quorum_checked
+        if out.result is None:
+            failed_shards.append(out.shard)
+            served_by.append(-1)
+        else:
+            shard_results.append(out.result)
+            shard_elapsed.append(out.effective)
+            served_by.append(out.served)
+            if out.result.op_profile is not None:
+                shard_profiles.append((out.shard, out.served, out.result.op_profile))
 
     if not shard_results:
         raise ShardFailureError(
@@ -459,7 +661,10 @@ def scatter_gather_replicated(
     stats.hedges += hedges
     stats.hedge_wins += hedge_wins
     stats.quorum_reads += quorum_checked
-    elapsed = max(shard_elapsed) + merge_elapsed + coordinator_overhead
+    stats.dispatch_mode = dispatcher.mode
+    stats.parallelism = dispatcher.parallelism_for(num_shards)
+    shard_wall = dispatch_elapsed if dispatcher.real_time else max(shard_elapsed)
+    elapsed = shard_wall + merge_elapsed + coordinator_overhead
     partial = bool(failed_shards)
     degraded = f", partial: lost shards {failed_shards}" if partial else ""
     plan = shard_results[0].plan_text

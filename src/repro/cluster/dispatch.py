@@ -1,0 +1,268 @@
+"""Pluggable shard dispatchers: how scatter-gather runs its shard tasks.
+
+The cluster layer used to hard-code sequential in-process shard execution
+with a simulated parallel wall time (``max`` over shards).  A
+:class:`Dispatcher` makes that policy explicit and swappable:
+
+- :class:`SerialDispatcher` preserves the seed's semantics byte-for-byte:
+  shard tasks run in order on the calling thread, a failure stops the
+  remaining shards, and the coordinator keeps reporting the simulated
+  ``max(per-shard elapsed)`` wall time.
+- :class:`ThreadPoolDispatcher` runs shard tasks truly concurrently on a
+  bounded worker pool, reports *measured* wall time, and turns replica
+  hedging from a post-hoc simulation into a real race
+  (:meth:`Dispatcher.race`).
+
+Selection: every cluster takes a ``dispatch=`` keyword (a mode string or
+a ready dispatcher instance); without one, the ``REPRO_DISPATCH``
+environment variable decides (``serial`` by default) — the same pattern
+as ``REPRO_REPLICATION``.
+
+Span context does not cross threads on its own (the span stack is
+thread-local), so both the worker-pool map and the hedge race capture the
+submitting thread's innermost span with
+:func:`~repro.obs.trace.current_context` and re-establish it on the
+worker via :func:`~repro.obs.trace.propagated_context` — shard spans nest
+under the action root no matter where they run.  See
+``docs/distributed-execution.md``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Sequence
+
+from repro.errors import ReproError
+from repro.obs.trace import current_context, propagated_context
+
+__all__ = [
+    "ENV_DISPATCH",
+    "SERIAL",
+    "THREADS",
+    "DEFAULT_MAX_WORKERS",
+    "Dispatcher",
+    "RaceResult",
+    "SerialDispatcher",
+    "ThreadPoolDispatcher",
+    "resolve_dispatcher",
+]
+
+#: Environment variable selecting the process-wide default dispatch mode.
+ENV_DISPATCH = "REPRO_DISPATCH"
+
+SERIAL = "serial"
+THREADS = "threads"
+
+#: Worker-pool bound: shard counts in the paper's experiments are 1-4, so
+#: a small fixed pool keeps thread usage predictable even when many
+#: clusters (or many client threads) dispatch at once.
+DEFAULT_MAX_WORKERS = 8
+
+
+class RaceResult:
+    """Outcome of one hedged race (:meth:`Dispatcher.race`).
+
+    ``primary`` is the primary attempt's return value.  ``hedged`` is True
+    when the hedge budget expired and the hedge callable ran;
+    ``hedge_value`` is then its return value (which may itself be ``None``
+    when the hedge found nothing to do).  ``primary_first`` says which
+    finished first in real time — the winner of the race.
+    """
+
+    __slots__ = ("primary", "hedged", "hedge_value", "primary_first")
+
+    def __init__(
+        self,
+        primary: Any,
+        hedged: bool = False,
+        hedge_value: Any = None,
+        primary_first: bool = True,
+    ) -> None:
+        self.primary = primary
+        self.hedged = hedged
+        self.hedge_value = hedge_value
+        self.primary_first = primary_first
+
+
+class Dispatcher:
+    """How a coordinator runs one query's per-shard tasks.
+
+    ``mode`` names the policy (surfaced in ``QueryStats.dispatch_mode``),
+    ``real_time`` says whether the coordinator should report measured
+    dispatch wall time (thread mode) or keep the seed's simulated
+    ``max(per-shard elapsed)`` model (serial), and ``supports_racing``
+    whether :meth:`race` runs a genuine concurrent hedge race.
+    """
+
+    mode: str = SERIAL
+    real_time: bool = False
+    supports_racing: bool = False
+
+    def parallelism_for(self, num_tasks: int) -> int:
+        """How many of *num_tasks* can run at once under this dispatcher."""
+        return 1
+
+    def map_shards(self, tasks: Sequence[Callable[[], Any]]) -> list[Any]:
+        """Run every task and return their results in task order."""
+        raise NotImplementedError
+
+    def race(
+        self,
+        primary: Callable[[], Any],
+        hedge: Callable[[], Any],
+        threshold_seconds: float,
+    ) -> RaceResult:
+        """Run *primary*, launching *hedge* if it is still unfinished after
+        *threshold_seconds* — first real finisher wins."""
+        raise NotImplementedError(f"{self.mode} dispatch cannot race attempts")
+
+
+class SerialDispatcher(Dispatcher):
+    """The seed's semantics: shards run sequentially on the calling thread.
+
+    A task that raises stops the remaining shards immediately (exactly the
+    pre-refactor control flow), and the coordinator keeps simulating the
+    parallel wall time as ``max(per-shard elapsed)``.
+    """
+
+    mode = SERIAL
+
+    def map_shards(self, tasks: Sequence[Callable[[], Any]]) -> list[Any]:
+        return [task() for task in tasks]
+
+
+class ThreadPoolDispatcher(Dispatcher):
+    """Real concurrent shard execution on a bounded worker pool.
+
+    All shard tasks are launched; results are collected in shard order.
+    When tasks fail, the lowest-indexed shard's exception is re-raised
+    after every task has finished, so error reporting is deterministic
+    regardless of thread scheduling.  The pool is created lazily and
+    reused across queries (and across client threads sharing a cluster).
+    """
+
+    mode = THREADS
+    real_time = True
+    supports_racing = True
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ReproError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers or DEFAULT_MAX_WORKERS
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+
+    def parallelism_for(self, num_tasks: int) -> int:
+        return max(1, min(num_tasks, self.max_workers))
+
+    def _executor(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            with self._pool_lock:
+                if self._pool is None:
+                    self._pool = ThreadPoolExecutor(
+                        max_workers=self.max_workers,
+                        thread_name_prefix="repro-shard",
+                    )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (tests / explicit cleanup)."""
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+    def map_shards(self, tasks: Sequence[Callable[[], Any]]) -> list[Any]:
+        tasks = list(tasks)
+        if len(tasks) <= 1:
+            return [task() for task in tasks]
+        frame = current_context()
+
+        def run(task: Callable[[], Any]) -> Any:
+            with propagated_context(frame):
+                return task()
+
+        futures = [self._executor().submit(run, task) for task in tasks]
+        results: list[Any] = []
+        first_error: BaseException | None = None
+        for future in futures:
+            try:
+                results.append(future.result())
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                if first_error is None:
+                    first_error = exc
+                results.append(None)
+        if first_error is not None:
+            raise first_error
+        return results
+
+    def race(
+        self,
+        primary: Callable[[], Any],
+        hedge: Callable[[], Any],
+        threshold_seconds: float,
+    ) -> RaceResult:
+        """A real hedge race: primary on a helper thread, hedge on this one.
+
+        The hedge launches only if the primary is still running once the
+        threshold expires.  Completion order is measured with the
+        monotonic clock; ties go to the primary.  Raw threads (not the
+        shard pool) run the primary so a fully busy pool can never
+        deadlock a race.
+        """
+        frame = current_context()
+        done = threading.Event()
+        box: dict[str, Any] = {}
+
+        def run_primary() -> None:
+            with propagated_context(frame):
+                try:
+                    box["value"] = primary()
+                except BaseException as exc:  # noqa: BLE001 - re-raised below
+                    box["error"] = exc
+                finally:
+                    box["finished_ns"] = time.perf_counter_ns()
+                    done.set()
+
+        worker = threading.Thread(
+            target=run_primary, name="repro-hedge-primary", daemon=True
+        )
+        worker.start()
+        hedged = False
+        hedge_value: Any = None
+        hedge_finished_ns = 0
+        if not done.wait(threshold_seconds):
+            hedged = True
+            hedge_value = hedge()
+            hedge_finished_ns = time.perf_counter_ns()
+        worker.join()
+        if "error" in box:
+            raise box["error"]
+        primary_first = not hedged or box["finished_ns"] <= hedge_finished_ns
+        return RaceResult(box["value"], hedged, hedge_value, primary_first)
+
+
+def resolve_dispatcher(
+    dispatch: "Dispatcher | str | None",
+    *,
+    max_workers: int | None = None,
+) -> Dispatcher:
+    """Resolve the ``dispatch=`` knob into a ready dispatcher.
+
+    Accepts a :class:`Dispatcher` instance (returned as-is), a mode string
+    (``'serial'``/``'threads'``), or ``None`` — in which case the
+    ``REPRO_DISPATCH`` environment variable decides, defaulting to serial.
+    """
+    if isinstance(dispatch, Dispatcher):
+        return dispatch
+    mode = (dispatch or os.environ.get(ENV_DISPATCH, "") or SERIAL).strip().lower()
+    if mode == SERIAL:
+        return SerialDispatcher()
+    if mode == THREADS:
+        return ThreadPoolDispatcher(max_workers=max_workers)
+    raise ReproError(
+        f"unknown dispatch mode {mode!r}; expected {SERIAL!r} or {THREADS!r}"
+    )

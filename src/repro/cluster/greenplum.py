@@ -16,7 +16,8 @@ from __future__ import annotations
 from typing import Any, Callable, Iterable
 
 from repro.cluster.base import scatter_gather_replicated, shard_records
-from repro.cluster.merge import spec_for_select
+from repro.cluster.dispatch import Dispatcher, resolve_dispatcher
+from repro.cluster.partial import plan_select
 from repro.cluster.replica import (
     HedgePolicy,
     NodeHealthBoard,
@@ -26,7 +27,6 @@ from repro.cluster.replica import (
 )
 from repro.resilience import CircuitBreaker, FaultInjector, RetryPolicy, cluster_resilience
 from repro.sqlengine import OptimizerFeatures, SQLDatabase
-from repro.sqlengine.parser import parse
 from repro.sqlengine.result import ResultSet
 
 #: Greenplum's per-query dispatch overhead (motion planning, QD→QE setup).
@@ -50,10 +50,12 @@ class GreenplumCluster:
         hedge: HedgePolicy | None = None,
         quorum_reads: bool = False,
         breaker_factory: Callable[[int], CircuitBreaker | None] | None = None,
+        dispatch: "Dispatcher | str | None" = None,
     ) -> None:
         if num_nodes < 1:
             raise ValueError("a cluster needs at least one node")
         self.num_nodes = num_nodes
+        self.dispatcher = resolve_dispatcher(dispatch)
         self.retry_policy = retry_policy
         self.fault_injector = fault_injector
         self.allow_partial = allow_partial
@@ -118,10 +120,12 @@ class GreenplumCluster:
 
     # ------------------------------------------------------------------
     def execute(self, query_text: str) -> ResultSet:
-        spec = spec_for_select(parse(query_text, "sql"))
+        # AVG/STDDEV outputs make the shards ship partial states instead
+        # of local finals; every other query passes through byte-identical.
+        shard_query, spec = plan_select(query_text, "sql")
         injector, policy = cluster_resilience(self.fault_injector, self.retry_policy)
         return scatter_gather_replicated(
-            lambda shard, node: self.store.engine(shard, node).execute(query_text),
+            lambda shard, node: self.store.engine(shard, node).execute(shard_query),
             self.replica_set,
             spec,
             health=self.health,
@@ -131,6 +135,7 @@ class GreenplumCluster:
             fault_injector=injector,
             backend_name=self.name,
             allow_partial=self.allow_partial,
+            dispatcher=self.dispatcher,
         )
 
     def explain(self, query_text: str) -> str:

@@ -4,16 +4,23 @@ Given the query that ran on every shard, derive how to combine the shard
 outputs into the global answer:
 
 - scalar ``COUNT`` → sum of partial counts; ``MIN``/``MAX``/``SUM`` →
-  min/max/sum of partials;
+  min/max/sum of partials (``SUM`` over all-NULL partials stays NULL, as
+  SQL requires);
+- ``AVG``/``STDDEV`` → *partial aggregation states*: each shard computes
+  sum, count (and sum-of-squares for STDDEV) instead of its local final,
+  the coordinator combines the partials and applies the shared finalizer
+  (:func:`~repro.exec.kernels.finalize_avg` /
+  :func:`~repro.exec.kernels.finalize_std`) — the per-shard query rewrite
+  lives in :mod:`repro.cluster.partial`;
 - ``GROUP BY`` aggregates → re-group merged records by the key columns,
   combining each aggregate output column by its function (a count of
-  counts is a sum);
+  counts is a sum), then finalize any partial states per group;
 - ``ORDER BY ... LIMIT k`` → k-way merge of the per-shard top-k lists;
 - plain record streams → concatenation (with LIMIT truncation).
 
-``AVG``/``STDDEV`` cannot be combined from per-shard finals; queries using
-them raise :class:`~repro.errors.UnsupportedOperationError` on clusters
-(the benchmark's 13 expressions never need them distributed).
+The engines fold their own AVG/STDDEV accumulators through the same
+finalizers over the same exact integer partial sums, so on integer
+columns the distributed answer is bit-identical to the single-node one.
 """
 
 from __future__ import annotations
@@ -22,7 +29,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.errors import UnsupportedOperationError
-from repro.exec.kernels import regroup_records, sort_records
+from repro.exec.kernels import finalize_avg, finalize_std, regroup_records, sort_records
 from repro.sqlengine.ast_nodes import (
     AGGREGATE_FUNCTIONS,
     ColumnRef,
@@ -31,15 +38,53 @@ from repro.sqlengine.ast_nodes import (
 )
 from repro.storage.keys import index_key
 
+
+def _combine_count(values: list[Any]) -> Any:
+    return sum(v for v in values if v is not None)
+
+
+def _combine_sum(values: list[Any]) -> Any:
+    # SQL semantics: SUM over no (non-NULL) input is NULL, not 0 — a
+    # count of zero rows is 0, but a sum of zero rows is unknown.
+    present = [v for v in values if v is not None]
+    return sum(present) if present else None
+
+
 #: How each aggregate's per-shard finals combine into the global value.
 _COMBINERS: dict[str, Callable[[list[Any]], Any]] = {
-    "COUNT": lambda values: sum(v for v in values if v is not None),
-    "SUM": lambda values: sum(v for v in values if v is not None),
+    "COUNT": _combine_count,
+    "SUM": _combine_sum,
     "MIN": lambda values: min((v for v in values if v is not None), default=None),
     "MAX": lambda values: max((v for v in values if v is not None), default=None),
 }
 
-_NOT_DECOMPOSABLE = {"AVG", "STDDEV", "STDDEV_POP"}
+#: Aggregates that distribute via partial states rather than local finals.
+_DECOMPOSED = {"AVG": "avg", "STDDEV": "std", "STDDEV_POP": "std"}
+
+
+@dataclass(frozen=True)
+class PartialColumn:
+    """One AVG/STDDEV output decomposed into per-shard partial states.
+
+    ``item_index`` is the output's position in the select list (or among
+    a ``$group`` stage's accumulators) — the query rewrite in
+    :mod:`repro.cluster.partial` uses it to splice the partial
+    expressions into the right select item.  ``sum_col``/``count_col``
+    (and ``sumsq_col`` for ``std``) name the partial columns each shard
+    returns; the coordinator combines them and applies ``finalize``.
+    """
+
+    name: str  # final output column
+    finalize: str  # 'avg' | 'std'
+    item_index: int
+    sum_col: str
+    count_col: str
+    sumsq_col: str = ""
+
+
+def partial_column_names(index: int) -> tuple[str, str, str]:
+    """The (sum, count, sum-of-squares) partial column names for item *index*."""
+    return (f"__p{index}_s", f"__p{index}_c", f"__p{index}_ss")
 
 
 @dataclass
@@ -56,6 +101,16 @@ class MergeSpec:
     # ordered_limit / concat
     order_columns: tuple[tuple[str, bool], ...] = ()  # (column, descending)
     limit: int | None = None
+    # partial aggregation: decomposed outputs plus the ordered final
+    # column list to rebuild (both empty when no output is decomposed,
+    # keeping the merge byte-identical to the pre-partial behaviour).
+    partial_outputs: tuple[PartialColumn, ...] = ()
+    output_columns: tuple[str, ...] = ()
+
+    @property
+    def needs_rewrite(self) -> bool:
+        """True when the per-shard query must ship partial aggregates."""
+        return bool(self.partial_outputs)
 
 
 def merge_records(spec: MergeSpec, shard_records: list[list[Any]]) -> list[Any]:
@@ -85,6 +140,26 @@ def _field(record: Any, column: str) -> Any:
     return record
 
 
+def _finalize_value(partial: PartialColumn, combined: dict[str, Any]) -> Any:
+    if partial.finalize == "avg":
+        return finalize_avg(combined.get(partial.sum_col), combined.get(partial.count_col))
+    return finalize_std(
+        combined.get(partial.count_col) or 0,
+        combined.get(partial.sum_col) or 0,
+        combined.get(partial.sumsq_col) or 0,
+    )
+
+
+def _finalize_record(spec: MergeSpec, combined: dict[str, Any]) -> dict[str, Any]:
+    """Rebuild one output record from combined values and partial states."""
+    by_name = {partial.name: partial for partial in spec.partial_outputs}
+    out: dict[str, Any] = {}
+    for name in spec.output_columns:
+        partial = by_name.get(name)
+        out[name] = _finalize_value(partial, combined) if partial else combined.get(name)
+    return out
+
+
 def _merge_scalar(spec: MergeSpec, shard_records: list[list[Any]]) -> list[Any]:
     partials: dict[str, list[Any]] = {name: [] for name in spec.scalar_columns}
     for records in shard_records:
@@ -96,6 +171,8 @@ def _merge_scalar(spec: MergeSpec, shard_records: list[list[Any]]) -> list[Any]:
     combined = {
         name: combiner(partials[name]) for name, combiner in spec.scalar_columns.items()
     }
+    if spec.partial_outputs:
+        combined = _finalize_record(spec, combined)
     if spec.select_value:
         return [next(iter(combined.values()))]
     return [combined]
@@ -104,7 +181,10 @@ def _merge_scalar(spec: MergeSpec, shard_records: list[list[Any]]) -> list[Any]:
 def _merge_groups(spec: MergeSpec, shard_records: list[list[Any]]) -> list[Any]:
     # The hash-grouping kernel is shared with the vector engine's
     # aggregate operator; combining per-shard finals is just a re-group.
-    return regroup_records(shard_records, spec.group_keys, spec.group_columns)
+    merged = regroup_records(shard_records, spec.group_keys, spec.group_columns)
+    if not spec.partial_outputs:
+        return merged
+    return [_finalize_record(spec, record) for record in merged]
 
 
 # ----------------------------------------------------------------------
@@ -129,43 +209,80 @@ def spec_for_select(ast: SelectQuery) -> MergeSpec:
     )
 
 
+def _decompose(
+    index: int,
+    name: str,
+    out_name: str,
+    columns: dict[str, Callable[[list[Any]], Any]],
+) -> PartialColumn:
+    """Register the partial columns for one AVG/STDDEV output."""
+    sum_col, count_col, sumsq_col = partial_column_names(index)
+    columns[sum_col] = _COMBINERS["SUM"]
+    columns[count_col] = _COMBINERS["COUNT"]
+    finalize = _DECOMPOSED[name]
+    if finalize == "std":
+        columns[sumsq_col] = _COMBINERS["SUM"]
+    else:
+        sumsq_col = ""
+    return PartialColumn(out_name, finalize, index, sum_col, count_col, sumsq_col)
+
+
 def _scalar_spec(ast: SelectQuery) -> MergeSpec:
     columns: dict[str, Callable[[list[Any]], Any]] = {}
-    for item in ast.items:
+    partial_outputs: list[PartialColumn] = []
+    output_columns: list[str] = []
+    for index, item in enumerate(ast.items):
         expr = item.expr
         if isinstance(expr, FuncCall) and expr.name.upper() in AGGREGATE_FUNCTIONS:
             name = expr.name.upper()
-            if name in _NOT_DECOMPOSABLE:
-                raise UnsupportedOperationError(
-                    f"{name} cannot be combined from per-shard results"
-                )
-            columns[item.output_name()] = _COMBINERS[name]
+            out_name = item.output_name()
+            output_columns.append(out_name)
+            if name in _DECOMPOSED:
+                partial_outputs.append(_decompose(index, name, out_name, columns))
+            else:
+                columns[out_name] = _COMBINERS[name]
         else:
             raise UnsupportedOperationError(
                 f"cannot merge non-aggregate output {expr} across shards"
             )
-    return MergeSpec(kind="scalar_agg", select_value=ast.select_value, scalar_columns=columns)
+    return MergeSpec(
+        kind="scalar_agg",
+        select_value=ast.select_value,
+        scalar_columns=columns,
+        partial_outputs=tuple(partial_outputs),
+        output_columns=tuple(output_columns) if partial_outputs else (),
+    )
 
 
 def _group_spec(ast: SelectQuery) -> MergeSpec:
     keys: list[str] = []
     columns: dict[str, Callable[[list[Any]], Any]] = {}
-    for item in ast.items:
+    partial_outputs: list[PartialColumn] = []
+    output_columns: list[str] = []
+    for index, item in enumerate(ast.items):
         expr = item.expr
         if isinstance(expr, FuncCall) and expr.name.upper() in AGGREGATE_FUNCTIONS:
             name = expr.name.upper()
-            if name in _NOT_DECOMPOSABLE:
-                raise UnsupportedOperationError(
-                    f"{name} cannot be combined from per-shard results"
-                )
-            columns[item.output_name()] = _COMBINERS[name]
+            out_name = item.output_name()
+            output_columns.append(out_name)
+            if name in _DECOMPOSED:
+                partial_outputs.append(_decompose(index, name, out_name, columns))
+            else:
+                columns[out_name] = _COMBINERS[name]
         elif isinstance(expr, ColumnRef):
             keys.append(item.output_name())
+            output_columns.append(item.output_name())
         else:
             raise UnsupportedOperationError(
                 f"cannot merge group output expression {expr} across shards"
             )
-    return MergeSpec(kind="group_agg", group_keys=tuple(keys), group_columns=columns)
+    return MergeSpec(
+        kind="group_agg",
+        group_keys=tuple(keys),
+        group_columns=columns,
+        partial_outputs=tuple(partial_outputs),
+        output_columns=tuple(output_columns) if partial_outputs else (),
+    )
 
 
 # ----------------------------------------------------------------------
@@ -177,6 +294,8 @@ _MONGO_COMBINERS = {
     "$max": _COMBINERS["MAX"],
     "$min": _COMBINERS["MIN"],
 }
+
+_MONGO_DECOMPOSED = {"$avg": "AVG", "$stdDevPop": "STDDEV_POP"}
 
 
 def spec_for_pipeline(pipeline: list[dict[str, Any]]) -> MergeSpec:
@@ -221,21 +340,31 @@ def spec_for_pipeline(pipeline: list[dict[str, Any]]) -> MergeSpec:
 def _mongo_group_spec(group: dict[str, Any]) -> MergeSpec:
     id_spec = group.get("_id")
     columns: dict[str, Callable[[list[Any]], Any]] = {}
-    for name, acc in group.items():
-        if name == "_id":
-            continue
+    partial_outputs: list[PartialColumn] = []
+    output_columns: list[str] = []
+    keys = tuple(id_spec.keys()) if isinstance(id_spec, dict) and id_spec else ()
+    output_columns.extend(keys)
+    for index, (name, acc) in enumerate(a for a in group.items() if a[0] != "_id"):
         op = next(iter(acc))
-        if op == "$avg" or op == "$stdDevPop":
-            raise UnsupportedOperationError(
-                f"{op} cannot be combined from per-shard results"
-            )
+        output_columns.append(name)
+        if op in _MONGO_DECOMPOSED:
+            partial_outputs.append(_decompose(index, _MONGO_DECOMPOSED[op], name, columns))
+            continue
         combiner = _MONGO_COMBINERS.get(op)
         if combiner is None:
             raise UnsupportedOperationError(f"cannot merge accumulator {op} across shards")
         columns[name] = combiner
-    if isinstance(id_spec, dict) and id_spec:
-        # The PolyFrame rewrite promotes _id members to top-level fields via
-        # $addFields, so merged records carry the key names directly.
-        keys = tuple(id_spec.keys())
-        return MergeSpec(kind="group_agg", group_keys=keys, group_columns=columns)
-    return MergeSpec(kind="scalar_agg", scalar_columns=columns)
+    if keys:
+        return MergeSpec(
+            kind="group_agg",
+            group_keys=keys,
+            group_columns=columns,
+            partial_outputs=tuple(partial_outputs),
+            output_columns=tuple(output_columns) if partial_outputs else (),
+        )
+    return MergeSpec(
+        kind="scalar_agg",
+        scalar_columns=columns,
+        partial_outputs=tuple(partial_outputs),
+        output_columns=tuple(output_columns) if partial_outputs else (),
+    )

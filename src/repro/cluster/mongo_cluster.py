@@ -5,7 +5,8 @@ from __future__ import annotations
 from typing import Any, Callable, Iterable
 
 from repro.cluster.base import scatter_gather_replicated, shard_records
-from repro.cluster.merge import spec_for_pipeline
+from repro.cluster.dispatch import Dispatcher, resolve_dispatcher
+from repro.cluster.partial import plan_pipeline
 from repro.cluster.replica import (
     HedgePolicy,
     NodeHealthBoard,
@@ -43,10 +44,12 @@ class MongoDBCluster:
         hedge: HedgePolicy | None = None,
         quorum_reads: bool = False,
         breaker_factory: Callable[[int], CircuitBreaker | None] | None = None,
+        dispatch: "Dispatcher | str | None" = None,
     ) -> None:
         if num_nodes < 1:
             raise ValueError("a cluster needs at least one node")
         self.num_nodes = num_nodes
+        self.dispatcher = resolve_dispatcher(dispatch)
         self.retry_policy = retry_policy
         self.fault_injector = fault_injector
         self.allow_partial = allow_partial
@@ -105,11 +108,13 @@ class MongoDBCluster:
             # A single shard holds all the data, so even $lookup is fine —
             # this matches the paper running expression 12 on one node.
             return self.nodes[0].aggregate(collection, pipeline)
-        spec = spec_for_pipeline(pipeline)
+        # $avg/$stdDevPop accumulators make the shards ship partial states
+        # instead of local finals; other pipelines pass through unchanged.
+        shard_pipeline, spec = plan_pipeline(pipeline)
         injector, policy = cluster_resilience(self.fault_injector, self.retry_policy)
         return scatter_gather_replicated(
             lambda shard, node: self.store.engine(shard, node).aggregate(
-                collection, pipeline
+                collection, shard_pipeline
             ),
             self.replica_set,
             spec,
@@ -120,4 +125,5 @@ class MongoDBCluster:
             fault_injector=injector,
             backend_name=self.name,
             allow_partial=self.allow_partial,
+            dispatcher=self.dispatcher,
         )

@@ -28,6 +28,7 @@ seed behaviour is unchanged unless replication is asked for.
 from __future__ import annotations
 
 import os
+import threading
 import zlib
 from typing import Any, Callable, Iterable, Sequence
 
@@ -259,6 +260,9 @@ class NodeHealthBoard:
             for node in range(num_nodes)
         ]
         self._gauged_down: set[int] = set()
+        # Shard attempts may run on dispatcher worker threads; EWMA and
+        # failure-streak updates are read-modify-write sequences.
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._nodes)
@@ -281,12 +285,14 @@ class NodeHealthBoard:
             self._gauge().dec()
 
     def record_success(self, node: int, latency_seconds: float) -> None:
-        self._nodes[node].record_success(latency_seconds)
-        self._sync_gauge(node)
+        with self._lock:
+            self._nodes[node].record_success(latency_seconds)
+            self._sync_gauge(node)
 
     def record_failure(self, node: int) -> None:
-        self._nodes[node].record_failure()
-        self._sync_gauge(node)
+        with self._lock:
+            self._nodes[node].record_failure()
+            self._sync_gauge(node)
 
     def allow(self, node: int) -> bool:
         return self._nodes[node].allow()
@@ -301,7 +307,8 @@ class NodeHealthBoard:
         """Rank *replicas* healthiest-first, preserving placement order
         among equals (stable sort), so the primary still serves when all
         copies are equally healthy."""
-        return tuple(sorted(replicas, key=lambda n: self._nodes[n].state_rank))
+        with self._lock:
+            return tuple(sorted(replicas, key=lambda n: self._nodes[n].state_rank))
 
 
 class HedgePolicy:

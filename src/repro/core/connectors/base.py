@@ -51,8 +51,9 @@ class SendRecord:
     ``real_seconds`` is the wall time this process spent executing the
     query (all attempts, including backoff sleeps); ``reported_seconds``
     is what the engine reports, which for the cluster simulations is the
-    *parallel* elapsed time an N-node cluster would observe (shards run
-    sequentially in-process).  The benchmark runner uses the difference to
+    parallel elapsed time an N-node cluster would observe — simulated
+    (``max`` over shards) under the serial dispatcher, measured under the
+    thread dispatcher.  The benchmark runner uses the difference to
     report cluster timings correctly.
 
     ``attempts`` counts connector-level execution attempts (1 = first try
@@ -67,6 +68,10 @@ class SendRecord:
     execution path produced the answer (``'row'`` / ``'vector'``, empty
     for engines without the distinction) — the bench layer derives
     ``rows_per_sec`` from these.
+
+    ``dispatch_mode`` records how a cluster ran its shard queries
+    (``'serial'`` / ``'threads'``, empty for single-node sends) and
+    ``parallelism`` how many were in flight at once.
     """
 
     real_seconds: float
@@ -78,6 +83,8 @@ class SendRecord:
     exec_engine: str = ""
     failovers: int = 0
     hedges: int = 0
+    dispatch_mode: str = ""
+    parallelism: int = 0
 
     @property
     def retries(self) -> int:
@@ -291,6 +298,8 @@ class DatabaseConnector(abc.ABC):
                 exec_engine=result.stats.exec_engine,
                 failovers=result.stats.failovers,
                 hedges=result.stats.hedges,
+                dispatch_mode=result.stats.dispatch_mode,
+                parallelism=result.stats.parallelism,
             )
             self.send_log.append(record)
             self._count("retries_total", record.retries)
@@ -308,6 +317,8 @@ class DatabaseConnector(abc.ABC):
                     exec_engine=record.exec_engine,
                     failovers=record.failovers,
                     hedges=record.hedges,
+                    dispatch_mode=record.dispatch_mode,
+                    parallelism=record.parallelism,
                 )
         if logger.isEnabledFor(logging.DEBUG):
             logger.debug(

@@ -12,6 +12,7 @@ through :class:`~repro.sqlengine.result.QueryStats` and cumulatively via
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Hashable
 
@@ -19,7 +20,12 @@ DEFAULT_MAX_ENTRIES = 512
 
 
 class CompiledQueryCache:
-    """A bounded LRU of compiled query text keyed by normalized plan."""
+    """A bounded LRU of compiled query text keyed by normalized plan.
+
+    Locked: a connector pointed at a cluster may compile from dispatcher
+    worker threads, and LRU reordering mutates the OrderedDict even on
+    reads.
+    """
 
     def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
         if max_entries < 1:
@@ -28,33 +34,43 @@ class CompiledQueryCache:
         self.hits = 0
         self.misses = 0
         self._entries: "OrderedDict[Hashable, tuple[str, int]]" = OrderedDict()
+        self._lock = threading.Lock()
 
     def lookup(self, key: Hashable) -> tuple[str, int] | None:
         """The cached ``(query text, nesting depth)`` for *key*, if any."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
 
     def store(self, key: Hashable, text: str, depth: int) -> None:
-        self._entries[key] = (text, depth)
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = (text, depth)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
 
     def stats(self) -> dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "entries": len(self._entries)}
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "entries": len(self._entries),
+            }
 
     def __repr__(self) -> str:
         return (

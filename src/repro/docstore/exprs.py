@@ -116,6 +116,18 @@ class ExprEvaluator:
                 raise ExecutionError("$in requires an array as its second operand")
             target = _order_key(value)
             return any(_order_key(member) == target for member in members)
+        if op == "$cond":
+            # Array form only: [if, then, else] — lazy, the untaken
+            # branch is never evaluated (matching MongoDB).
+            if not isinstance(operand, list) or len(operand) != 3:
+                raise ExecutionError("$cond takes an [if, then, else] array")
+            if_expr, then_expr, else_expr = operand
+            branch = then_expr if _truthy(self.evaluate(if_expr, doc)) else else_expr
+            return self.evaluate(branch, doc)
+        if op == "$isNumber":
+            value = self.evaluate(operand, doc)
+            # Booleans are not BSON numbers.
+            return isinstance(value, (int, float)) and not isinstance(value, bool)
         if op == "$literal":
             return operand
         raise ExecutionError(f"unknown aggregation operator {op!r}")

@@ -19,12 +19,12 @@ indexed field, matching the paper's expression-12 observation.
 
 from __future__ import annotations
 
-import math
 from typing import Any, Iterable, Iterator, TYPE_CHECKING
 
 from repro.errors import ExecutionError, UnsupportedOperationError
 from repro.docstore.collection import Collection
 from repro.docstore.exprs import ExprEvaluator, get_path
+from repro.exec.kernels import finalize_avg, finalize_std
 from repro.obs.profile import OpProfile, profiled_rows
 from repro.sqlengine.result import QueryStats
 from repro.storage.keys import SENTINEL_MISSING, index_key
@@ -551,8 +551,16 @@ class _MinMaxAcc(_Accumulator):
 
 
 class _AvgAcc(_Accumulator):
+    """Mean from exact (sum, count) partial state.
+
+    Integer sums stay integers until the shared finalizer's single
+    division — the same state and finalizer the cluster coordinator
+    combines per-shard partials through, making the distributed $avg
+    bit-identical on integer fields.
+    """
+
     def __init__(self) -> None:
-        self.total = 0.0
+        self.total: Any = 0
         self.count = 0
 
     def add(self, value: Any) -> None:
@@ -561,27 +569,31 @@ class _AvgAcc(_Accumulator):
             self.count += 1
 
     def result(self) -> Any:
-        return self.total / self.count if self.count else None
+        return finalize_avg(self.total, self.count)
 
 
 class _StdAcc(_Accumulator):
+    """$stdDevPop from (count, sum, sum-of-squares) partial state.
+
+    Decomposable form instead of Welford's recurrence: exact in integer
+    arithmetic until the finalizer, and identical to what the cluster
+    coordinator combines across shards.
+    """
+
     def __init__(self) -> None:
         self.count = 0
-        self.mean = 0.0
-        self.m2 = 0.0
+        self.total: Any = 0
+        self.total_sq: Any = 0
 
     def add(self, value: Any) -> None:
         if not isinstance(value, (int, float)) or isinstance(value, bool):
             return
         self.count += 1
-        delta = value - self.mean
-        self.mean += delta / self.count
-        self.m2 += delta * (value - self.mean)
+        self.total += value
+        self.total_sq += value * value
 
     def result(self) -> Any:
-        if self.count == 0:
-            return None
-        return math.sqrt(self.m2 / self.count)
+        return finalize_std(self.count, self.total, self.total_sq)
 
 
 def _make_accumulator(spec: dict) -> _Accumulator:

@@ -16,9 +16,41 @@ thousands of redundant expression evaluations.
 
 from __future__ import annotations
 
+import math
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.storage.keys import index_key
+
+
+def finalize_avg(total: Any, count: Any) -> Any:
+    """The mean from (sum, count) partial state; ``None`` for no values.
+
+    The single shared finalizer: engines fold their AVG accumulator state
+    through it and the cluster coordinator folds the *combined* per-shard
+    partials through it.  On integer columns both paths hand it the same
+    exact integers, so the distributed mean is bit-identical to the
+    single-node one by construction.
+    """
+    if not count:
+        return None
+    return total / count
+
+
+def finalize_std(count: Any, total: Any, total_sq: Any) -> Any:
+    """Population standard deviation from (count, sum, sum-of-squares).
+
+    Uses the decomposable form ``(n·Σx² − (Σx)²) / n²`` — exact in integer
+    arithmetic right up to the final division, which is what lets the
+    distributed STDDEV match the single-node value bit-for-bit on integer
+    columns.  Floating-point cancellation on near-constant float data can
+    push the numerator a hair below zero; clamp it.
+    """
+    if not count:
+        return None
+    variance = (count * total_sq - total * total) / (count * count)
+    if variance < 0:
+        variance = 0.0
+    return math.sqrt(variance)
 
 
 class Descending:

@@ -28,19 +28,25 @@ def _label_key(labels: dict[str, Any]) -> _LabelKey:
 
 
 class Counter:
-    """A monotonically increasing count."""
+    """A monotonically increasing count.
 
-    __slots__ = ("name", "labels", "value")
+    Mutation takes a per-series lock: ``+=`` is a read-modify-write, and
+    shard work may run on dispatcher worker threads.
+    """
+
+    __slots__ = ("name", "labels", "value", "_lock")
 
     def __init__(self, name: str, labels: _LabelKey) -> None:
         self.name = name
         self.labels = labels
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
         if amount < 0:
             raise ValueError("counters only go up")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
@@ -50,21 +56,25 @@ class Gauge:
     ``inc`` on a node going down and ``dec`` when it recovers.
     """
 
-    __slots__ = ("name", "labels", "value")
+    __slots__ = ("name", "labels", "value", "_lock")
 
     def __init__(self, name: str, labels: _LabelKey) -> None:
         self.name = name
         self.labels = labels
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
 
     def inc(self, amount: float = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
 
 class Histogram:
@@ -74,7 +84,7 @@ class Histogram:
     derived.  Observations are floats (seconds, rows, ...).
     """
 
-    __slots__ = ("name", "labels", "count", "total", "minimum", "maximum")
+    __slots__ = ("name", "labels", "count", "total", "minimum", "maximum", "_lock")
 
     def __init__(self, name: str, labels: _LabelKey) -> None:
         self.name = name
@@ -83,14 +93,16 @@ class Histogram:
         self.total = 0.0
         self.minimum: float | None = None
         self.maximum: float | None = None
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.count += 1
-        self.total += value
-        if self.minimum is None or value < self.minimum:
-            self.minimum = value
-        if self.maximum is None or value > self.maximum:
-            self.maximum = value
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.minimum is None or value < self.minimum:
+                self.minimum = value
+            if self.maximum is None or value > self.maximum:
+                self.maximum = value
 
     @property
     def mean(self) -> float:

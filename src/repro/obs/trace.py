@@ -18,6 +18,7 @@ clock, so spans are immune to clock adjustments.  See
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import threading
@@ -29,7 +30,9 @@ __all__ = [
     "Span",
     "Tracer",
     "ambient_span",
+    "current_context",
     "get_tracer",
+    "propagated_context",
     "set_global_tracer",
     "span_for",
     "tracing_active",
@@ -185,6 +188,7 @@ class Tracer:
         self.max_roots = max_roots
         self.spans: list[Span] = []
         self.dropped = 0
+        self._roots_lock = threading.Lock()
 
     def span(self, name: str, **attrs: Any):
         if not self.enabled:
@@ -193,10 +197,12 @@ class Tracer:
         return Span(name, self, parent, **attrs)
 
     def _finish_root(self, span: Span) -> None:
-        if len(self.spans) >= self.max_roots:
-            self.dropped += 1
-            return
-        self.spans.append(span)
+        # Root spans may finish on dispatcher worker threads.
+        with self._roots_lock:
+            if len(self.spans) >= self.max_roots:
+                self.dropped += 1
+                return
+            self.spans.append(span)
 
     # -- export ---------------------------------------------------------
     def to_dicts(self) -> list[dict[str, Any]]:
@@ -294,6 +300,40 @@ def _reset_global_tracer() -> None:
 def tracing_active() -> bool:
     """True when some instrumented caller is currently inside a real span."""
     return _STACK.top() is not None
+
+
+# ----------------------------------------------------------------------
+# Cross-thread context propagation
+# ----------------------------------------------------------------------
+def current_context() -> tuple[Tracer, Span] | None:
+    """The calling thread's innermost open span frame, or ``None``.
+
+    The span stack is thread-local, so work handed to another thread loses
+    its ambient parent.  Dispatchers capture this frame on the submitting
+    thread and re-establish it on the worker with
+    :func:`propagated_context`, keeping shard/attempt/hedge spans nested
+    under the action root regardless of which thread runs them.
+    """
+    return _STACK.top()
+
+
+@contextlib.contextmanager
+def propagated_context(frame: tuple[Tracer, Span] | None):
+    """Make *frame* (from :func:`current_context`) ambient on this thread.
+
+    Child spans opened inside the block append themselves to the parent
+    span's ``children`` list on exit; ``list.append`` is atomic under the
+    GIL, so siblings finishing on different worker threads do not race.
+    """
+    if frame is None:
+        yield
+        return
+    tracer, span = frame
+    _STACK.push(tracer, span)
+    try:
+        yield
+    finally:
+        _STACK.pop(span)
 
 
 # ----------------------------------------------------------------------

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import os
 import random
+import threading
 import time
 from collections import Counter
 from dataclasses import dataclass, field
@@ -113,6 +114,11 @@ class FaultInjector:
     def __post_init__(self) -> None:
         self._rng = random.Random(self.seed)
         self._requests: Counter[str] = Counter()
+        # Shard attempts may arrive on dispatcher worker threads; the
+        # request counter, the rng, and per-rule tallies are all
+        # read-modify-write state.  Sleeps happen outside the lock so
+        # latency injection never serializes concurrent shards.
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Rule construction
@@ -191,34 +197,46 @@ class FaultInjector:
         increments first, so ``fail_first=N`` faults requests 1..N and
         lets request N+1 through.
         """
-        self._requests[key] += 1
-        count = self._requests[key]
+        failure: TransientBackendError | None = None
         injected_latency = 0.0
-        for rule in self.rules:
-            if rule.exhausted or not rule.matches(key):
-                continue
-            if rule.kind in (LATENCY, SLOW_NODE):
-                if rule.rate >= 1.0 or rule.kind == SLOW_NODE or self._rng.random() < rule.rate:
+        with self._lock:
+            self._requests[key] += 1
+            count = self._requests[key]
+            for rule in self.rules:
+                if rule.exhausted or not rule.matches(key):
+                    continue
+                if rule.kind in (LATENCY, SLOW_NODE):
+                    if (
+                        rule.rate >= 1.0
+                        or rule.kind == SLOW_NODE
+                        or self._rng.random() < rule.rate
+                    ):
+                        rule.injected += 1
+                        injected_latency += rule.latency_seconds
+                    continue
+                if rule.kind == NODE_DOWN:
                     rule.injected += 1
-                    injected_latency += rule.latency_seconds
-                    self.sleep(rule.latency_seconds)
-                continue
-            if rule.kind == NODE_DOWN:
-                rule.injected += 1
-                raise TransientBackendError(
-                    f"injected node outage: node{rule.node} hosting {key} is down"
-                )
-            if rule.kind == DOWN:
-                rule.injected += 1
-                raise TransientBackendError(f"injected outage: {key} is down")
-            # TRANSIENT
-            if (rule.fail_first and count <= rule.fail_first) or (
-                rule.rate and self._rng.random() < rule.rate
-            ):
-                rule.injected += 1
-                raise TransientBackendError(
-                    f"injected transient failure on {key} (request #{count})"
-                )
+                    failure = TransientBackendError(
+                        f"injected node outage: node{rule.node} hosting {key} is down"
+                    )
+                    break
+                if rule.kind == DOWN:
+                    rule.injected += 1
+                    failure = TransientBackendError(f"injected outage: {key} is down")
+                    break
+                # TRANSIENT
+                if (rule.fail_first and count <= rule.fail_first) or (
+                    rule.rate and self._rng.random() < rule.rate
+                ):
+                    rule.injected += 1
+                    failure = TransientBackendError(
+                        f"injected transient failure on {key} (request #{count})"
+                    )
+                    break
+        if injected_latency:
+            self.sleep(injected_latency)
+        if failure is not None:
+            raise failure
         return injected_latency
 
     # ------------------------------------------------------------------
@@ -234,10 +252,11 @@ class FaultInjector:
 
     def reset(self) -> None:
         """Forget request counts and per-rule fault tallies (rules stay)."""
-        self._requests.clear()
-        self._rng = random.Random(self.seed)
-        for rule in self.rules:
-            rule.injected = 0
+        with self._lock:
+            self._requests.clear()
+            self._rng = random.Random(self.seed)
+            for rule in self.rules:
+                rule.injected = 0
 
 
 # ----------------------------------------------------------------------

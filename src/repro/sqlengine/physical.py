@@ -14,12 +14,11 @@ results.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Any, Iterator
 
 from repro.errors import ExecutionError, PlanningError
-from repro.exec.kernels import Descending, sort_records
+from repro.exec.kernels import Descending, finalize_avg, finalize_std, sort_records
 from repro.sqlengine.ast_nodes import (
     Expression,
     FuncCall,
@@ -800,8 +799,17 @@ class _Sum(_Accumulator):
 
 
 class _Avg(_Accumulator):
+    """Mean from exact (sum, count) partial state.
+
+    The sum starts at integer ``0`` so integer inputs accumulate exactly;
+    the final division happens once, in the shared finalizer — the same
+    state and finalizer the cluster coordinator combines per-shard
+    partials through, which is what makes the distributed AVG
+    bit-identical on integer columns.
+    """
+
     def __init__(self) -> None:
-        self.total = 0.0
+        self.total: Any = 0
         self.count = 0
 
     def add(self, value: Any) -> None:
@@ -819,29 +827,40 @@ class _Avg(_Accumulator):
         self.count += len(present)
 
     def result(self) -> float | None:
-        return self.total / self.count if self.count else None
+        return finalize_avg(self.total, self.count)
 
 
 class _Std(_Accumulator):
-    """Population standard deviation via Welford's online algorithm."""
+    """Population standard deviation from (count, sum, sum-of-squares).
+
+    Decomposable partial state instead of Welford's recurrence: exact in
+    integer arithmetic until the finalizer's single division, and the
+    identical state the cluster coordinator combines across shards.
+    """
 
     def __init__(self) -> None:
         self.count = 0
-        self.mean = 0.0
-        self.m2 = 0.0
+        self.total: Any = 0
+        self.total_sq: Any = 0
 
     def add(self, value: Any) -> None:
         if value is None or value is SENTINEL_MISSING:
             return
         self.count += 1
-        delta = value - self.mean
-        self.mean += delta / self.count
-        self.m2 += delta * (value - self.mean)
+        self.total += value
+        self.total_sq += value * value
+
+    def add_many(self, values: list[Any]) -> None:
+        present = [
+            value for value in values
+            if value is not None and value is not SENTINEL_MISSING
+        ]
+        self.count += len(present)
+        self.total += sum(present)
+        self.total_sq += sum(value * value for value in present)
 
     def result(self) -> float | None:
-        if self.count == 0:
-            return None
-        return math.sqrt(self.m2 / self.count)
+        return finalize_std(self.count, self.total, self.total_sq)
 
 
 def make_accumulator(call: FuncCall) -> _Accumulator:

@@ -29,6 +29,8 @@ class QueryStats:
     compile_cache_misses: int = 0  # plans that had to be compiled from scratch
     batches: int = 0  # column batches scanned by the vector engine
     exec_engine: str = ""  # 'row' | 'vector'; 'mixed' after merging both
+    dispatch_mode: str = ""  # 'serial' | 'threads'; 'mixed' after merging both
+    parallelism: int = 0  # max shard queries in flight at once (0 = single node)
 
     def merge(self, other: "QueryStats") -> None:
         self.heap_fetches += other.heap_fetches
@@ -49,6 +51,12 @@ class QueryStats:
                 self.exec_engine = other.exec_engine
             elif self.exec_engine != other.exec_engine:
                 self.exec_engine = "mixed"
+        if other.dispatch_mode:
+            if not self.dispatch_mode:
+                self.dispatch_mode = other.dispatch_mode
+            elif self.dispatch_mode != other.dispatch_mode:
+                self.dispatch_mode = "mixed"
+        self.parallelism = max(self.parallelism, other.parallelism)
 
 
 @dataclass

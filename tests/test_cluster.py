@@ -9,7 +9,7 @@ from hypothesis import strategies as st
 from repro import AsterixDBConnector, MongoDBConnector, PolyFrame, PostgresConnector
 from repro.cluster import AsterixDBCluster, GreenplumCluster, MongoDBCluster
 from repro.cluster.base import round_robin_shards, shard_records
-from repro.cluster.merge import MergeSpec, merge_records, spec_for_pipeline, spec_for_select
+from repro.cluster.merge import merge_records, spec_for_pipeline, spec_for_select
 from repro.errors import UnsupportedOperationError
 from repro.sqlengine.parser import parse
 from repro.wisconsin import wisconsin_records
@@ -56,9 +56,39 @@ class TestMergeSpecs:
         merged = merge_records(spec, [[{"max": 9, "min": 2}], [{"max": 4, "min": 0}]])
         assert merged == [{"max": 9, "min": 0}]
 
-    def test_avg_not_decomposable(self):
-        with pytest.raises(UnsupportedOperationError):
-            spec_for_select(parse("SELECT AVG(a) FROM t x", "sql"))
+    def test_avg_decomposes_into_partials(self):
+        spec = spec_for_select(parse("SELECT AVG(a) FROM t x", "sql"))
+        assert spec.needs_rewrite
+        partial = spec.partial_outputs[0]
+        merged = merge_records(
+            spec,
+            [
+                [{partial.sum_col: 6, partial.count_col: 2}],
+                [{partial.sum_col: 3, partial.count_col: 1}],
+            ],
+        )
+        assert merged == [{"avg": 3.0}]
+
+    def test_avg_merge_ignores_empty_shards(self):
+        spec = spec_for_select(parse("SELECT AVG(a) FROM t x", "sql"))
+        partial = spec.partial_outputs[0]
+        merged = merge_records(
+            spec,
+            [
+                [{partial.sum_col: 10, partial.count_col: 4}],
+                [{partial.sum_col: None, partial.count_col: 0}],
+            ],
+        )
+        assert merged == [{"avg": 2.5}]
+
+    def test_sum_merge_all_null_is_null(self):
+        # SQL semantics: SUM over zero qualifying rows is NULL, not 0 —
+        # a cluster where every shard reports NULL must not invent a 0.
+        spec = spec_for_select(parse("SELECT SUM(a) FROM t x", "sql"))
+        merged = merge_records(spec, [[{"sum": None}], [{"sum": None}]])
+        assert merged == [{"sum": None}]
+        merged = merge_records(spec, [[{"sum": None}], [{"sum": 7}]])
+        assert merged == [{"sum": 7}]
 
     def test_group_merge(self):
         spec = spec_for_select(
@@ -112,9 +142,18 @@ class TestMergeSpecs:
         with pytest.raises(UnsupportedOperationError):
             spec_for_pipeline([{"$lookup": {"from": "x", "as": "y"}}])
 
-    def test_pipeline_avg_rejected(self):
-        with pytest.raises(UnsupportedOperationError):
-            spec_for_pipeline([{"$group": {"_id": {}, "a": {"$avg": "$v"}}}])
+    def test_pipeline_avg_decomposes_into_partials(self):
+        spec = spec_for_pipeline([{"$group": {"_id": {}, "a": {"$avg": "$v"}}}])
+        assert spec.needs_rewrite
+        partial = spec.partial_outputs[0]
+        merged = merge_records(
+            spec,
+            [
+                [{partial.sum_col: 8, partial.count_col: 2}],
+                [{partial.sum_col: 1, partial.count_col: 1}],
+            ],
+        )
+        assert merged == [{"a": 3.0}]
 
 
 @pytest.fixture(scope="module")
@@ -208,6 +247,27 @@ class TestClusterParity:
         af = PolyFrame("B", "data", MongoDBConnector(mg))
         with pytest.raises(UnsupportedOperationError):
             len(af.merge(af, left_on="unique1", right_on="unique1"))
+
+    def test_distributed_avg_and_std_match_single_node(self, loaded_clusters):
+        # AVG/STDDEV now ship partial states (sum, count, sum of squares)
+        # from the shards; the finalized answers must equal a single
+        # node's bit-for-bit on integer columns (exact integer partials).
+        records, adb, gp, mg = loaded_clusters
+        from repro.exec.kernels import finalize_avg, finalize_std
+
+        values = [r["four"] for r in records]
+        expected_avg = finalize_avg(sum(values), len(values))
+        expected_std = finalize_std(
+            len(values), sum(values), sum(v * v for v in values)
+        )
+        for connector in (
+            AsterixDBConnector(adb),
+            PostgresConnector(gp),
+            MongoDBConnector(mg),
+        ):
+            af = PolyFrame("B", "data", connector)
+            assert af["four"].mean() == expected_avg
+            assert af["four"].std() == expected_std
 
     def test_simulated_elapsed_is_max_plus_merge(self, loaded_clusters):
         records, adb, gp, mg = loaded_clusters

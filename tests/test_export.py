@@ -19,6 +19,7 @@ def sample():
         Measurement(
             "PolyFrame-PostgreSQL", "S", 4, "ok", 0.0002, 0.004,
             rows_per_sec=250_000.0, exec_engine="vector",
+            dispatch_mode="threads", parallelism=4,
         ),
     ]
 
@@ -41,7 +42,9 @@ def test_csv_has_header_and_rows():
     text = to_csv(sample())
     lines = text.strip().splitlines()
     assert lines[0].startswith("system,dataset,expression_id")
-    assert lines[0].endswith("compile_ms,nesting_depth,rows_per_sec,exec_engine")
+    assert lines[0].endswith(
+        "compile_ms,nesting_depth,rows_per_sec,exec_engine,dispatch_mode,parallelism"
+    )
     assert len(lines) == 5
     assert "PolyFrame-Neo4j" in lines[2]
 
@@ -64,6 +67,8 @@ def test_throughput_columns_round_trip():
     rehydrated = from_json(to_json(sample()))
     assert rehydrated[3].rows_per_sec == 250_000.0
     assert rehydrated[3].exec_engine == "vector"
+    assert rehydrated[3].dispatch_mode == "threads"
+    assert rehydrated[3].parallelism == 4
     # Older exports without the columns rehydrate with defaults.
     legacy = json.loads(to_json(sample()[:1]))
     for row in legacy:

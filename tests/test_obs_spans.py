@@ -171,3 +171,34 @@ def test_disabled_tracer_hands_out_noop_span(request, postgres):
     connector.set_tracer(tracer)
     PolyFrame("Bench", "data", connector).head(2)
     assert tracer.spans == []
+
+
+@pytest.mark.parametrize("mode", ["serial", "threads"])
+def test_cluster_shard_spans_nest_under_attempt(mode):
+    """Shard spans stay nested under the action tree in both dispatch modes.
+
+    The span stack is thread-local, so without context propagation the
+    thread dispatcher's shard spans would surface as stray roots instead
+    of children of the connector's attempt span.
+    """
+    from repro.cluster import GreenplumCluster
+    from repro.wisconsin import wisconsin_records
+
+    cluster = GreenplumCluster(4, query_prep_overhead=0.0, dispatch=mode)
+    cluster.create_table("B.data", primary_key="unique2")
+    cluster.insert("B.data", wisconsin_records(80), shard_key="unique1")
+    connector = PostgresConnector(cluster)
+    tracer = Tracer()
+    connector.set_tracer(tracer)
+    df = PolyFrame("B", "data", connector)
+    assert len(df) == 80
+    assert len(tracer.spans) == 1, "worker threads leaked stray root spans"
+    (root,) = tracer.spans
+    (dispatch,) = root.find("dispatch")
+    assert dispatch.attributes["dispatch_mode"] == mode
+    (attempt,) = dispatch.find("attempt")
+    shards = attempt.find("shard")
+    assert sorted(s.attributes["shard"] for s in shards) == [0, 1, 2, 3]
+    for shard in shards:
+        (execute,) = shard.find("execute")
+        assert execute.attributes["rows"] >= 0
