@@ -35,6 +35,8 @@ _FIELDS = (
     "exec_engine",
     "dispatch_mode",
     "parallelism",
+    "peak_mem_bytes",
+    "spill_bytes",
 )
 
 
@@ -59,6 +61,8 @@ def measurements_to_dicts(measurements: Sequence[Measurement]) -> list[dict]:
             "exec_engine": m.exec_engine,
             "dispatch_mode": m.dispatch_mode,
             "parallelism": m.parallelism,
+            "peak_mem_bytes": m.peak_mem_bytes,
+            "spill_bytes": m.spill_bytes,
         }
         for m in measurements
     ]
@@ -110,6 +114,8 @@ def from_json(text: str) -> list[Measurement]:
                 exec_engine=str(row.get("exec_engine", "")),
                 dispatch_mode=str(row.get("dispatch_mode", "")),
                 parallelism=int(row.get("parallelism", 0)),
+                peak_mem_bytes=int(row.get("peak_mem_bytes", 0)),
+                spill_bytes=int(row.get("spill_bytes", 0)),
             )
         )
     return out

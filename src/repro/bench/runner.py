@@ -59,6 +59,12 @@ class Measurement:
     (``'serial'`` / ``'threads'``, ``'mixed'`` if sends disagree, empty
     for single-node systems) and ``parallelism`` the largest number of
     shard queries in flight at once.
+
+    ``peak_mem_bytes`` is the largest accounted operator memory any
+    single send of the expression reached, and ``spill_bytes`` the total
+    bytes its queries wrote to disk spill runs — both 0 for the eager
+    baseline and for runs without a memory budget engaged (see
+    ``docs/memory.md``).
     """
 
     system: str
@@ -77,6 +83,8 @@ class Measurement:
     exec_engine: str = ""
     dispatch_mode: str = ""
     parallelism: int = 0
+    peak_mem_bytes: int = 0
+    spill_bytes: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -132,12 +140,14 @@ def run_expression(
         compile_ms, nesting_depth = _compile_outcomes(system, compile_mark)
         rows_per_sec, exec_engine = _throughput_outcomes(system, send_mark)
         dispatch_mode, parallelism = _dispatch_outcomes(system, send_mark)
+        peak_mem_bytes, spill_bytes = _memory_outcomes(system, send_mark)
     return Measurement(
         system.name, dataset, expr.id, STATUS_OK, creation, expression,
         retries=retries, degraded=degraded, failovers=failovers, hedges=hedges,
         compile_ms=compile_ms, nesting_depth=nesting_depth,
         rows_per_sec=rows_per_sec, exec_engine=exec_engine,
         dispatch_mode=dispatch_mode, parallelism=parallelism,
+        peak_mem_bytes=peak_mem_bytes, spill_bytes=spill_bytes,
     )
 
 
@@ -233,6 +243,20 @@ def _dispatch_outcomes(system: SystemUnderTest, send_mark: int) -> tuple[str, in
     dispatch_mode = modes.pop() if len(modes) == 1 else ("mixed" if modes else "")
     parallelism = max((getattr(r, "parallelism", 0) for r in records), default=0)
     return dispatch_mode, parallelism
+
+
+def _memory_outcomes(system: SystemUnderTest, send_mark: int) -> tuple[int, int]:
+    """Peak accounted memory and total spill volume of the expression.
+
+    Queries run one at a time within an expression, so the expression's
+    peak is the largest single-send peak; spill volume is additive.
+    """
+    if system.connector is None:
+        return 0, 0
+    records = system.connector.send_log[send_mark:]
+    peak = max((getattr(r, "peak_mem_bytes", 0) for r in records), default=0)
+    spill = sum(getattr(r, "spill_bytes", 0) for r in records)
+    return peak, spill
 
 
 def _compile_outcomes(system: SystemUnderTest, compile_mark: int) -> tuple[float, int]:

@@ -45,6 +45,7 @@ class AsterixDBCluster:
         quorum_reads: bool = False,
         breaker_factory: Callable[[int], CircuitBreaker | None] | None = None,
         dispatch: "Dispatcher | str | None" = None,
+        memory_budget: int | str | None = None,
     ) -> None:
         if num_nodes < 1:
             raise ValueError("a cluster needs at least one node")
@@ -60,7 +61,9 @@ class AsterixDBCluster:
         def make_engine(shard: int, node: int) -> AsterixDB:
             suffix = f"node{node}" if node == shard else f"node{node}-r{shard}"
             return AsterixDB(
-                query_prep_overhead=query_prep_overhead, name=f"asterixdb-{suffix}"
+                query_prep_overhead=query_prep_overhead,
+                name=f"asterixdb-{suffix}",
+                memory_budget=memory_budget,
             )
 
         self.store = ReplicaStore(self.replica_set, make_engine)
@@ -120,13 +123,18 @@ class AsterixDBCluster:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def execute(self, query_text: str) -> ResultSet:
+    def execute(self, query_text: str, *, stream: bool = False) -> ResultSet:
         # AVG/STDDEV outputs make the shards ship partial states instead
         # of local finals; every other query passes through byte-identical.
         shard_query, spec = plan_select(query_text, "sqlpp")
         injector, policy = cluster_resilience(self.fault_injector, self.retry_policy)
+        # Tests stub shard engines with plain callables, so only pass the
+        # streaming knob through when it is actually on.
+        shard_kwargs = {"stream": True} if stream else {}
         return scatter_gather_replicated(
-            lambda shard, node: self.store.engine(shard, node).execute(shard_query),
+            lambda shard, node: self.store.engine(shard, node).execute(
+                shard_query, **shard_kwargs
+            ),
             self.replica_set,
             spec,
             health=self.health,
@@ -137,4 +145,5 @@ class AsterixDBCluster:
             backend_name=self.name,
             allow_partial=self.allow_partial,
             dispatcher=self.dispatcher,
+            stream=stream,
         )

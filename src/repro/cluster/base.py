@@ -34,7 +34,7 @@ import zlib
 from typing import Any, Callable, Sequence
 
 from repro.cluster.dispatch import Dispatcher, resolve_dispatcher
-from repro.cluster.merge import MergeSpec, merge_records
+from repro.cluster.merge import MergeSpec, merge_record_stream, merge_records
 from repro.cluster.replica import (
     DOWN,
     HedgePolicy,
@@ -52,10 +52,55 @@ from repro.errors import (
 from repro.obs import ambient_span, metrics
 from repro.obs.profile import OpProfile
 from repro.resilience import FaultInjector, RetryPolicy
-from repro.sqlengine.result import QueryStats, ResultSet
+from repro.sqlengine.result import QueryStats, ResultSet, StreamingResultSet
 
 #: Simulated per-query coordinator cost (shipping plans, gathering results).
 DEFAULT_COORDINATOR_OVERHEAD = 0.0002
+
+
+def _stream_supported(
+    stream: bool, spec: MergeSpec, shard_results: Sequence[ResultSet]
+) -> bool:
+    """Whether this gather can return a lazily merged record stream.
+
+    Only the record-stream merge kinds qualify — the blocking kinds
+    (``scalar_agg``/``group_agg``) need every shard's partials before any
+    output exists.  Analyze/tracing mode (shard op profiles present)
+    forces materialization, the documented fallback, because the
+    coordinator profile needs the merged row count.
+    """
+    return (
+        stream
+        and spec.kind in ("concat", "ordered_limit")
+        and all(result.op_profile is None for result in shard_results)
+    )
+
+
+def _merge_stream_with_stats(
+    spec: MergeSpec,
+    sources: Sequence[Any],
+    stats: QueryStats,
+    shard_results: Sequence[ResultSet],
+):
+    """Lazily merge shard streams; fold shard stats in once drained.
+
+    Shard-side stats (rows examined, memory peaks, spill counters)
+    accumulate while their pipelines drain, so merging them any earlier
+    would capture zeros from still-streaming shards.  Before folding,
+    every shard source is explicitly closed: a LIMIT-satisfied merge
+    abandons shard streams mid-flight, and closing them runs the
+    pipelines' cleanup (budget release, stats stamping) deterministically
+    rather than at garbage collection.
+    """
+    try:
+        yield from merge_record_stream(spec, sources)
+    finally:
+        for source in sources:
+            close = getattr(source, "close", None)
+            if close is not None:
+                close()
+        for result in shard_results:
+            stats.merge(result.stats)
 
 
 class _ShardOutcome:
@@ -80,8 +125,16 @@ def scatter_gather(
     backend_name: str = "",
     allow_partial: bool = False,
     dispatcher: "Dispatcher | str | None" = None,
+    stream: bool = False,
 ) -> ResultSet:
     """Run a query on every shard and merge the partial results.
+
+    With ``stream=True`` and a record-stream merge kind the returned
+    result drains lazily: per-shard record streams flow through the
+    dispatcher (bounded per-shard queues under ``threads`` — real
+    backpressure) into the k-way merge, and nothing is buffered whole at
+    the coordinator.  Blocking merges and analyze mode materialize — the
+    documented fallback.
 
     *dispatcher* decides how the per-shard tasks run.  Under the default
     serial dispatcher shards execute sequentially in-process and the
@@ -139,7 +192,12 @@ def scatter_gather(
                         shard=shard,
                         attempts=attempt,
                     ) from exc
-                shard_span.set(attempts=attempt, rows=len(result.records))
+                if shard_span.recording:
+                    # Row counts force a streaming shard result to
+                    # materialize, so only touch them under tracing.
+                    shard_span.set(attempts=attempt, rows=len(result.records))
+                else:
+                    shard_span.set(attempts=attempt)
                 return _ShardOutcome(shard, result, attempt)
 
     dispatch_started = time.perf_counter()
@@ -164,13 +222,7 @@ def scatter_gather(
             attempts=sum(shard_attempts),
         )
 
-    merge_started = time.perf_counter()
-    merged = merge_records(spec, [result.records for result in shard_results])
-    merge_elapsed = time.perf_counter() - merge_started
-
     stats = QueryStats()
-    for result in shard_results:
-        stats.merge(result.stats)
     stats.retries += sum(attempts - 1 for attempts in shard_attempts)
     stats.failed_shards += len(failed_shards)
     stats.dispatch_mode = dispatcher.mode
@@ -179,10 +231,30 @@ def scatter_gather(
         shard_wall = dispatch_elapsed
     else:
         shard_wall = max(result.elapsed_seconds for result in shard_results)
-    elapsed = shard_wall + merge_elapsed + coordinator_overhead
     partial = bool(failed_shards)
     degraded = f", partial: lost shards {failed_shards}" if partial else ""
     plan = shard_results[0].plan_text
+    plan_text = f"scatter-gather[{num_shards} shards, {spec.kind}{degraded}]\n{plan}"
+
+    if _stream_supported(stream, spec, shard_results):
+        sources = dispatcher.stream_shards(
+            [result.iter_records() for result in shard_results]
+        )
+        return StreamingResultSet(
+            _merge_stream_with_stats(spec, sources, stats, shard_results),
+            stats=stats,
+            plan_text=plan_text,
+            elapsed_seconds=shard_wall + coordinator_overhead,
+            partial=partial,
+            shard_attempts=tuple(shard_attempts),
+        )
+
+    merge_started = time.perf_counter()
+    merged = merge_records(spec, [result.records for result in shard_results])
+    merge_elapsed = time.perf_counter() - merge_started
+    for result in shard_results:
+        stats.merge(result.stats)
+    elapsed = shard_wall + merge_elapsed + coordinator_overhead
     op_profile = None
     if any(result.op_profile is not None for result in shard_results):
         # Analyze mode ran on the shards: roll their operator profiles up
@@ -199,7 +271,7 @@ def scatter_gather(
     return ResultSet(
         records=merged,
         stats=stats,
-        plan_text=f"scatter-gather[{num_shards} shards, {spec.kind}{degraded}]\n{plan}",
+        plan_text=plan_text,
         elapsed_seconds=elapsed,
         partial=partial,
         shard_attempts=tuple(shard_attempts),
@@ -312,8 +384,13 @@ def scatter_gather_replicated(
     backend_name: str = "",
     allow_partial: bool = False,
     dispatcher: "Dispatcher | str | None" = None,
+    stream: bool = False,
 ) -> ResultSet:
     """Replica-aware scatter-gather: failover, hedging, quorum checks.
+
+    ``stream=True`` behaves as in :func:`scatter_gather`; quorum reads
+    additionally materialize shard results (their row checksums need the
+    full records) before the merged stream is assembled.
 
     For each shard, its replicas are tried healthiest-first
     (:meth:`NodeHealthBoard.order`); a replica whose retry budget is
@@ -603,7 +680,12 @@ def scatter_gather_replicated(
                 raise ShardFailureError(
                     message, shard=shard, attempts=attempts
                 ) from last_error
-            shard_span.set(attempts=attempts, rows=len(result.records), node=served)
+            if shard_span.recording:
+                # Row counts force a streaming shard result to
+                # materialize, so only touch them under tracing.
+                shard_span.set(attempts=attempts, rows=len(result.records), node=served)
+            else:
+                shard_span.set(attempts=attempts, node=served)
             out.result = result
             out.effective = effective
             out.served = served
@@ -648,13 +730,7 @@ def scatter_gather_replicated(
             attempts=sum(shard_attempts),
         )
 
-    merge_started = time.perf_counter()
-    merged = merge_records(spec, [result.records for result in shard_results])
-    merge_elapsed = time.perf_counter() - merge_started
-
     stats = QueryStats()
-    for result in shard_results:
-        stats.merge(result.stats)
     stats.retries += sum(attempts - 1 for attempts in shard_attempts)
     stats.failed_shards += len(failed_shards)
     stats.failovers += failovers
@@ -664,10 +740,31 @@ def scatter_gather_replicated(
     stats.dispatch_mode = dispatcher.mode
     stats.parallelism = dispatcher.parallelism_for(num_shards)
     shard_wall = dispatch_elapsed if dispatcher.real_time else max(shard_elapsed)
-    elapsed = shard_wall + merge_elapsed + coordinator_overhead
     partial = bool(failed_shards)
     degraded = f", partial: lost shards {failed_shards}" if partial else ""
     plan = shard_results[0].plan_text
+    plan_text = f"scatter-gather[{num_shards} shards, {spec.kind}{degraded}]\n{plan}"
+
+    if _stream_supported(stream, spec, shard_results):
+        sources = dispatcher.stream_shards(
+            [result.iter_records() for result in shard_results]
+        )
+        return StreamingResultSet(
+            _merge_stream_with_stats(spec, sources, stats, shard_results),
+            stats=stats,
+            plan_text=plan_text,
+            elapsed_seconds=shard_wall + coordinator_overhead,
+            partial=partial,
+            shard_attempts=tuple(shard_attempts),
+            served_by=tuple(served_by),
+        )
+
+    merge_started = time.perf_counter()
+    merged = merge_records(spec, [result.records for result in shard_results])
+    merge_elapsed = time.perf_counter() - merge_started
+    for result in shard_results:
+        stats.merge(result.stats)
+    elapsed = shard_wall + merge_elapsed + coordinator_overhead
     op_profile = None
     if shard_profiles:
         # Analyze mode ran on the shards: roll their operator profiles up
@@ -688,7 +785,7 @@ def scatter_gather_replicated(
     return ResultSet(
         records=merged,
         stats=stats,
-        plan_text=f"scatter-gather[{num_shards} shards, {spec.kind}{degraded}]\n{plan}",
+        plan_text=plan_text,
         elapsed_seconds=elapsed,
         partial=partial,
         shard_attempts=tuple(shard_attempts),

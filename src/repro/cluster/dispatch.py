@@ -30,10 +30,11 @@ under the action root no matter where they run.  See
 from __future__ import annotations
 
 import os
+import queue
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Callable, Sequence
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.errors import ReproError
 from repro.obs.trace import current_context, propagated_context
@@ -43,6 +44,7 @@ __all__ = [
     "SERIAL",
     "THREADS",
     "DEFAULT_MAX_WORKERS",
+    "DEFAULT_STREAM_QUEUE_SIZE",
     "Dispatcher",
     "RaceResult",
     "SerialDispatcher",
@@ -60,6 +62,12 @@ THREADS = "threads"
 #: a small fixed pool keeps thread usage predictable even when many
 #: clusters (or many client threads) dispatch at once.
 DEFAULT_MAX_WORKERS = 8
+
+#: Bound of each per-shard streaming queue: how many records a shard may
+#: run ahead of the coordinator's merge before its producer blocks
+#: (backpressure).  Small enough that a slow consumer caps per-shard
+#: buffering, large enough to amortize queue handoffs.
+DEFAULT_STREAM_QUEUE_SIZE = 256
 
 
 class RaceResult:
@@ -108,6 +116,21 @@ class Dispatcher:
     def map_shards(self, tasks: Sequence[Callable[[], Any]]) -> list[Any]:
         """Run every task and return their results in task order."""
         raise NotImplementedError
+
+    def stream_shards(
+        self,
+        sources: Sequence[Iterable[Any]],
+        *,
+        queue_size: int = DEFAULT_STREAM_QUEUE_SIZE,
+    ) -> list[Iterator[Any]]:
+        """Per-shard record iterators draining *sources*.
+
+        The base (serial) behaviour is pass-through: each shard's records
+        pull lazily on the consuming thread when its iterator is drained.
+        Real-time dispatchers override this to drain shards concurrently
+        through bounded per-shard queues (backpressure).
+        """
+        return [iter(source) for source in sources]
 
     def race(
         self,
@@ -198,6 +221,96 @@ class ThreadPoolDispatcher(Dispatcher):
         if first_error is not None:
             raise first_error
         return results
+
+    def stream_shards(
+        self,
+        sources: Sequence[Iterable[Any]],
+        *,
+        queue_size: int = DEFAULT_STREAM_QUEUE_SIZE,
+    ) -> list[Iterator[Any]]:
+        """Drain every shard concurrently through bounded per-shard queues.
+
+        One producer per shard runs on the worker pool, pushing records
+        into a ``queue.Queue(maxsize=queue_size)``; when the coordinator's
+        merge falls behind, the queue fills and the producer blocks —
+        backpressure, so no shard can run unboundedly ahead of the
+        consumer.  A producer that raises forwards its exception through
+        the queue and the shard's iterator re-raises it at the consumer.
+        Consumers never block on the pool (producers only ever wait on
+        their own queue), so a fully busy pool delays but cannot deadlock
+        a streaming merge.
+        """
+        if queue_size < 1:
+            raise ReproError(f"queue_size must be >= 1, got {queue_size}")
+        sources = list(sources)
+        if len(sources) <= 1:
+            return [iter(source) for source in sources]
+        frame = current_context()
+
+        def produce(
+            source: Iterable[Any],
+            sink: queue.Queue,
+            closed: threading.Event,
+            finished: threading.Event,
+        ) -> None:
+            with propagated_context(frame):
+                try:
+                    completed = True
+                    for record in source:
+                        if closed.is_set():
+                            completed = False
+                            break
+                        sink.put(("record", record))
+                    if completed:
+                        sink.put(("done", None))
+                except BaseException as exc:  # noqa: BLE001 - re-raised by consumer
+                    sink.put(("error", exc))
+                finally:
+                    # Close the shard pipeline on this thread so budget
+                    # release and stats stamping happen before the
+                    # consumer's close returns (it waits on *finished*).
+                    close = getattr(source, "close", None)
+                    if close is not None:
+                        close()
+                    finished.set()
+
+        def consume(
+            sink: queue.Queue, closed: threading.Event, finished: threading.Event
+        ) -> Iterator[Any]:
+            try:
+                while True:
+                    kind, value = sink.get()
+                    if kind == "record":
+                        yield value
+                    elif kind == "error":
+                        raise value
+                    else:
+                        return
+            finally:
+                # An abandoned consumer (LIMIT satisfied mid-merge, or an
+                # error in another shard) must not strand its producer on
+                # a full queue: flag the stream closed, then drain once so
+                # a blocked put completes — the producer sees the flag on
+                # its next record and exits without a sentinel.  Then wait
+                # for its cleanup; shard counts (1-4) never exceed the
+                # pool, so every producer is already running and the wait
+                # is effectively instant.
+                closed.set()
+                while True:
+                    try:
+                        sink.get_nowait()
+                    except queue.Empty:
+                        break
+                finished.wait(timeout=5.0)
+
+        consumers: list[Iterator[Any]] = []
+        for source in sources:
+            sink: queue.Queue = queue.Queue(maxsize=queue_size)
+            closed = threading.Event()
+            finished = threading.Event()
+            self._executor().submit(produce, source, sink, closed, finished)
+            consumers.append(consume(sink, closed, finished))
+        return consumers
 
     def race(
         self,

@@ -51,6 +51,7 @@ class GreenplumCluster:
         quorum_reads: bool = False,
         breaker_factory: Callable[[int], CircuitBreaker | None] | None = None,
         dispatch: "Dispatcher | str | None" = None,
+        memory_budget: int | str | None = None,
     ) -> None:
         if num_nodes < 1:
             raise ValueError("a cluster needs at least one node")
@@ -72,6 +73,7 @@ class GreenplumCluster:
                 query_prep_overhead=query_prep_overhead,
                 name=f"greenplum-{suffix}",
                 exec_engine=exec_engine,
+                memory_budget=memory_budget,
             )
 
         self.store = ReplicaStore(self.replica_set, make_engine)
@@ -119,13 +121,18 @@ class GreenplumCluster:
         return sum(node.row_count(table) for node in self.nodes)
 
     # ------------------------------------------------------------------
-    def execute(self, query_text: str) -> ResultSet:
+    def execute(self, query_text: str, *, stream: bool = False) -> ResultSet:
         # AVG/STDDEV outputs make the shards ship partial states instead
         # of local finals; every other query passes through byte-identical.
         shard_query, spec = plan_select(query_text, "sql")
         injector, policy = cluster_resilience(self.fault_injector, self.retry_policy)
+        # Tests stub shard engines with plain callables, so only pass the
+        # streaming knob through when it is actually on.
+        shard_kwargs = {"stream": True} if stream else {}
         return scatter_gather_replicated(
-            lambda shard, node: self.store.engine(shard, node).execute(shard_query),
+            lambda shard, node: self.store.engine(shard, node).execute(
+                shard_query, **shard_kwargs
+            ),
             self.replica_set,
             spec,
             health=self.health,
@@ -136,6 +143,7 @@ class GreenplumCluster:
             backend_name=self.name,
             allow_partial=self.allow_partial,
             dispatcher=self.dispatcher,
+            stream=stream,
         )
 
     def explain(self, query_text: str) -> str:

@@ -25,11 +25,13 @@ columns the distributed answer is bit-identical to the single-node one.
 
 from __future__ import annotations
 
+import heapq
+import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Iterable, Iterator
 
 from repro.errors import UnsupportedOperationError
-from repro.exec.kernels import finalize_avg, finalize_std, regroup_records, sort_records
+from repro.exec.kernels import Descending, finalize_avg, finalize_std, regroup_records
 from repro.sqlengine.ast_nodes import (
     AGGREGATE_FUNCTIONS,
     ColumnRef,
@@ -114,24 +116,64 @@ class MergeSpec:
 
 
 def merge_records(spec: MergeSpec, shard_records: list[list[Any]]) -> list[Any]:
-    """Combine per-shard record lists according to *spec*."""
+    """Combine per-shard record lists according to *spec*.
+
+    The record-stream kinds (``concat``/``ordered_limit``) go through
+    :func:`merge_record_stream`, so even the materialized entry point
+    uses the bounded k-way merge rather than a full re-sort.
+    """
     if spec.kind == "scalar_agg":
         return _merge_scalar(spec, shard_records)
     if spec.kind == "group_agg":
         return _merge_groups(spec, shard_records)
-    merged: list[Any] = [record for records in shard_records for record in records]
-    if spec.kind == "ordered_limit" and spec.order_columns:
-        merged = sort_records(
-            merged,
-            lambda record: tuple(
-                index_key(_field(record, column))
-                for column, _descending in spec.order_columns
-            ),
-            [descending for _column, descending in spec.order_columns],
+    return list(merge_record_stream(spec, shard_records))
+
+
+def _order_key(spec: MergeSpec) -> Callable[[Any], tuple]:
+    """Composite sort key for *spec*'s ORDER BY columns.
+
+    Per-direction :class:`~repro.exec.kernels.Descending` wrappers make
+    one stable composite-key sort equivalent to the engines' repeated
+    stable single-key sorts, so the merge order is byte-identical to
+    sorting the concatenation.
+    """
+
+    def key_of(record: Any) -> tuple:
+        return tuple(
+            Descending(index_key(_field(record, column)))
+            if descending
+            else index_key(_field(record, column))
+            for column, descending in spec.order_columns
         )
+
+    return key_of
+
+
+def merge_record_stream(
+    spec: MergeSpec, shard_streams: Iterable[Iterable[Any]]
+) -> Iterator[Any]:
+    """Merge per-shard record *streams* lazily according to *spec*.
+
+    ``concat`` chains the shard streams in shard order; ``ordered_limit``
+    runs a bounded k-way heap merge (``heapq.merge`` holds one record per
+    shard), relying on each shard having applied the query's ORDER BY —
+    which scatter-gather guarantees because every shard runs the same
+    query.  ``heapq.merge`` is stable across its inputs, so ties resolve
+    in shard order exactly as a stable sort of the concatenation would.
+    A LIMIT stops pulling from the shards once satisfied.  The blocking
+    kinds (``scalar_agg``/``group_agg``) need every partial before any
+    output exists, so they materialize — the documented fallback.
+    """
+    if spec.kind in ("scalar_agg", "group_agg"):
+        yield from merge_records(spec, [list(stream) for stream in shard_streams])
+        return
+    if spec.kind == "ordered_limit" and spec.order_columns:
+        merged: Iterator[Any] = heapq.merge(*shard_streams, key=_order_key(spec))
+    else:
+        merged = itertools.chain.from_iterable(shard_streams)
     if spec.limit is not None:
-        merged = merged[: spec.limit]
-    return merged
+        merged = itertools.islice(merged, spec.limit)
+    yield from merged
 
 
 def _field(record: Any, column: str) -> Any:

@@ -45,6 +45,7 @@ class MongoDBCluster:
         quorum_reads: bool = False,
         breaker_factory: Callable[[int], CircuitBreaker | None] | None = None,
         dispatch: "Dispatcher | str | None" = None,
+        memory_budget: int | str | None = None,
     ) -> None:
         if num_nodes < 1:
             raise ValueError("a cluster needs at least one node")
@@ -60,7 +61,9 @@ class MongoDBCluster:
         def make_engine(shard: int, node: int) -> MongoDatabase:
             suffix = str(node) if node == shard else f"{node}-r{shard}"
             return MongoDatabase(
-                query_prep_overhead=query_prep_overhead, name=f"mongod-{suffix}"
+                query_prep_overhead=query_prep_overhead,
+                name=f"mongod-{suffix}",
+                memory_budget=memory_budget,
             )
 
         self.store = ReplicaStore(self.replica_set, make_engine)
@@ -103,18 +106,27 @@ class MongoDBCluster:
         return sum(node.estimated_document_count(collection) for node in self.nodes)
 
     # ------------------------------------------------------------------
-    def aggregate(self, collection: str, pipeline: list[dict[str, Any]]) -> ResultSet:
+    def aggregate(
+        self,
+        collection: str,
+        pipeline: list[dict[str, Any]],
+        *,
+        stream: bool = False,
+    ) -> ResultSet:
         if self.num_nodes == 1:
             # A single shard holds all the data, so even $lookup is fine —
             # this matches the paper running expression 12 on one node.
-            return self.nodes[0].aggregate(collection, pipeline)
+            return self.nodes[0].aggregate(collection, pipeline, stream=stream)
         # $avg/$stdDevPop accumulators make the shards ship partial states
         # instead of local finals; other pipelines pass through unchanged.
         shard_pipeline, spec = plan_pipeline(pipeline)
         injector, policy = cluster_resilience(self.fault_injector, self.retry_policy)
+        # Tests stub shard engines with plain callables, so only pass the
+        # streaming knob through when it is actually on.
+        shard_kwargs = {"stream": True} if stream else {}
         return scatter_gather_replicated(
             lambda shard, node: self.store.engine(shard, node).aggregate(
-                collection, shard_pipeline
+                collection, shard_pipeline, **shard_kwargs
             ),
             self.replica_set,
             spec,
@@ -126,4 +138,5 @@ class MongoDBCluster:
             backend_name=self.name,
             allow_partial=self.allow_partial,
             dispatcher=self.dispatcher,
+            stream=stream,
         )

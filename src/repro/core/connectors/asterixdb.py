@@ -4,7 +4,11 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.core.connectors.base import DatabaseConnector, set_exec_engine
+from repro.core.connectors.base import (
+    DatabaseConnector,
+    set_exec_engine,
+    set_memory_budget,
+)
 from repro.sqlengine.result import ResultSet
 from repro.sqlpp import AsterixDB
 
@@ -26,15 +30,21 @@ class AsterixDBConnector(DatabaseConnector):
         rule_overrides: dict[str, str] | None = None,
         *,
         exec_engine: str | None = None,
+        memory_budget: int | str | None = None,
         **resilience: Any,
     ) -> None:
         super().__init__(rule_overrides, **resilience)
         self._db = database
         if exec_engine is not None:
             set_exec_engine(database, exec_engine)
+        if memory_budget is not None:
+            set_memory_budget(database, memory_budget)
 
     def _execute(self, query: str, collection: str) -> ResultSet:
         return self._db.execute(query)
+
+    def _execute_stream(self, query: str, collection: str) -> ResultSet:
+        return self._db.execute(query, stream=True)
 
     def collection_exists(self, namespace: str, collection: str) -> bool:
         return self._db.catalog.has_table(self.qualified_name(namespace, collection))

@@ -21,12 +21,14 @@ import abc
 import logging
 import os
 import time
-from dataclasses import dataclass
-from typing import Any
+from dataclasses import dataclass, replace
+from typing import Any, Iterator
 
 from repro.core.plan.cache import CompiledQueryCache
 from repro.core.rewrite import RewriteEngine
-from repro.errors import CircuitOpenError
+from repro.errors import CircuitOpenError, ReproError
+from repro.exec.batch import DEFAULT_BATCH_SIZE
+from repro.exec.memory import resolve_budget
 from repro.obs import metrics, span_for
 from repro.obs.trace import Tracer
 from repro.resilience import CircuitBreaker, FaultInjector, QueryTimeout, RetryPolicy
@@ -72,6 +74,12 @@ class SendRecord:
     ``dispatch_mode`` records how a cluster ran its shard queries
     (``'serial'`` / ``'threads'``, empty for single-node sends) and
     ``parallelism`` how many were in flight at once.
+
+    ``peak_mem_bytes`` is the engine's peak accounted operator memory for
+    the query and ``spill_bytes`` how much it wrote to disk spill runs
+    (zero for engines without blocking operators, and for streaming
+    sends, whose stats are only final on ``result.stats`` once the
+    stream is drained).
     """
 
     real_seconds: float
@@ -85,6 +93,8 @@ class SendRecord:
     hedges: int = 0
     dispatch_mode: str = ""
     parallelism: int = 0
+    peak_mem_bytes: int = 0
+    spill_bytes: int = 0
 
     @property
     def retries(self) -> int:
@@ -113,6 +123,29 @@ def set_exec_engine(database: Any, exec_engine: str) -> None:
             node.exec_engine = exec_engine
     else:
         database.exec_engine = exec_engine
+
+
+def set_memory_budget(database: Any, memory_budget: int | str | None) -> None:
+    """Point *database* (or every node of a cluster) at a per-query budget.
+
+    The connector-level counterpart of the ``REPRO_MEM_BUDGET``
+    environment variable; accepts the same spellings (bytes, or a string
+    with an optional ``k``/``m``/``g`` suffix).  Replicated clusters get
+    the budget on every copy so a failover cannot silently change the
+    memory ceiling.
+    """
+    budget = resolve_budget(memory_budget)
+    store = getattr(database, "store", None)
+    if store is not None and hasattr(store, "all_engines"):
+        for engine in store.all_engines():
+            engine.memory_budget = budget
+        return
+    nodes = getattr(database, "nodes", None)
+    if nodes is not None:
+        for node in nodes:
+            node.memory_budget = budget
+    else:
+        database.memory_budget = budget
 
 
 def _default_optimization_level() -> int:
@@ -207,7 +240,7 @@ class DatabaseConnector(abc.ABC):
         """
         return query
 
-    def send(self, query: str, collection: str) -> ResultSet:
+    def send(self, query: str, collection: str, *, stream: bool = False) -> ResultSet:
         """Execute *query* (already rewritten) and return the raw result.
 
         Wraps the backend call with circuit breaking, fault injection,
@@ -217,6 +250,15 @@ class DatabaseConnector(abc.ABC):
         ``dispatch`` span with an ``attempt`` child per execution try, and
         the finished :class:`SendRecord` is mirrored onto the span's
         attributes.
+
+        With ``stream=True`` the result drains lazily from the engine
+        (when the backend supports it) — but only when no retry policy or
+        timeout is configured: both need the attempt's full outcome
+        before :meth:`send` returns, so resilience-wrapped sends
+        materialize instead (the documented fallback).  A streaming
+        send's :class:`SendRecord` carries the stats known at dispatch
+        time; drain-dependent numbers (rows scanned, memory peaks) are
+        final on ``result.stats`` once the stream is exhausted.
         """
         injector = self.fault_injector
         policy = self.retry_policy
@@ -225,6 +267,7 @@ class DatabaseConnector(abc.ABC):
             if policy is None:
                 policy = global_policy
         breaker = self.circuit_breaker
+        streaming = stream and policy is None and self.timeout is None
 
         self._count("queries_total")
         with span_for(self, "dispatch", backend=self.name, collection=collection) as dspan:
@@ -252,7 +295,11 @@ class DatabaseConnector(abc.ABC):
                     try:
                         if injector is not None:
                             injector.before_request(self.name)
-                        result = self._execute(query, collection)
+                        result = (
+                            self._execute_stream(query, collection)
+                            if streaming
+                            else self._execute(query, collection)
+                        )
                         if self.timeout is not None:
                             self.timeout.check(
                                 time.perf_counter() - attempt_started,
@@ -300,8 +347,16 @@ class DatabaseConnector(abc.ABC):
                 hedges=result.stats.hedges,
                 dispatch_mode=result.stats.dispatch_mode,
                 parallelism=result.stats.parallelism,
+                peak_mem_bytes=result.stats.peak_mem_bytes,
+                spill_bytes=result.stats.spill_bytes,
             )
             self.send_log.append(record)
+            on_drain = getattr(result, "on_drain", None)
+            if streaming and on_drain is not None:
+                # Drain-dependent numbers (rows scanned, memory peaks,
+                # spill volume) are only final once the stream is
+                # exhausted; restamp the log entry in place then.
+                self._restamp_on_drain(result, record, len(self.send_log) - 1)
             self._count("retries_total", record.retries)
             self._count("rows_scanned", record.rows_scanned)
             metrics.histogram("query_seconds", backend=self.name).observe(real)
@@ -319,6 +374,8 @@ class DatabaseConnector(abc.ABC):
                     hedges=record.hedges,
                     dispatch_mode=record.dispatch_mode,
                     parallelism=record.parallelism,
+                    peak_mem_bytes=record.peak_mem_bytes,
+                    spill_bytes=record.spill_bytes,
                 )
         if logger.isEnabledFor(logging.DEBUG):
             logger.debug(
@@ -336,6 +393,70 @@ class DatabaseConnector(abc.ABC):
     @abc.abstractmethod
     def _execute(self, query: str, collection: str) -> ResultSet:
         """Backend-specific execution of an already-rewritten query."""
+
+    def _restamp_on_drain(
+        self, result: ResultSet, record: SendRecord, index: int
+    ) -> None:
+        """Refresh a streaming send's log entry once its stream drains."""
+
+        def restamp() -> None:
+            stats = result.stats
+            updated = replace(
+                record,
+                shard_retries=stats.retries,
+                rows_scanned=stats.heap_fetches + stats.index_entries,
+                exec_engine=stats.exec_engine,
+                failovers=stats.failovers,
+                hedges=stats.hedges,
+                dispatch_mode=stats.dispatch_mode,
+                parallelism=stats.parallelism,
+                peak_mem_bytes=stats.peak_mem_bytes,
+                spill_bytes=stats.spill_bytes,
+            )
+            if self.send_log[index] is record:
+                self.send_log[index] = updated
+            self._count("rows_scanned", updated.rows_scanned - record.rows_scanned)
+
+        result.on_drain(restamp)
+
+    def _execute_stream(self, query: str, collection: str) -> ResultSet:
+        """Execute with a lazily-draining result when the engine can.
+
+        The default materializes via :meth:`_execute` — the documented
+        fallback for backends without pull-based execution.  Backends
+        whose engine takes ``stream=True`` override this.
+        """
+        return self._execute(query, collection)
+
+    def send_stream(
+        self, query: str, collection: str, batch_size: int = DEFAULT_BATCH_SIZE
+    ) -> Iterator[list[Any]]:
+        """Execute *query* and yield its records in lists of *batch_size*.
+
+        Goes through :meth:`send` with ``stream=True``, so on engines
+        with pull-based execution at most one batch (plus bounded
+        operator state) is held at the coordinator at a time; engines
+        without it fall back to a materialized result and this still
+        yields the same chunks.
+        """
+        if not isinstance(batch_size, int) or isinstance(batch_size, bool) or batch_size < 1:
+            raise ReproError(
+                f"batch_size must be a positive integer, got {batch_size!r}"
+            )
+        return self._batches(query, collection, batch_size)
+
+    def _batches(
+        self, query: str, collection: str, batch_size: int
+    ) -> Iterator[list[Any]]:
+        result = self.send(query, collection, stream=True)
+        batch: list[Any] = []
+        for record in result.iter_records():
+            batch.append(record)
+            if len(batch) >= batch_size:
+                yield batch
+                batch = []
+        if batch:
+            yield batch
 
     # ------------------------------------------------------------------
     # Result persistence (the configs' SAVE RESULTS vocabulary)

@@ -11,7 +11,7 @@ from __future__ import annotations
 import json
 from typing import Any
 
-from repro.core.connectors.base import DatabaseConnector
+from repro.core.connectors.base import DatabaseConnector, set_memory_budget
 from repro.docstore import MongoDatabase
 from repro.errors import ConnectorError
 from repro.sqlengine.result import ResultSet
@@ -26,10 +26,14 @@ class MongoDBConnector(DatabaseConnector):
         self,
         database: MongoDatabase,
         rule_overrides: dict[str, str] | None = None,
+        *,
+        memory_budget: int | str | None = None,
         **resilience: Any,
     ) -> None:
         super().__init__(rule_overrides, **resilience)
         self._db = database
+        if memory_budget is not None:
+            set_memory_budget(database, memory_budget)
 
     def preprocess(self, query: str, collection: str) -> list[dict[str, Any]]:
         """Stage text → pipeline list (JSON parse)."""
@@ -46,6 +50,10 @@ class MongoDBConnector(DatabaseConnector):
     def _execute(self, query: str, collection: str) -> ResultSet:
         pipeline = self.preprocess(query, collection)
         return self._db.aggregate(collection, pipeline)
+
+    def _execute_stream(self, query: str, collection: str) -> ResultSet:
+        pipeline = self.preprocess(query, collection)
+        return self._db.aggregate(collection, pipeline, stream=True)
 
     def persist(
         self, query: str, source_collection: str, namespace: str, target: str

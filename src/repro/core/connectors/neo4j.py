@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.core.connectors.base import DatabaseConnector
+from repro.core.connectors.base import DatabaseConnector, set_memory_budget
 from repro.graphdb import Neo4jDatabase
 from repro.sqlengine.result import ResultSet
 
@@ -24,13 +24,20 @@ class Neo4jConnector(DatabaseConnector):
         self,
         database: Neo4jDatabase,
         rule_overrides: dict[str, str] | None = None,
+        *,
+        memory_budget: int | str | None = None,
         **resilience: Any,
     ) -> None:
         super().__init__(rule_overrides, **resilience)
         self._db = database
+        if memory_budget is not None:
+            set_memory_budget(database, memory_budget)
 
     def _execute(self, query: str, collection: str) -> ResultSet:
         return self._db.execute(query)
+
+    def _execute_stream(self, query: str, collection: str) -> ResultSet:
+        return self._db.execute(query, stream=True)
 
     def nesting_depth(self, query: str) -> int:
         """Cypher chains clauses flat; depth = number of clause lines."""

@@ -16,10 +16,10 @@ recompiled for a different backend: see :meth:`PolyFrame.retarget`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, TYPE_CHECKING
+from typing import Any, Iterator, TYPE_CHECKING
 
 from repro.eager import EagerFrame, frame_from_records
-from repro.errors import ConnectorError, RewriteError
+from repro.errors import ConnectorError, ReproError, RewriteError
 from repro.obs import analyze_mode, format_profile, span_for
 from repro.obs.profile import OpProfile
 from repro.core.plan.compiler import CompiledQuery, compile_plan_for, stamp_stats
@@ -320,13 +320,57 @@ class PolyFrame:
             return self._send_frame(compiled.text, compiled)
 
     def collect(self) -> EagerFrame:
-        """Fetch every row (``toPandas()`` in the paper's timing points)."""
+        """Fetch every row (``toPandas()`` in the paper's timing points).
+
+        Drains the backend result in chunks through the streaming send
+        path, so on engines with pull-based execution the query's
+        intermediate footprint is bounded by the memory budget rather
+        than the result size.  The returned frame is byte-identical to
+        the fully materialized path.
+        """
         with self._action_span("collect"):
             compiled = self._compile()
             query = self._rw.apply("return_all", subquery=compiled.text)
-            return self._send_frame(query, compiled)
+            result = self.connector.send(query, self.collection, stream=True)
+            stamp_stats(result, compiled)
+            records: list[dict[str, Any]] = []
+            for record in result.iter_records():
+                records.append(_as_record_dict(record))
+            return frame_from_records(records)
 
     toPandas = collect
+
+    def iter_batches(self, batch_size: int | None = None) -> Iterator[EagerFrame]:
+        """Stream the result as eager frames of at most *batch_size* rows.
+
+        *batch_size* defaults to the engine-wide
+        :data:`repro.exec.batch.DEFAULT_BATCH_SIZE`.  The backend
+        pipeline is drained lazily: on engines with pull-based
+        execution, at most one batch (plus bounded operator state under
+        the memory budget) is buffered at a time.  Concatenating every
+        yielded frame's records reproduces :meth:`collect`
+        byte-for-byte.
+        """
+        if batch_size is not None and (
+            not isinstance(batch_size, int)
+            or isinstance(batch_size, bool)
+            or batch_size < 1
+        ):
+            raise ReproError(
+                f"batch_size must be a positive integer, got {batch_size!r}"
+            )
+        return self._iter_batches(batch_size)
+
+    def _iter_batches(self, batch_size: int | None) -> Iterator[EagerFrame]:
+        with self._action_span("iter_batches"):
+            compiled = self._compile()
+            query = self._rw.apply("return_all", subquery=compiled.text)
+            kwargs = {} if batch_size is None else {"batch_size": batch_size}
+            batches = self.connector.send_stream(query, self.collection, **kwargs)
+            for batch in batches:
+                yield frame_from_records(
+                    [_as_record_dict(record) for record in batch]
+                )
 
     def profile(self) -> ProfiledResult:
         """Run this frame's query in analyze mode (``EXPLAIN ANALYZE``).
@@ -385,3 +429,10 @@ class PolyFrame:
         result = self.connector.send(query, self.collection)
         stamp_stats(result, compiled)
         return frame_from_records(self.connector.postprocess(result))
+
+
+def _as_record_dict(record: Any) -> dict[str, Any]:
+    """Same normalization as ``ResultSet.to_records``, one record at a time."""
+    if isinstance(record, dict):
+        return record
+    return {"value": record}

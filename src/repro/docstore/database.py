@@ -9,7 +9,8 @@ from repro import obs
 from repro.errors import CatalogError
 from repro.docstore.collection import Collection
 from repro.docstore.pipeline import PipelineExecutor
-from repro.sqlengine.result import QueryStats, ResultSet
+from repro.exec.memory import MemoryBudget, resolve_budget
+from repro.sqlengine.result import QueryStats, ResultSet, StreamingResultSet
 
 #: Simulated fixed per-command overhead (driver round trip + cursor setup).
 DEFAULT_PREP_OVERHEAD = 0.0001
@@ -31,9 +32,13 @@ class MongoDatabase:
         *,
         query_prep_overhead: float = DEFAULT_PREP_OVERHEAD,
         name: str = "mongodb",
+        memory_budget: int | str | None = None,
     ) -> None:
         self.name = name
         self.query_prep_overhead = query_prep_overhead
+        # Per-query budget for the blocking stages ($sort/$group spill):
+        # explicit kwarg wins, else REPRO_MEM_BUDGET.
+        self.memory_budget = resolve_budget(memory_budget)
         self._collections: dict[str, Collection] = {}
 
     # ------------------------------------------------------------------
@@ -77,33 +82,79 @@ class MongoDatabase:
         return self.collection(name).estimated_document_count()
 
     def aggregate(
-        self, name: str, pipeline: list[dict[str, Any]], *, analyze: bool = False
+        self,
+        name: str,
+        pipeline: list[dict[str, Any]],
+        *,
+        analyze: bool = False,
+        stream: bool = False,
     ) -> ResultSet:
         """Run an aggregation pipeline, returning a ResultSet.
 
         With ``analyze=True`` (or inside :func:`repro.obs.analyze_mode`,
         or under tracing) each pipeline stage is profiled and the
         per-stage timing/row-count chain rides on ``ResultSet.op_profile``.
+
+        With ``stream=True`` the result lazily drains the stage chain
+        (profiling/tracing force materialization — the documented
+        fallback); memory stats are final once the stream is exhausted.
         """
         started = time.perf_counter()
         with obs.ambient_span("execute", backend=self.name) as span:
             if self.query_prep_overhead > 0:
                 time.sleep(self.query_prep_overhead)
             stats = QueryStats()
+            budget = MemoryBudget(self.memory_budget)
             executor = PipelineExecutor(self)
             want_profile = analyze or span.recording or obs.analyze_active()
             records = executor.execute(
-                self.collection(name), pipeline, stats, profile=want_profile
+                self.collection(name),
+                pipeline,
+                stats,
+                profile=want_profile,
+                memory=budget,
+                stream=stream and not want_profile,
             )
             profile = executor.last_profile
+            if isinstance(records, list):
+                _stamp_memory(stats, budget)
             if span.recording:
-                span.set(rows=len(records))
+                span.set(
+                    rows=len(records),
+                    peak_mem_bytes=stats.peak_mem_bytes,
+                    spill_bytes=stats.spill_bytes,
+                )
                 if profile is not None:
                     obs.attach_profile(span, profile)
+        plan_text = f"aggregate({name}, {len(pipeline)} stages)"
+        elapsed = time.perf_counter() - started
+        if not isinstance(records, list):
+            return StreamingResultSet(
+                _drain_with_stats(records, stats, budget),
+                stats=stats,
+                plan_text=plan_text,
+                elapsed_seconds=elapsed,
+                op_profile=profile,
+            )
         return ResultSet(
             records=records,
             stats=stats,
-            plan_text=f"aggregate({name}, {len(pipeline)} stages)",
-            elapsed_seconds=time.perf_counter() - started,
+            plan_text=plan_text,
+            elapsed_seconds=elapsed,
             op_profile=profile,
         )
+
+
+def _stamp_memory(stats: QueryStats, budget: MemoryBudget) -> None:
+    """Copy a drained pipeline's memory accounting onto its stats."""
+    stats.peak_mem_bytes = max(stats.peak_mem_bytes, budget.peak_bytes)
+    stats.spill_bytes += budget.spill_bytes
+    stats.spill_runs += budget.spill_runs
+
+
+def _drain_with_stats(docs, stats: QueryStats, budget: MemoryBudget):
+    """Yield *docs* through; stamp memory stats once the stream ends."""
+    try:
+        yield from docs
+    finally:
+        _stamp_memory(stats, budget)

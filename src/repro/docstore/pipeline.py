@@ -24,7 +24,13 @@ from typing import Any, Iterable, Iterator, TYPE_CHECKING
 from repro.errors import ExecutionError, UnsupportedOperationError
 from repro.docstore.collection import Collection
 from repro.docstore.exprs import ExprEvaluator, get_path
-from repro.exec.kernels import finalize_avg, finalize_std
+from repro.exec.kernels import Descending, finalize_avg, finalize_std
+from repro.exec.memory import (
+    MemoryBudget,
+    SpillableGroups,
+    SpillSorter,
+    estimate_record_bytes,
+)
 from repro.obs.profile import OpProfile, profiled_rows
 from repro.sqlengine.result import QueryStats
 from repro.storage.keys import SENTINEL_MISSING, index_key
@@ -42,6 +48,8 @@ class PipelineExecutor:
         self._db = database
         #: Per-stage profile of the last ``profile=True`` execution.
         self.last_profile: OpProfile | None = None
+        #: Per-query budget the blocking stages account/spill against.
+        self.memory = MemoryBudget()
 
     def execute(
         self,
@@ -50,14 +58,26 @@ class PipelineExecutor:
         stats: QueryStats,
         *,
         profile: bool = False,
-    ) -> list[Any]:
+        memory: MemoryBudget | None = None,
+        stream: bool = False,
+    ) -> list[Any] | Iterator[Any]:
+        """Run the pipeline; a list by default, an iterator when streaming.
+
+        ``memory`` is the per-query budget the blocking stages ($sort,
+        $group) spill under; ``stream=True`` returns the stage chain's
+        lazy iterator instead of materializing it (profiling wins over
+        streaming — the documented fallback).
+        """
         self.last_profile = None
+        self.memory = memory if memory is not None else MemoryBudget()
         stages = [dict(stage) for stage in stages]
         source, remaining, source_desc = self._choose_source(collection, stages, stats)
         docs: Iterable[Any] = source
         if not profile:
             for stage in remaining:
                 docs = self._apply_stage(collection, docs, stage, stats)
+            if stream:
+                return iter(docs)
             return list(docs)
 
         # Analyze mode: the pipeline is a linear operator chain — wrap the
@@ -293,34 +313,55 @@ class PipelineExecutor:
         evaluator = ExprEvaluator()
         id_spec = spec.get("_id", None)
         accumulators = {key: value for key, value in spec.items() if key != "_id"}
-        groups: dict[Any, dict[str, "_Accumulator"]] = {}
-        group_ids: dict[Any, Any] = {}
-        for doc in docs:
-            group_id = evaluator.evaluate(id_spec, doc) if id_spec is not None else None
-            key = _hashable(group_id)
-            if key not in groups:
-                groups[key] = {
-                    name: _make_accumulator(agg) for name, agg in accumulators.items()
-                }
-                group_ids[key] = group_id
-            for name, agg_spec in accumulators.items():
-                agg_op, agg_expr = next(iter(agg_spec.items()))
-                value = evaluator.evaluate(agg_expr, doc)
-                groups[key][name].add(value)
-        for key, accs in groups.items():
-            out = {"_id": group_ids[key]}
-            for name, acc in accs.items():
-                out[name] = acc.result()
-            yield out
+        groups = SpillableGroups(self.memory)
+        try:
+            for doc in docs:
+                group_id = (
+                    evaluator.evaluate(id_spec, doc) if id_spec is not None else None
+                )
+                key = _hashable(group_id)
+                entry = groups.get(key)
+                if entry is None:
+                    entry = (
+                        {name: _make_accumulator(agg) for name, agg in accumulators.items()},
+                        group_id,
+                    )
+                    groups.insert(key, entry, estimate_record_bytes(group_id))
+                accs = entry[0]
+                for name, agg_spec in accumulators.items():
+                    agg_op, agg_expr = next(iter(agg_spec.items()))
+                    value = evaluator.evaluate(agg_expr, doc)
+                    accs[name].add(value)
+            for accs, group_id in groups.finalized(_merge_doc_groups):
+                out = {"_id": group_id}
+                for name, acc in accs.items():
+                    out[name] = acc.result()
+                yield out
+        finally:
+            groups.close()
 
     def _stage_sort(self, docs: Iterable[dict], spec: dict) -> Iterator[dict]:
-        materialized = list(docs)
-        for field, direction in reversed(list(spec.items())):
-            materialized.sort(
-                key=lambda doc: index_key(_missing_to_none(get_path(doc, field))),
-                reverse=direction < 0,
-            )
-        yield from materialized
+        # One stable composite-key sort with per-key direction — equivalent
+        # to the reversed sequence of stable single-key sorts MongoDB
+        # specifies — so the spill path can merge runs on the same keys.
+        fields = list(spec.items())
+        sorter = SpillSorter(self.memory)
+        try:
+            for doc in docs:
+                key = tuple(
+                    Descending(part) if direction < 0 else part
+                    for part, direction in (
+                        (
+                            index_key(_missing_to_none(get_path(doc, field))),
+                            direction,
+                        )
+                        for field, direction in fields
+                    )
+                )
+                sorter.add(key, doc)
+            yield from sorter.sorted_records()
+        finally:
+            sorter.close()
 
     def _stage_limit(self, docs: Iterable[dict], limit: int) -> Iterator[dict]:
         produced = 0
@@ -515,6 +556,10 @@ class _Accumulator:
     def add(self, value: Any) -> None:
         raise NotImplementedError
 
+    def merge(self, other: "_Accumulator") -> None:
+        """Fold another accumulator's state into this one (spill merge)."""
+        raise NotImplementedError
+
     def result(self) -> Any:
         raise NotImplementedError
 
@@ -526,6 +571,9 @@ class _SumAcc(_Accumulator):
     def add(self, value: Any) -> None:
         if isinstance(value, (int, float)) and not isinstance(value, bool):
             self.total += value
+
+    def merge(self, other: "_SumAcc") -> None:
+        self.total += other.total
 
     def result(self) -> Any:
         return self.total
@@ -545,6 +593,10 @@ class _MinMaxAcc(_Accumulator):
             self.best = value
         elif not self.is_min and index_key(value) > index_key(self.best):
             self.best = value
+
+    def merge(self, other: "_MinMaxAcc") -> None:
+        if other.best is not None:
+            self.add(other.best)
 
     def result(self) -> Any:
         return self.best
@@ -567,6 +619,10 @@ class _AvgAcc(_Accumulator):
         if isinstance(value, (int, float)) and not isinstance(value, bool):
             self.total += value
             self.count += 1
+
+    def merge(self, other: "_AvgAcc") -> None:
+        self.total += other.total
+        self.count += other.count
 
     def result(self) -> Any:
         return finalize_avg(self.total, self.count)
@@ -592,8 +648,24 @@ class _StdAcc(_Accumulator):
         self.total += value
         self.total_sq += value * value
 
+    def merge(self, other: "_StdAcc") -> None:
+        self.count += other.count
+        self.total += other.total
+        self.total_sq += other.total_sq
+
     def result(self) -> Any:
         return finalize_std(self.count, self.total, self.total_sq)
+
+
+def _merge_doc_groups(
+    prior: tuple[dict[str, _Accumulator], Any], later: tuple[dict[str, _Accumulator], Any]
+) -> tuple[dict[str, _Accumulator], Any]:
+    """Fold a later spill run's group state into the earlier one."""
+    prior_accs, group_id = prior
+    later_accs, _later_id = later
+    for name, acc in prior_accs.items():
+        acc.merge(later_accs[name])
+    return (prior_accs, group_id)
 
 
 def _make_accumulator(spec: dict) -> _Accumulator:

@@ -19,6 +19,10 @@ alternative those engines share:
 - :mod:`repro.exec.operators` — batch-at-a-time physical operators
   (scan, filter, project, hash aggregate, sort, top-k, limit, distinct)
   the SQL/SQL++ engines select per query (``REPRO_EXEC=vector``).
+- :mod:`repro.exec.memory` — per-query :class:`MemoryBudget` accounting
+  (``REPRO_MEM_BUDGET``), the :class:`SpillFile` run format, and the
+  external-merge :class:`SpillSorter` / :class:`SpillableGroups` the
+  blocking operators use to stay byte-identical under tiny budgets.
 
 The row engines remain the default and the fallback for any plan shape
 or expression the vector layer does not cover; the two paths are pinned
@@ -36,18 +40,36 @@ from repro.exec.batch import (
     concat_batches,
 )
 from repro.exec.kernels import GroupTable, regroup_records, sort_records
+from repro.exec.memory import (
+    ENV_MEM_BUDGET,
+    MemoryBudget,
+    SpillableGroups,
+    SpillFile,
+    SpillSorter,
+    estimate_record_bytes,
+    parse_budget,
+    resolve_budget,
+)
 from repro.exec.vectorops import VectorEvaluator
 
 __all__ = [
     "ColumnBatch",
     "DEFAULT_BATCH_SIZE",
+    "ENV_MEM_BUDGET",
     "GroupTable",
     "MASK_MISSING",
     "MASK_NULL",
     "MASK_VALID",
+    "MemoryBudget",
+    "SpillFile",
+    "SpillSorter",
+    "SpillableGroups",
     "Vector",
     "VectorEvaluator",
     "concat_batches",
+    "estimate_record_bytes",
+    "parse_budget",
     "regroup_records",
+    "resolve_budget",
     "sort_records",
 ]

@@ -24,11 +24,11 @@ batches that flowed.
 
 from __future__ import annotations
 
-from typing import Any, Iterator
+from typing import Any, Iterator, TYPE_CHECKING
 
-from repro.exec.batch import DEFAULT_BATCH_SIZE, ColumnBatch, concat_batches
+from repro.exec.batch import DEFAULT_BATCH_SIZE, ColumnBatch
 from repro.exec.kernels import Descending
-from repro.exec.vectorops import VectorEvaluator
+from repro.exec.memory import SpillableGroups, SpillSorter, estimate_record_bytes
 from repro.sqlengine.ast_nodes import (
     Expression,
     OrderItem,
@@ -41,7 +41,11 @@ from repro.sqlengine.physical import (
     _dedup_key,
     _eval_with_aggregates,
     make_accumulator,
+    merge_group_state,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - break the exec <-> sqlengine cycle
+    from repro.exec.vectorops import VectorEvaluator
 from repro.storage.keys import SENTINEL_MISSING, index_key
 
 
@@ -182,7 +186,13 @@ class VecRestrict(VectorSource):
 
 
 class VecSort(VectorSource):
-    """Materializing sort: keys evaluated once per batch, not per row."""
+    """Blocking sort: keys evaluated once per batch, spills under budget.
+
+    Rows cross the spill boundary as ``row_record`` dicts and are rebuilt
+    with ``ColumnBatch.from_records`` against the union column list, a
+    round trip that preserves the VALID/NULL/MISSING distinction exactly
+    — so spilled output is byte-identical to the in-memory sort.
+    """
 
     def __init__(self, child: VectorSource, keys: tuple[OrderItem, ...]) -> None:
         self.child = child
@@ -192,24 +202,44 @@ class VecSort(VectorSource):
         return (self.child,)
 
     def batches(self, ctx, evaluator):
-        collected = list(self.child.batches(ctx, evaluator))
-        if not collected:
-            return
-        batch = concat_batches(collected)
-        key_vectors = [evaluator.evaluate(key.expr, batch) for key in self.keys]
         descending = [key.descending for key in self.keys]
-        decorated = [
-            tuple(
-                Descending(k) if desc else k
-                for k, desc in zip(
-                    (_order_key(vector.item(i)) for vector in key_vectors),
-                    descending,
-                )
-            )
-            for i in range(batch.length)
-        ]
-        order = sorted(range(batch.length), key=decorated.__getitem__)
-        yield batch.take(order)
+        sorter = SpillSorter(ctx.memory)
+        columns: list[str] = []
+        seen_columns: set[str] = set()
+        alias = ""
+        empty = True
+        try:
+            for batch in self.child.batches(ctx, evaluator):
+                empty = False
+                alias = batch.alias
+                for name in batch.columns:
+                    if name not in seen_columns:
+                        seen_columns.add(name)
+                        columns.append(name)
+                key_vectors = [evaluator.evaluate(key.expr, batch) for key in self.keys]
+                for i in range(batch.length):
+                    decorated = tuple(
+                        Descending(k) if desc else k
+                        for k, desc in zip(
+                            (_order_key(vector.item(i)) for vector in key_vectors),
+                            descending,
+                        )
+                    )
+                    sorter.add(decorated, batch.row_record(i))
+            if empty:
+                return
+            out: list[dict[str, Any]] = []
+            for record in sorter.sorted_records():
+                out.append(record)
+                if len(out) >= DEFAULT_BATCH_SIZE:
+                    yield ColumnBatch.from_records(
+                        out, alias=alias, columns=tuple(columns)
+                    )
+                    out = []
+            if out:
+                yield ColumnBatch.from_records(out, alias=alias, columns=tuple(columns))
+        finally:
+            sorter.close()
 
     def describe(self) -> str:
         keys = ", ".join(
@@ -235,23 +265,34 @@ class VecTopK(VectorSource):
         import heapq
 
         descending = [key.descending for key in self.keys]
-        entries: list[tuple[tuple, int, ColumnBatch, int]] = []
-        position = 0
-        for batch in self.child.batches(ctx, evaluator):
-            key_vectors = [evaluator.evaluate(key.expr, batch) for key in self.keys]
-            for i in range(batch.length):
-                decorated = tuple(
-                    Descending(k) if desc else k
-                    for k, desc in zip(
-                        (_order_key(vector.item(i)) for vector in key_vectors),
-                        descending,
+
+        def entries() -> Iterator[tuple[tuple, int, ColumnBatch, int]]:
+            position = 0
+            for batch in self.child.batches(ctx, evaluator):
+                key_vectors = [
+                    evaluator.evaluate(key.expr, batch) for key in self.keys
+                ]
+                for i in range(batch.length):
+                    decorated = tuple(
+                        Descending(k) if desc else k
+                        for k, desc in zip(
+                            (_order_key(vector.item(i)) for vector in key_vectors),
+                            descending,
+                        )
                     )
-                )
-                entries.append((decorated, position, batch, i))
-                position += 1
-        best = heapq.nsmallest(self.k, entries, key=lambda t: (t[0], t[1]))
-        for _key, _pos, batch, i in best:
-            yield batch.take([i])
+                    yield (decorated, position, batch, i)
+                    position += 1
+
+        # The generator feeds the bounded heap directly, so only the k
+        # best rows (and their source batches) stay referenced.
+        best = heapq.nsmallest(self.k, entries(), key=lambda t: (t[0], t[1]))
+        held = sum(estimate_record_bytes(batch.row_record(i)) for _k, _p, batch, i in best)
+        ctx.memory.reserve(held)
+        try:
+            for _key, _pos, batch, i in best:
+                yield batch.take([i])
+        finally:
+            ctx.memory.release(held)
 
     def describe(self) -> str:
         keys = ", ".join(
@@ -384,36 +425,40 @@ class VecAggregate(VectorHead):
         )
 
     def _grouped(self, ctx, evaluator):
-        groups: dict[tuple, tuple[list, Any]] = {}
-        for batch in self.child.batches(ctx, evaluator):
-            key_vectors = [
-                evaluator.evaluate(expr, batch) for expr in self.group_by
-            ]
-            arg_vectors = [
-                None if call.star else evaluator.evaluate(call.args[0], batch)
-                for call in self._agg_calls
-            ]
-            for i in range(batch.length):
-                key = tuple(_order_key(vector.item(i)) for vector in key_vectors)
-                entry = groups.get(key)
-                if entry is None:
-                    entry = (
-                        [make_accumulator(call) for call in self._agg_calls],
-                        {batch.alias: batch.row_record(i)},
-                    )
-                    groups[key] = entry
-                accumulators = entry[0]
-                for j, accumulator in enumerate(accumulators):
-                    accumulator.add_row()
-                    vector = arg_vectors[j]
-                    if vector is not None:
-                        accumulator.add(vector.item(i))
-        for accumulators, representative in groups.values():
-            results = {
-                id(call): accumulator.result()
-                for call, accumulator in zip(self._agg_calls, accumulators)
-            }
-            yield self._shape_output(ctx, representative, results)
+        groups = SpillableGroups(ctx.memory)
+        try:
+            for batch in self.child.batches(ctx, evaluator):
+                key_vectors = [
+                    evaluator.evaluate(expr, batch) for expr in self.group_by
+                ]
+                arg_vectors = [
+                    None if call.star else evaluator.evaluate(call.args[0], batch)
+                    for call in self._agg_calls
+                ]
+                for i in range(batch.length):
+                    key = tuple(_order_key(vector.item(i)) for vector in key_vectors)
+                    entry = groups.get(key)
+                    if entry is None:
+                        representative = {batch.alias: batch.row_record(i)}
+                        entry = (
+                            [make_accumulator(call) for call in self._agg_calls],
+                            representative,
+                        )
+                        groups.insert(key, entry, estimate_record_bytes(representative))
+                    accumulators = entry[0]
+                    for j, accumulator in enumerate(accumulators):
+                        accumulator.add_row()
+                        vector = arg_vectors[j]
+                        if vector is not None:
+                            accumulator.add(vector.item(i))
+            for accumulators, representative in groups.finalized(merge_group_state):
+                results = {
+                    id(call): accumulator.result()
+                    for call, accumulator in zip(self._agg_calls, accumulators)
+                }
+                yield self._shape_output(ctx, representative, results)
+        finally:
+            groups.close()
 
     def _shape_output(self, ctx, row, agg_results):
         values: dict[str, Any] = {}
@@ -442,18 +487,17 @@ class VecRecordSort(VectorHead):
         return (self.child,)
 
     def rows(self, ctx, evaluator):
-        records = list(self.child.rows(ctx, evaluator))
         row_evaluate = ctx.evaluator.evaluate
         descending = [key.descending for key in self.keys]
 
         def env_of(record: Any) -> dict[str, Any]:
             return {"t": record if isinstance(record, dict) else {"value": record}}
 
-        decorated = []
-        for record in records:
-            env = env_of(record)
-            decorated.append(
-                tuple(
+        sorter = SpillSorter(ctx.memory)
+        try:
+            for record in self.child.rows(ctx, evaluator):
+                env = env_of(record)
+                decorated = tuple(
                     Descending(k) if desc else k
                     for k, desc in zip(
                         (
@@ -463,10 +507,10 @@ class VecRecordSort(VectorHead):
                         descending,
                     )
                 )
-            )
-        order = sorted(range(len(records)), key=decorated.__getitem__)
-        for i in order:
-            yield records[i]
+                sorter.add(decorated, record)
+            yield from sorter.sorted_records()
+        finally:
+            sorter.close()
 
     def describe(self) -> str:
         keys = ", ".join(
@@ -511,6 +555,8 @@ class VectorPlan:
         self.dialect = dialect
 
     def execute(self, ctx: ExecutionContext) -> Iterator[Any]:
+        from repro.exec.vectorops import VectorEvaluator
+
         evaluator = VectorEvaluator(self.dialect)
         return self.head.rows(ctx, evaluator)
 

@@ -6,10 +6,11 @@ import time
 from typing import Any, Iterable
 
 from repro import obs
+from repro.exec.memory import MemoryBudget, resolve_budget
 from repro.graphdb.cypher_parser import parse
 from repro.graphdb.executor import CypherExecutor
 from repro.graphdb.store import GraphStore
-from repro.sqlengine.result import QueryStats, ResultSet
+from repro.sqlengine.result import QueryStats, ResultSet, StreamingResultSet
 
 #: Simulated fixed per-query overhead (Cypher compile + Bolt round trip).
 DEFAULT_PREP_OVERHEAD = 0.00015
@@ -31,9 +32,15 @@ class Neo4jDatabase:
         *,
         query_prep_overhead: float = DEFAULT_PREP_OVERHEAD,
         name: str = "neo4j",
+        memory_budget: int | str | None = None,
     ) -> None:
         self.name = name
         self.query_prep_overhead = query_prep_overhead
+        # Per-query budget for blocking clauses.  Graph rows hold live
+        # store handles, so blocking stages account bytes but always
+        # materialize in memory (the documented fallback) — the budget
+        # here tracks peak usage rather than triggering disk spill.
+        self.memory_budget = resolve_budget(memory_budget)
         self.store = GraphStore()
 
     # ------------------------------------------------------------------
@@ -56,12 +63,18 @@ class Neo4jDatabase:
         return self.store.counts.node_count(label)
 
     # ------------------------------------------------------------------
-    def execute(self, cypher: str, *, analyze: bool = False) -> ResultSet:
+    def execute(
+        self, cypher: str, *, analyze: bool = False, stream: bool = False
+    ) -> ResultSet:
         """Parse and run a Cypher query.
 
         With ``analyze=True`` (or inside :func:`repro.obs.analyze_mode`,
         or under tracing) each clause step is profiled and the per-clause
         timing/row-count chain rides on ``ResultSet.op_profile``.
+
+        With ``stream=True`` records are emitted lazily through the
+        clause chain (profiling/tracing force materialization — the
+        documented fallback); memory stats are final once drained.
         """
         started = time.perf_counter()
         with obs.ambient_span("execute", backend=self.name) as span:
@@ -69,18 +82,52 @@ class Neo4jDatabase:
                 time.sleep(self.query_prep_overhead)
             query = parse(cypher)
             stats = QueryStats()
-            executor = CypherExecutor(self.store, stats)
+            budget = MemoryBudget(self.memory_budget)
+            executor = CypherExecutor(self.store, stats, memory=budget)
             want_profile = analyze or span.recording or obs.analyze_active()
-            records = executor.run(query, profile=want_profile)
+            records = executor.run(
+                query, profile=want_profile, stream=stream and not want_profile
+            )
             profile = executor.last_profile
+            if isinstance(records, list):
+                _stamp_memory(stats, budget)
             if span.recording:
-                span.set(rows=len(records))
+                span.set(
+                    rows=len(records),
+                    peak_mem_bytes=stats.peak_mem_bytes,
+                    spill_bytes=stats.spill_bytes,
+                )
                 if profile is not None:
                     obs.attach_profile(span, profile)
+        plan_text = f"cypher({len(query.clauses)} clauses)"
+        elapsed = time.perf_counter() - started
+        if not isinstance(records, list):
+            return StreamingResultSet(
+                _drain_with_stats(records, stats, budget),
+                stats=stats,
+                plan_text=plan_text,
+                elapsed_seconds=elapsed,
+                op_profile=profile,
+            )
         return ResultSet(
             records=records,
             stats=stats,
-            plan_text=f"cypher({len(query.clauses)} clauses)",
-            elapsed_seconds=time.perf_counter() - started,
+            plan_text=plan_text,
+            elapsed_seconds=elapsed,
             op_profile=profile,
         )
+
+
+def _stamp_memory(stats: QueryStats, budget: MemoryBudget) -> None:
+    """Copy a drained query's memory accounting onto its stats."""
+    stats.peak_mem_bytes = max(stats.peak_mem_bytes, budget.peak_bytes)
+    stats.spill_bytes += budget.spill_bytes
+    stats.spill_runs += budget.spill_runs
+
+
+def _drain_with_stats(records, stats: QueryStats, budget: MemoryBudget):
+    """Yield *records* through; stamp memory stats once the stream ends."""
+    try:
+        yield from records
+    finally:
+        _stamp_memory(stats, budget)

@@ -21,6 +21,7 @@ import math
 from typing import Any, Iterator
 
 from repro.errors import ExecutionError
+from repro.exec.memory import MemoryBudget, estimate_record_bytes
 from repro.obs.profile import OpProfile, profiled_rows
 from repro.graphdb.cypher_ast import (
     AGGREGATES,
@@ -73,14 +74,26 @@ Row = dict[str, Any]
 class CypherExecutor:
     """Executes one parsed Cypher query."""
 
-    def __init__(self, store: GraphStore, stats: QueryStats) -> None:
+    def __init__(
+        self,
+        store: GraphStore,
+        stats: QueryStats,
+        memory: MemoryBudget | None = None,
+    ) -> None:
         self._store = store
         self._stats = stats
+        # Graph rows carry NodeHandle objects with live store references,
+        # so blocking stages here account bytes against the budget but
+        # always materialize in memory (the documented fallback) rather
+        # than spilling pickled runs to disk.
+        self._memory = memory if memory is not None else MemoryBudget()
         #: Per-clause profile of the last ``profile=True`` execution.
         self.last_profile: OpProfile | None = None
 
     # ==================================================================
-    def run(self, query: CypherQuery, *, profile: bool = False) -> list[Any]:
+    def run(
+        self, query: CypherQuery, *, profile: bool = False, stream: bool = False
+    ) -> list[Any] | Iterator[Any]:
         self.last_profile = None
         clauses = _normalize(query)
         fast_count = self._try_count_store(clauses)
@@ -126,11 +139,42 @@ class CypherExecutor:
                 node = parent
         if final_items is None:
             raise ExecutionError("query has no RETURN clause")
+        if stream and not profile:
+            return self._emit(rows, final_items, string_reads_before)
         out = [self._materialize_output(row, final_items) for row in rows]
         self._stats.string_store_reads += self._store.strings.reads - string_reads_before
         if profile:
             self.last_profile = node
         return out
+
+    def _emit(
+        self,
+        rows: Iterator[Row],
+        final_items: tuple[WithItem, ...],
+        string_reads_before: int,
+    ) -> Iterator[Any]:
+        """Stream output records; stats become final once drained."""
+        try:
+            for row in rows:
+                yield self._materialize_output(row, final_items)
+        finally:
+            self._stats.string_store_reads += (
+                self._store.strings.reads - string_reads_before
+            )
+
+    def _account_rows(self, buffered: list[Row]) -> Iterator[Row]:
+        """Charge a materialized row buffer against the memory budget.
+
+        The bytes stay reserved while downstream clauses drain the
+        buffer and are released when it is exhausted (or the query
+        errors), so ``peak_bytes`` reflects the buffer's lifetime.
+        """
+        nbytes = sum(estimate_record_bytes(row) for row in buffered)
+        self._memory.reserve(nbytes)
+        try:
+            yield from buffered
+        finally:
+            self._memory.release(nbytes)
 
     # ------------------------------------------------------------------
     # Count-store fast path
@@ -182,7 +226,7 @@ class CypherExecutor:
                 key=lambda row: index_key(self._eval(Prop(var, prop), row)),
                 reverse=descending,
             )
-            rows = iter(materialized)
+            rows = self._account_rows(materialized)
         return rows
 
     def _bind_pattern(
@@ -357,7 +401,14 @@ class CypherExecutor:
     # ------------------------------------------------------------------
     def _execute_with(self, rows: Iterator[Row], clause: WithClause) -> Iterator[Row]:
         if clause.has_aggregates():
-            rows = iter(self._aggregate(list(rows), clause.items))
+            buffered = list(rows)
+            nbytes = sum(estimate_record_bytes(row) for row in buffered)
+            self._memory.reserve(nbytes)
+            try:
+                aggregated = self._aggregate(buffered, clause.items)
+            finally:
+                self._memory.release(nbytes)
+            rows = self._account_rows(aggregated)
         else:
             rows = (self._project_row(row, clause.items) for row in rows)
         if clause.where is not None:
@@ -365,7 +416,7 @@ class CypherExecutor:
                 row for row in rows if self._truthy(self._eval(clause.where, row))
             )
         if clause.order_by:
-            rows = iter(self._order(list(rows), clause.order_by))
+            rows = self._account_rows(self._order(list(rows), clause.order_by))
         if clause.distinct:
             rows = self._distinct(rows)
         if clause.limit is not None:

@@ -24,12 +24,13 @@ import time
 from typing import Any, Iterable
 
 from repro import obs
+from repro.exec.memory import MemoryBudget, resolve_budget
 from repro.sqlengine.expressions import Evaluator
 from repro.sqlengine.optimizer import Optimizer, OptimizerFeatures
 from repro.sqlengine.parser import parse
 from repro.sqlengine.physical import ExecutionContext
 from repro.sqlengine.planner import plan_query
-from repro.sqlengine.result import QueryStats, ResultSet
+from repro.sqlengine.result import QueryStats, ResultSet, StreamingResultSet
 from repro.sqlengine.vectorize import vectorize
 from repro.storage.catalog import Catalog, TableInfo
 
@@ -38,6 +39,21 @@ def _default_exec_engine() -> str:
     """Process-wide engine default: ``REPRO_EXEC=vector`` flips it."""
     value = os.environ.get("REPRO_EXEC", "").strip().lower()
     return value if value in ("row", "vector") else "row"
+
+
+def _stamp_memory(stats: QueryStats, budget: MemoryBudget) -> None:
+    """Copy a drained query's memory accounting onto its stats."""
+    stats.peak_mem_bytes = max(stats.peak_mem_bytes, budget.peak_bytes)
+    stats.spill_bytes += budget.spill_bytes
+    stats.spill_runs += budget.spill_runs
+
+
+def _drain_with_stats(rows, stats: QueryStats, budget: MemoryBudget):
+    """Yield *rows* through; stamp memory stats once the stream ends."""
+    try:
+        yield from rows
+    finally:
+        _stamp_memory(stats, budget)
 
 
 class SQLDatabase:
@@ -53,11 +69,15 @@ class SQLDatabase:
         query_prep_overhead: float = 0.0,
         name: str = "sql",
         exec_engine: str | None = None,
+        memory_budget: int | str | None = None,
     ) -> None:
         self.name = name
         self.features = features if features is not None else OptimizerFeatures.postgres()
         self.catalog = Catalog(default_include_absent=include_absent_in_index)
         self.query_prep_overhead = query_prep_overhead
+        # Per-query operator-state budget in bytes (PostgreSQL work_mem
+        # semantics): explicit kwarg wins, else REPRO_MEM_BUDGET.
+        self.memory_budget = resolve_budget(memory_budget)
         self._evaluator = Evaluator(self.dialect)
         if exec_engine is None:
             exec_engine = _default_exec_engine()
@@ -108,13 +128,23 @@ class SQLDatabase:
     # ------------------------------------------------------------------
     # Query execution
     # ------------------------------------------------------------------
-    def execute(self, query_text: str, *, analyze: bool = False) -> ResultSet:
+    def execute(
+        self, query_text: str, *, analyze: bool = False, stream: bool = False
+    ) -> ResultSet:
         """Parse, optimize, and run *query_text*, returning a ResultSet.
 
         With ``analyze=True`` (or inside :func:`repro.obs.analyze_mode`,
         or under tracing) every physical/vector operator is profiled and
         the per-operator timing/row-count tree rides back on
         ``ResultSet.op_profile`` — results are identical either way.
+
+        With ``stream=True`` the result is a lazily-draining
+        :class:`StreamingResultSet`: records pull through the operator
+        pipeline on demand and are never buffered whole.  Tracing and
+        profiling force materialization (span row counts and operator
+        profiles need the full result) — the documented fallback.
+        Memory stats (``peak_mem_bytes``/``spill_*``) are final once the
+        stream is drained.
         """
         started = time.perf_counter()
         with obs.ambient_span("execute", backend=self.name, dialect=self.dialect) as span:
@@ -122,7 +152,8 @@ class SQLDatabase:
                 time.sleep(self.query_prep_overhead)
             physical = self._compile(query_text)
             stats = QueryStats()
-            ctx = ExecutionContext(self.catalog, self._evaluator, stats)
+            budget = MemoryBudget(self.memory_budget)
+            ctx = ExecutionContext(self.catalog, self._evaluator, stats, budget)
             plan_text = physical.tree_string()
             vector_plan = (
                 vectorize(physical, self.dialect)
@@ -135,18 +166,36 @@ class SQLDatabase:
                 stats.exec_engine = "vector"
                 if want_profile:
                     profile = obs.instrument_tree(vector_plan.head)
-                records = list(vector_plan.execute(ctx))
+                rows = vector_plan.execute(ctx)
                 plan_text += "\n== vector ==\n" + vector_plan.tree_string()
             else:
                 stats.exec_engine = "row"
                 if want_profile:
                     profile = obs.instrument_tree(physical)
-                records = list(physical.execute(ctx))
+                rows = physical.execute(ctx)
+            streaming = stream and not want_profile
+            records: list[Any] | None = None
+            if not streaming:
+                records = list(rows)
+                _stamp_memory(stats, budget)
             if span.recording:
-                span.set(rows=len(records), engine=stats.exec_engine)
+                span.set(
+                    rows=len(records or ()),
+                    engine=stats.exec_engine,
+                    peak_mem_bytes=stats.peak_mem_bytes,
+                    spill_bytes=stats.spill_bytes,
+                )
                 if profile is not None:
                     obs.attach_profile(span, profile)
         elapsed = time.perf_counter() - started
+        if records is None:
+            return StreamingResultSet(
+                _drain_with_stats(rows, stats, budget),
+                stats=stats,
+                plan_text=plan_text,
+                elapsed_seconds=elapsed,
+                op_profile=profile,
+            )
         return ResultSet(
             records=records,
             stats=stats,

@@ -14,11 +14,17 @@ results.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Iterator
 
 from repro.errors import ExecutionError, PlanningError
-from repro.exec.kernels import Descending, finalize_avg, finalize_std, sort_records
+from repro.exec.kernels import Descending, finalize_avg, finalize_std
+from repro.exec.memory import (
+    MemoryBudget,
+    SpillableGroups,
+    SpillSorter,
+    estimate_record_bytes,
+)
 from repro.sqlengine.ast_nodes import (
     Expression,
     FuncCall,
@@ -34,11 +40,17 @@ from repro.storage.keys import SENTINEL_MISSING, index_key
 
 @dataclass
 class ExecutionContext:
-    """Everything an operator needs at run time."""
+    """Everything an operator needs at run time.
+
+    ``memory`` is the per-query budget the blocking operators account
+    their buffered state against (and spill under); an unlimited default
+    keeps peak tracking on without ever triggering a spill.
+    """
 
     catalog: Catalog
     evaluator: Evaluator
     stats: QueryStats
+    memory: MemoryBudget = field(default_factory=MemoryBudget)
 
 
 class PhysicalPlan:
@@ -467,7 +479,12 @@ class ProjectOp(PhysicalPlan):
 
 
 class SortOp(PhysicalPlan):
-    """Full materializing sort on the environment stream."""
+    """Blocking sort on the environment stream; spills runs under budget.
+
+    The in-memory path is a stable decorate-sort-undecorate; the spill
+    path writes sorted runs and merges them back on the same decorated
+    keys with a sequence tiebreak, so both emit identical row order.
+    """
 
     def __init__(self, child: PhysicalPlan, keys: tuple[OrderItem, ...]) -> None:
         self.child = child
@@ -477,18 +494,24 @@ class SortOp(PhysicalPlan):
         return (self.child,)
 
     def execute(self, ctx: ExecutionContext) -> Iterator[Any]:
-        rows = list(self.child.execute(ctx))
         evaluate = ctx.evaluator.evaluate
 
         def key_of(row: Any) -> tuple:
             return tuple(
-                index_key(_absent_to_none(evaluate(order.expr, row)))
-                for order in self.keys
+                Descending(key) if order.descending else key
+                for order, key in (
+                    (order, index_key(_absent_to_none(evaluate(order.expr, row))))
+                    for order in self.keys
+                )
             )
 
-        yield from sort_records(
-            rows, key_of, [order.descending for order in self.keys]
-        )
+        sorter = SpillSorter(ctx.memory)
+        try:
+            for row in self.child.execute(ctx):
+                sorter.add(key_of(row), row)
+            yield from sorter.sorted_records()
+        finally:
+            sorter.close()
 
     def describe(self) -> str:
         keys = ", ".join(
@@ -519,8 +542,16 @@ class TopKOp(PhysicalPlan):
             return tuple(parts)
 
         decorated = ((sort_key(row), index, row) for index, row in enumerate(self.child.execute(ctx)))
-        for _key, _index, row in heapq.nsmallest(self.k, decorated, key=lambda t: (t[0], t[1])):
-            yield row
+        kept = heapq.nsmallest(self.k, decorated, key=lambda t: (t[0], t[1]))
+        # The bounded heap holds at most k rows; account them so the peak
+        # reflects the operator's real (already budget-friendly) state.
+        held = sum(estimate_record_bytes(row) for _key, _index, row in kept)
+        ctx.memory.reserve(held)
+        try:
+            for _key, _index, row in kept:
+                yield row
+        finally:
+            ctx.memory.release(held)
 
     def describe(self) -> str:
         keys = ", ".join(
@@ -540,7 +571,6 @@ class RecordSortOp(PhysicalPlan):
         return (self.child,)
 
     def execute(self, ctx: ExecutionContext) -> Iterator[Any]:
-        records = list(self.child.execute(ctx))
         evaluate = ctx.evaluator.evaluate
 
         def env_of(record: Any) -> dict[str, Any]:
@@ -549,13 +579,20 @@ class RecordSortOp(PhysicalPlan):
         def key_of(record: Any) -> tuple:
             env = env_of(record)
             return tuple(
-                index_key(_absent_to_none(evaluate(order.expr, env)))
-                for order in self.keys
+                Descending(key) if order.descending else key
+                for order, key in (
+                    (order, index_key(_absent_to_none(evaluate(order.expr, env))))
+                    for order in self.keys
+                )
             )
 
-        yield from sort_records(
-            records, key_of, [order.descending for order in self.keys]
-        )
+        sorter = SpillSorter(ctx.memory)
+        try:
+            for record in self.child.execute(ctx):
+                sorter.add(key_of(record), record)
+            yield from sorter.sorted_records()
+        finally:
+            sorter.close()
 
     def describe(self) -> str:
         keys = ", ".join(
@@ -618,19 +655,29 @@ class HashJoin(PhysicalPlan):
     def execute(self, ctx: ExecutionContext) -> Iterator[Any]:
         evaluate = ctx.evaluator.evaluate
         table: dict[Any, list[Any]] = {}
+        # The build side is accounted but never spilled: a partitioned
+        # (Grace) hash join is out of scope, so under a tiny budget the
+        # build simply materializes — the documented fallback.
+        build_bytes = 0
         for row in self.right.execute(ctx):
             key = evaluate(self.right_key, row)
             if key is None or key is SENTINEL_MISSING:
                 continue
             table.setdefault(index_key(key), []).append(row)
-        for left_row in self.left.execute(ctx):
-            key = evaluate(self.left_key, left_row)
-            if key is None or key is SENTINEL_MISSING:
-                continue
-            for right_row in table.get(index_key(key), ()):
-                merged = dict(left_row)
-                merged.update(right_row)
-                yield merged
+            nbytes = estimate_record_bytes(row)
+            build_bytes += nbytes
+            ctx.memory.reserve(nbytes)
+        try:
+            for left_row in self.left.execute(ctx):
+                key = evaluate(self.left_key, left_row)
+                if key is None or key is SENTINEL_MISSING:
+                    continue
+                for right_row in table.get(index_key(key), ()):
+                    merged = dict(left_row)
+                    merged.update(right_row)
+                    yield merged
+        finally:
+            ctx.memory.release(build_bytes)
 
     def describe(self) -> str:
         return f"HashJoin {self.left_key} = {self.right_key}"
@@ -707,6 +754,10 @@ class _Accumulator:
         for value in values:
             self.add(value)
 
+    def merge(self, other: "_Accumulator") -> None:
+        """Fold another accumulator's state into this one (spill merge)."""
+        raise NotImplementedError
+
     def result(self) -> Any:
         raise NotImplementedError
 
@@ -723,6 +774,9 @@ class _CountStar(_Accumulator):
 
     def add_rows(self, count: int) -> None:
         self.count += count
+
+    def merge(self, other: "_CountStar") -> None:
+        self.count += other.count
 
     def result(self) -> int:
         return self.count
@@ -741,6 +795,9 @@ class _CountValue(_Accumulator):
             1 for value in values
             if value is not None and value is not SENTINEL_MISSING
         )
+
+    def merge(self, other: "_CountValue") -> None:
+        self.count += other.count
 
     def result(self) -> int:
         return self.count
@@ -771,6 +828,10 @@ class _MinMax(_Accumulator):
         best = min(present) if self.is_min else max(present)
         self.add(best)
 
+    def merge(self, other: "_MinMax") -> None:
+        if other.best is not None:
+            self.add(other.best)
+
     def result(self) -> Any:
         return self.best
 
@@ -793,6 +854,10 @@ class _Sum(_Accumulator):
             return
         subtotal = sum(present[1:], present[0])
         self.total = subtotal if self.total is None else self.total + subtotal
+
+    def merge(self, other: "_Sum") -> None:
+        if other.total is not None:
+            self.total = other.total if self.total is None else self.total + other.total
 
     def result(self) -> Any:
         return self.total
@@ -825,6 +890,10 @@ class _Avg(_Accumulator):
         ]
         self.total += sum(present)
         self.count += len(present)
+
+    def merge(self, other: "_Avg") -> None:
+        self.total += other.total
+        self.count += other.count
 
     def result(self) -> float | None:
         return finalize_avg(self.total, self.count)
@@ -859,6 +928,11 @@ class _Std(_Accumulator):
         self.total += sum(present)
         self.total_sq += sum(value * value for value in present)
 
+    def merge(self, other: "_Std") -> None:
+        self.count += other.count
+        self.total += other.total
+        self.total_sq += other.total_sq
+
     def result(self) -> float | None:
         return finalize_std(self.count, self.total, self.total_sq)
 
@@ -879,6 +953,21 @@ def make_accumulator(call: FuncCall) -> _Accumulator:
     if name in ("STDDEV", "STDDEV_POP"):
         return _Std()
     raise PlanningError(f"unknown aggregate function {name}")
+
+
+def merge_group_state(
+    prior: tuple[list[_Accumulator], Any], later: tuple[list[_Accumulator], Any]
+) -> tuple[list[_Accumulator], Any]:
+    """Fold a later spill run's group state into the earlier one.
+
+    Accumulators combine positionally; the representative row stays the
+    earliest one seen, which is what the unspilled dict would have kept.
+    """
+    prior_accumulators, representative = prior
+    later_accumulators, _later_representative = later
+    for accumulator, other in zip(prior_accumulators, later_accumulators):
+        accumulator.merge(other)
+    return (prior_accumulators, representative)
 
 
 class HashAggregate(PhysicalPlan):
@@ -902,35 +991,38 @@ class HashAggregate(PhysicalPlan):
 
     def execute(self, ctx: ExecutionContext) -> Iterator[Any]:
         evaluate = ctx.evaluator.evaluate
-        groups: dict[tuple, tuple[list[_Accumulator], Any]] = {}
+        groups = SpillableGroups(ctx.memory)
         scalar = not self.group_by
-        for row in self.child.execute(ctx):
-            if scalar:
-                key = ()
-            else:
-                key = tuple(
-                    index_key(_absent_to_none(evaluate(expr, row)))
-                    for expr in self.group_by
-                )
-            entry = groups.get(key)
-            if entry is None:
-                entry = ([make_accumulator(call) for call in self._agg_calls], row)
-                groups[key] = entry
-            accumulators, _representative = entry
-            for call, accumulator in zip(self._agg_calls, accumulators):
-                accumulator.add_row()
-                if not call.star:
-                    accumulator.add(evaluate(call.args[0], row))
-        if scalar and not groups:
-            # SQL: aggregates over an empty input still produce one row.
-            accumulators = [make_accumulator(call) for call in self._agg_calls]
-            groups[()] = (accumulators, {})
-        for accumulators, representative in groups.values():
-            results = {
-                id(call): accumulator.result()
-                for call, accumulator in zip(self._agg_calls, accumulators)
-            }
-            yield self._shape_output(ctx, representative, results)
+        try:
+            for row in self.child.execute(ctx):
+                if scalar:
+                    key = ()
+                else:
+                    key = tuple(
+                        index_key(_absent_to_none(evaluate(expr, row)))
+                        for expr in self.group_by
+                    )
+                entry = groups.get(key)
+                if entry is None:
+                    entry = ([make_accumulator(call) for call in self._agg_calls], row)
+                    groups.insert(key, entry, estimate_record_bytes(row))
+                accumulators, _representative = entry
+                for call, accumulator in zip(self._agg_calls, accumulators):
+                    accumulator.add_row()
+                    if not call.star:
+                        accumulator.add(evaluate(call.args[0], row))
+            if scalar and not len(groups) and not groups.spilled:
+                # SQL: aggregates over an empty input still produce one row.
+                accumulators = [make_accumulator(call) for call in self._agg_calls]
+                groups.insert((), (accumulators, {}), 0)
+            for accumulators, representative in groups.finalized(merge_group_state):
+                results = {
+                    id(call): accumulator.result()
+                    for call, accumulator in zip(self._agg_calls, accumulators)
+                }
+                yield self._shape_output(ctx, representative, results)
+        finally:
+            groups.close()
 
     def _shape_output(self, ctx: ExecutionContext, row: Any, agg_results: dict[int, Any]) -> Any:
         values: dict[str, Any] = {}

@@ -28,6 +28,9 @@ class QueryStats:
     compile_cache_hits: int = 0  # compiled-query cache hits behind this result
     compile_cache_misses: int = 0  # plans that had to be compiled from scratch
     batches: int = 0  # column batches scanned by the vector engine
+    peak_mem_bytes: int = 0  # peak accounted operator memory (max when merging)
+    spill_bytes: int = 0  # bytes written to disk spill runs
+    spill_runs: int = 0  # spill runs written under memory pressure
     exec_engine: str = ""  # 'row' | 'vector'; 'mixed' after merging both
     dispatch_mode: str = ""  # 'serial' | 'threads'; 'mixed' after merging both
     parallelism: int = 0  # max shard queries in flight at once (0 = single node)
@@ -46,6 +49,11 @@ class QueryStats:
         self.compile_cache_hits += other.compile_cache_hits
         self.compile_cache_misses += other.compile_cache_misses
         self.batches += other.batches
+        # Shards execute concurrently at worst, so the cluster-wide peak
+        # is the largest single-shard peak; spill volume is additive.
+        self.peak_mem_bytes = max(self.peak_mem_bytes, other.peak_mem_bytes)
+        self.spill_bytes += other.spill_bytes
+        self.spill_runs += other.spill_runs
         if other.exec_engine:
             if not self.exec_engine:
                 self.exec_engine = other.exec_engine
@@ -94,6 +102,23 @@ class ResultSet:
     def __iter__(self):
         return iter(self.records)
 
+    def iter_records(self):
+        """Iterate the records; streaming subclasses drain lazily."""
+        return iter(self.records)
+
+    @property
+    def streaming(self) -> bool:
+        """True while an underlying record stream is still draining.
+
+        Always False for materialized results, so callers can ask for
+        ``stream=True``, get a documented materialize fallback (tracing,
+        retry policies, blocking merges), and not special-case it.
+        """
+        return False
+
+    def close(self) -> None:
+        """Release any underlying stream; a no-op when materialized."""
+
     def scalar(self) -> Any:
         """The single value of a one-row, one-column result.
 
@@ -118,3 +143,105 @@ class ResultSet:
             else:
                 out.append({"value": record})
         return out
+
+
+class StreamingResultSet(ResultSet):
+    """A lazily-draining result over a pull-based record stream.
+
+    Until something touches :attr:`records`, nothing is buffered:
+    :meth:`iter_records` (and plain iteration) pulls straight from the
+    underlying operator pipeline one record at a time, so a streaming
+    client never holds the full result.  Touching :attr:`records`
+    (``len()``, ``scalar()``, ``to_records()``) *materializes* the
+    remaining stream into memory — the documented fallback that keeps
+    every consumer of the eager API working unchanged.
+
+    Draining is one-shot: records already yielded by :meth:`iter_records`
+    are gone, and a second iteration sees only what the first left
+    behind.  ``stats`` (including ``peak_mem_bytes``/``spill_bytes``) is
+    only final once the stream is exhausted, because operators account
+    memory as records are pulled through them.
+    """
+
+    def __init__(self, record_source=None, **kwargs):
+        self._source = iter(record_source) if record_source is not None else None
+        self._on_drain: list = []
+        kwargs.setdefault("records", [])
+        super().__init__(**kwargs)
+
+    def on_drain(self, callback) -> None:
+        """Run *callback* once the source stream is exhausted or closed.
+
+        By then the pipeline's cleanup has run, so ``stats`` carries the
+        final drain-dependent numbers (``peak_mem_bytes``, spill
+        counters).  If the stream is already drained the callback runs
+        immediately.
+        """
+        if self._source is None:
+            callback()
+        else:
+            self._on_drain.append(callback)
+
+    def _finish(self) -> None:
+        callbacks, self._on_drain = self._on_drain, []
+        for callback in callbacks:
+            callback()
+
+    @property
+    def records(self) -> list[Any]:
+        self._materialize()
+        return self._records
+
+    @records.setter
+    def records(self, value) -> None:
+        self._records = list(value)
+
+    @property
+    def streaming(self) -> bool:
+        """True while the source stream has not been fully drained."""
+        return self._source is not None
+
+    def _materialize(self) -> None:
+        if self._source is not None:
+            source, self._source = self._source, None
+            self._records.extend(source)
+            self._finish()
+
+    def iter_records(self):
+        """Stream records one at a time without buffering them (one-shot)."""
+        while self._records:
+            yield self._records.pop(0)
+        source = self._source
+        if source is not None:
+            try:
+                for record in source:
+                    yield record
+            finally:
+                # Propagate an early close (LIMIT satisfied downstream,
+                # or an abandoned iterator) into the pipeline so
+                # operators release their budget reservations and stats
+                # get stamped deterministically.  ``close()`` may have
+                # beaten us to it — only finalize if we still own the
+                # source.
+                if self._source is source:
+                    self._source = None
+                    close = getattr(source, "close", None)
+                    if close is not None:
+                        close()
+                    self._finish()
+
+    def close(self) -> None:
+        """Abandon the remaining stream, closing the record source.
+
+        The pipeline's cleanup (budget release, stats stamping) runs
+        immediately instead of waiting for garbage collection.
+        """
+        if self._source is not None:
+            source, self._source = self._source, None
+            close = getattr(source, "close", None)
+            if close is not None:
+                close()
+            self._finish()
+
+    def __iter__(self):
+        return self.iter_records()

@@ -39,6 +39,7 @@ class AsterixDB(SQLDatabase):
         query_prep_overhead: float = DEFAULT_PREP_OVERHEAD,
         name: str = "asterixdb",
         exec_engine: str | None = None,
+        memory_budget: int | str | None = None,
     ) -> None:
         super().__init__(
             features if features is not None else OptimizerFeatures.asterixdb(),
@@ -46,6 +47,7 @@ class AsterixDB(SQLDatabase):
             query_prep_overhead=query_prep_overhead,
             name=name,
             exec_engine=exec_engine,
+            memory_budget=memory_budget,
         )
         self._dataverses: set[str] = set()
 

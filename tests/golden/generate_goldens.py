@@ -65,9 +65,9 @@ def capture_backend(connector) -> dict[str, list[str]]:
     for expr in EXPRESSIONS:
         sent: list[str] = []
 
-        def recording_send(query, collection, _sent=sent):
+        def recording_send(query, collection, _sent=sent, **kwargs):
             _sent.append(query)
-            return original_send(query, collection)
+            return original_send(query, collection, **kwargs)
 
         connector.send = recording_send
         try:

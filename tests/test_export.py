@@ -20,6 +20,7 @@ def sample():
             "PolyFrame-PostgreSQL", "S", 4, "ok", 0.0002, 0.004,
             rows_per_sec=250_000.0, exec_engine="vector",
             dispatch_mode="threads", parallelism=4,
+            peak_mem_bytes=65_536, spill_bytes=1_048_576,
         ),
     ]
 
@@ -43,7 +44,8 @@ def test_csv_has_header_and_rows():
     lines = text.strip().splitlines()
     assert lines[0].startswith("system,dataset,expression_id")
     assert lines[0].endswith(
-        "compile_ms,nesting_depth,rows_per_sec,exec_engine,dispatch_mode,parallelism"
+        "compile_ms,nesting_depth,rows_per_sec,exec_engine,dispatch_mode,"
+        "parallelism,peak_mem_bytes,spill_bytes"
     )
     assert len(lines) == 5
     assert "PolyFrame-Neo4j" in lines[2]
@@ -74,3 +76,18 @@ def test_throughput_columns_round_trip():
     for row in legacy:
         del row["rows_per_sec"], row["exec_engine"]
     assert from_json(json.dumps(legacy))[0].rows_per_sec == 0.0
+
+
+def test_memory_columns_round_trip():
+    rows = measurements_to_dicts(sample())
+    assert rows[3]["peak_mem_bytes"] == 65_536
+    assert rows[3]["spill_bytes"] == 1_048_576
+    assert rows[0]["peak_mem_bytes"] == 0  # eager baseline: no accounting
+    rehydrated = from_json(to_json(sample()))
+    assert rehydrated[3].peak_mem_bytes == 65_536
+    assert rehydrated[3].spill_bytes == 1_048_576
+    # Older exports without the columns rehydrate with defaults.
+    legacy = json.loads(to_json(sample()[:1]))
+    for row in legacy:
+        del row["peak_mem_bytes"], row["spill_bytes"]
+    assert from_json(json.dumps(legacy))[0].spill_bytes == 0

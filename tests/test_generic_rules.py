@@ -45,9 +45,9 @@ class TestDescribe:
         calls = []
         original = frame.connector.send
 
-        def spy(query, collection):
+        def spy(query, collection, **kwargs):
             calls.append(query)
-            return original(query, collection)
+            return original(query, collection, **kwargs)
 
         frame.connector.send = spy
         try:
@@ -79,9 +79,9 @@ class TestGetDummies:
         calls = []
         original = frame.connector.send
 
-        def spy(query, collection):
+        def spy(query, collection, **kwargs):
             calls.append(query)
-            return original(query, collection)
+            return original(query, collection, **kwargs)
 
         frame.connector.send = spy
         try:

@@ -173,8 +173,8 @@ def test_cache_counters_surface_through_query_stats(postgres):
     results = []
     original_send = connector.send
 
-    def spy(query, collection):
-        result = original_send(query, collection)
+    def spy(query, collection, **kwargs):
+        result = original_send(query, collection, **kwargs)
         results.append(result)
         return result
 

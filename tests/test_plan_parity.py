@@ -71,9 +71,9 @@ def _run_expressions(connector):
     for expr in EXPRESSIONS:
         queries: list[str] = []
 
-        def recording_send(query, collection, _queries=queries):
+        def recording_send(query, collection, _queries=queries, **kwargs):
             _queries.append(query)
-            return original_send(query, collection)
+            return original_send(query, collection, **kwargs)
 
         connector.send = recording_send
         try:

@@ -116,9 +116,9 @@ class TestLaziness:
         calls = []
         original_send = connector.send
 
-        def counting_send(query, collection):
+        def counting_send(query, collection, **kwargs):
             calls.append(query)
-            return original_send(query, collection)
+            return original_send(query, collection, **kwargs)
 
         connector.send = counting_send
         try:
