@@ -1,0 +1,117 @@
+"""Hot-query speedup from the semantic result cache, with asserted parity.
+
+The cache's performance claim: a repeated ("hot") query over unchanged
+data is served from the connector's :class:`ResultCache` without
+touching the backend, and the served answer is byte-identical to the
+executed one.  This bench runs an aggregation that scans every row of a
+Wisconsin dataset on the embedded SQL engine — expensive to execute,
+tiny to store — cold once and hot (min of 3) from cache, and checks:
+
+- the hot query is at least ``MIN_SPEEDUP``x faster than the cold one;
+- cold and hot answers are byte-identical;
+- the hit is recorded end to end: ``QueryStats.result_cache_hits``,
+  ``SendRecord.cache_hits``, and the bench ``Measurement``'s
+  ``cache_hits`` column (present in the JSON/CSV export).
+
+Writes ``benchmarks/results/result_cache.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro import PolyFrame, PostgresConnector
+from repro.bench.expressions import EXPRESSIONS, benchmark_params
+from repro.bench.export import to_json
+from repro.bench.runner import run_expression
+from repro.bench.systems import SystemUnderTest
+from repro.sqlengine import SQLDatabase
+from repro.wisconsin import loaders, wisconsin_records
+
+from conftest import write_result
+
+NUM_RECORDS = 60_000
+#: The acceptance floor for cold-over-hot wall time.
+MIN_SPEEDUP = 5.0
+#: Scans all rows, returns ten groups: worst case for execution, best
+#: case for storage — exactly the shape a result cache pays off on.
+HOT_QUERY = (
+    'SELECT t."ten" AS k, COUNT(*) AS n, SUM(t."four") AS s '
+    'FROM Bench.data t GROUP BY t."ten"'
+)
+
+
+def _build() -> tuple[SQLDatabase, PostgresConnector]:
+    db = SQLDatabase(name="postgres")
+    loaders.load_postgres(db, "Bench", "data", wisconsin_records(NUM_RECORDS))
+    loaders.load_postgres(db, "Bench", "data2", wisconsin_records(NUM_RECORDS))
+    return db, PostgresConnector(db, cache=True)
+
+
+def run_cache_bench() -> dict:
+    db, connector = _build()
+
+    started = time.perf_counter()
+    cold = connector.send(HOT_QUERY, "data")
+    cold_seconds = time.perf_counter() - started
+    assert cold.stats.result_cache_misses == 1
+
+    hot_seconds = float("inf")
+    hot = None
+    for _ in range(3):
+        started = time.perf_counter()
+        hot = connector.send(HOT_QUERY, "data")
+        hot_seconds = min(hot_seconds, time.perf_counter() - started)
+
+    # Parity and a recorded hit, at every layer that reports one.
+    assert hot.records == cold.records, "cached answer diverged"
+    assert hot.stats.result_cache_hits == 1
+    assert connector.send_log[-1].cache_hits == 1
+    assert connector.result_cache.stats()["hits"] == 3
+
+    speedup = cold_seconds / hot_seconds
+    assert speedup >= MIN_SPEEDUP, (
+        f"hot query only {speedup:.1f}x faster than cold "
+        f"({cold_seconds * 1e3:.2f} ms vs {hot_seconds * 1e3:.2f} ms)"
+    )
+
+    # The same story through the bench harness: the second measurement
+    # of one expression must carry the hit into the Measurement export.
+    system = SystemUnderTest(
+        "PolyFrame-PostgreSQL",
+        "polyframe",
+        lambda: (
+            PolyFrame("Bench", "data", connector),
+            PolyFrame("Bench", "data2", connector),
+        ),
+        engine=db,
+        connector=connector,
+    )
+    params = benchmark_params()
+    expression = next(e for e in EXPRESSIONS if e.id == 4)
+    measure_cold = run_expression(system, expression, params, dataset="bench")
+    measure_hot = run_expression(system, expression, params, dataset="bench")
+    assert measure_hot.cache_hits >= 1, "Measurement lost the cache hit"
+    assert measure_hot.expression_seconds < measure_cold.expression_seconds
+    exported = json.loads(to_json([measure_cold, measure_hot]))
+    assert exported[1]["cache_hits"] >= 1
+
+    return {
+        "records": NUM_RECORDS,
+        "query": HOT_QUERY,
+        "cold_seconds": cold_seconds,
+        "hot_seconds": hot_seconds,
+        "speedup": speedup,
+        "min_speedup": MIN_SPEEDUP,
+        "rows_returned": len(cold.records),
+        "cache": connector.result_cache.stats(),
+        "measurements": exported,
+    }
+
+
+def test_result_cache_speedup(benchmark, results_dir):
+    payload = benchmark.pedantic(run_cache_bench, rounds=1, iterations=1)
+    write_result(results_dir, "result_cache.json", json.dumps(payload, indent=2))
+    assert payload["speedup"] >= payload["min_speedup"]
+    assert payload["cache"]["hits"] >= 3

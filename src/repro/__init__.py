@@ -21,6 +21,7 @@ Quickstart::
     af[af["lang"] == "en"][["name", "id"]].head(10)
 """
 
+from repro.cache import ResultCache
 from repro.core import (
     AsterixDBConnector,
     DatabaseConnector,
@@ -48,6 +49,7 @@ __all__ = [
     "PolyFrame",
     "PolySeries",
     "PostgresConnector",
+    "ResultCache",
     "RewriteEngine",
     "RewriteRules",
     "Tracer",

@@ -37,6 +37,9 @@ _FIELDS = (
     "parallelism",
     "peak_mem_bytes",
     "spill_bytes",
+    "cache_hits",
+    "cache_misses",
+    "singleflight_waits",
 )
 
 
@@ -63,6 +66,9 @@ def measurements_to_dicts(measurements: Sequence[Measurement]) -> list[dict]:
             "parallelism": m.parallelism,
             "peak_mem_bytes": m.peak_mem_bytes,
             "spill_bytes": m.spill_bytes,
+            "cache_hits": m.cache_hits,
+            "cache_misses": m.cache_misses,
+            "singleflight_waits": m.singleflight_waits,
         }
         for m in measurements
     ]
@@ -116,6 +122,9 @@ def from_json(text: str) -> list[Measurement]:
                 parallelism=int(row.get("parallelism", 0)),
                 peak_mem_bytes=int(row.get("peak_mem_bytes", 0)),
                 spill_bytes=int(row.get("spill_bytes", 0)),
+                cache_hits=int(row.get("cache_hits", 0)),
+                cache_misses=int(row.get("cache_misses", 0)),
+                singleflight_waits=int(row.get("singleflight_waits", 0)),
             )
         )
     return out

@@ -65,6 +65,12 @@ class Measurement:
     bytes its queries wrote to disk spill runs — both 0 for the eager
     baseline and for runs without a memory budget engaged (see
     ``docs/memory.md``).
+
+    ``cache_hits`` / ``cache_misses`` count result-cache probes the
+    expression's sends made (whole-send and per-shard), and
+    ``singleflight_waits`` sends that shared an identical in-flight
+    query's answer — all 0 with caching off, the default (see
+    ``docs/caching.md``).
     """
 
     system: str
@@ -85,6 +91,9 @@ class Measurement:
     parallelism: int = 0
     peak_mem_bytes: int = 0
     spill_bytes: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    singleflight_waits: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -141,6 +150,9 @@ def run_expression(
         rows_per_sec, exec_engine = _throughput_outcomes(system, send_mark)
         dispatch_mode, parallelism = _dispatch_outcomes(system, send_mark)
         peak_mem_bytes, spill_bytes = _memory_outcomes(system, send_mark)
+        cache_hits, cache_misses, singleflight_waits = _cache_outcomes(
+            system, send_mark
+        )
     return Measurement(
         system.name, dataset, expr.id, STATUS_OK, creation, expression,
         retries=retries, degraded=degraded, failovers=failovers, hedges=hedges,
@@ -148,6 +160,8 @@ def run_expression(
         rows_per_sec=rows_per_sec, exec_engine=exec_engine,
         dispatch_mode=dispatch_mode, parallelism=parallelism,
         peak_mem_bytes=peak_mem_bytes, spill_bytes=spill_bytes,
+        cache_hits=cache_hits, cache_misses=cache_misses,
+        singleflight_waits=singleflight_waits,
     )
 
 
@@ -257,6 +271,19 @@ def _memory_outcomes(system: SystemUnderTest, send_mark: int) -> tuple[int, int]
     peak = max((getattr(r, "peak_mem_bytes", 0) for r in records), default=0)
     spill = sum(getattr(r, "spill_bytes", 0) for r in records)
     return peak, spill
+
+
+def _cache_outcomes(
+    system: SystemUnderTest, send_mark: int
+) -> tuple[int, int, int]:
+    """Result-cache and singleflight activity behind the expression's sends."""
+    if system.connector is None:
+        return 0, 0, 0
+    records = system.connector.send_log[send_mark:]
+    hits = sum(getattr(r, "cache_hits", 0) for r in records)
+    misses = sum(getattr(r, "cache_misses", 0) for r in records)
+    waits = sum(getattr(r, "singleflight_waits", 0) for r in records)
+    return hits, misses, waits
 
 
 def _compile_outcomes(system: SystemUnderTest, compile_mark: int) -> tuple[float, int]:

@@ -1,0 +1,43 @@
+"""Semantic query-result caching with write invalidation.
+
+PolyFrame's lazy evaluation re-ships a query to the backend on every
+action, even when the same logical plan over unchanged data was just
+answered.  The compiled-query cache (PR 2) removes the *compilation*
+cost of that repetition; this package removes the *execution* cost:
+
+- :class:`ResultCache` — a byte-budgeted LRU of materialized results
+  with cost-aware admission (minimum query time, maximum entry size),
+  optional TTL, and never-cache-partial semantics.
+- :class:`DatasetVersions` — monotonic per-dataset version counters.
+  Every mutating path (``persist()``, loaders, cluster DDL/DML) bumps
+  the datasets it writes; the version *vector* of the datasets a query
+  touches is part of the cache key, so a stale entry can never match.
+- :class:`Singleflight` — in-flight deduplication: concurrent identical
+  sends execute once, the rest block on the winner and share its answer.
+- :func:`resolve_result_cache` — the ``cache=`` kwarg / ``REPRO_CACHE``
+  environment variable resolution shared by connectors and clusters.
+
+Caching is off by default (seed-identical behavior); see
+``docs/caching.md`` for the key structure, invalidation rules, admission
+policy, and fallback matrix.
+"""
+
+from repro.cache.result_cache import (
+    DEFAULT_MAX_BYTES,
+    ENV_CACHE,
+    CacheEntry,
+    DatasetVersions,
+    ResultCache,
+    resolve_result_cache,
+)
+from repro.cache.singleflight import Singleflight
+
+__all__ = [
+    "DEFAULT_MAX_BYTES",
+    "ENV_CACHE",
+    "CacheEntry",
+    "DatasetVersions",
+    "ResultCache",
+    "Singleflight",
+    "resolve_result_cache",
+]

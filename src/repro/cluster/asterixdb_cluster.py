@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable
 
+from repro.cache import DatasetVersions, ResultCache, resolve_result_cache
 from repro.cluster.base import scatter_gather_replicated, shard_records
 from repro.cluster.dispatch import Dispatcher, resolve_dispatcher
 from repro.cluster.partial import plan_select
@@ -46,6 +47,7 @@ class AsterixDBCluster:
         breaker_factory: Callable[[int], CircuitBreaker | None] | None = None,
         dispatch: "Dispatcher | str | None" = None,
         memory_budget: int | str | None = None,
+        cache: "ResultCache | bool | int | str | None" = None,
     ) -> None:
         if num_nodes < 1:
             raise ValueError("a cluster needs at least one node")
@@ -74,6 +76,16 @@ class AsterixDBCluster:
         )
         self.hedge = hedge if hedge is not None else HedgePolicy()
         self.quorum_reads = quorum_reads
+        #: Per-shard result cache (``cache=`` / ``REPRO_CACHE``); entries
+        #: are keyed on the query text plus the cluster's dataset version
+        #: vector, so every write below invalidates by construction.
+        self.result_cache = resolve_result_cache(cache, backend=self.name)
+        self.dataset_versions = DatasetVersions()
+
+    def _note_write(self, *names: str) -> None:
+        self.dataset_versions.bump(*names)
+        if self.result_cache is not None:
+            self.result_cache.note_invalidation(len(names))
 
     # ------------------------------------------------------------------
     # DDL / loading (applied to every replica copy; data is sharded)
@@ -88,6 +100,7 @@ class AsterixDBCluster:
     def create_dataset(self, dataverse: str, dataset: str, primary_key: str) -> None:
         for engine in self.store.all_engines():
             engine.create_dataset(dataverse, dataset, primary_key)
+        self._note_write(f"{dataverse}.{dataset}")
 
     def load(
         self,
@@ -102,15 +115,20 @@ class AsterixDBCluster:
             total += copies[0].load(qualified_name, shard_rows)
             for backup in copies[1:]:
                 backup.load(qualified_name, shard_rows)
+        self._note_write(qualified_name)
         return total
 
     def create_index(self, table: str, column: str, **kwargs: Any) -> None:
         for engine in self.store.all_engines():
             engine.create_index(table, column, **kwargs)
+        # Indexes and stats change plan text, not answers — but cached
+        # entries carry plan text, so conservatively invalidate anyway.
+        self._note_write(table)
 
     def analyze(self, table: str) -> None:
         for engine in self.store.all_engines():
             engine.analyze(table)
+        self._note_write(table)
 
     @property
     def catalog(self):
@@ -128,6 +146,13 @@ class AsterixDBCluster:
         # of local finals; every other query passes through byte-identical.
         shard_query, spec = plan_select(query_text, "sqlpp")
         injector, policy = cluster_resilience(self.fault_injector, self.retry_policy)
+        cache_key = None
+        if self.result_cache is not None:
+            cache_key = (
+                self.name,
+                query_text,
+                self.dataset_versions.vector(query_text),
+            )
         # Tests stub shard engines with plain callables, so only pass the
         # streaming knob through when it is actually on.
         shard_kwargs = {"stream": True} if stream else {}
@@ -146,4 +171,6 @@ class AsterixDBCluster:
             allow_partial=self.allow_partial,
             dispatcher=self.dispatcher,
             stream=stream,
+            result_cache=self.result_cache,
+            cache_key=cache_key,
         )

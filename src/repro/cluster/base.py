@@ -33,6 +33,7 @@ import time
 import zlib
 from typing import Any, Callable, Sequence
 
+from repro.cache import ResultCache
 from repro.cluster.dispatch import Dispatcher, resolve_dispatcher
 from repro.cluster.merge import MergeSpec, merge_record_stream, merge_records
 from repro.cluster.replica import (
@@ -50,12 +51,49 @@ from repro.errors import (
     ShardFailureError,
 )
 from repro.obs import ambient_span, metrics
-from repro.obs.profile import OpProfile
+from repro.obs.profile import OpProfile, analyze_active
 from repro.resilience import FaultInjector, RetryPolicy
 from repro.sqlengine.result import QueryStats, ResultSet, StreamingResultSet
 
 #: Simulated per-query coordinator cost (shipping plans, gathering results).
 DEFAULT_COORDINATOR_OVERHEAD = 0.0002
+
+
+def _shard_cache_for(
+    result_cache: ResultCache | None,
+    cache_key: Any,
+    *,
+    stream: bool,
+    quorum_reads: bool = False,
+) -> ResultCache | None:
+    """The effective per-shard result cache for one gather, if any.
+
+    Streaming gathers bypass it (shard results are lazy streams, and a
+    snapshot would defeat the point); analyze mode does too (a cached
+    shard has no operator profile to roll up); quorum reads must compare
+    *fresh* replica checksums, so serving one side from cache would
+    silently skip the divergence check.
+    """
+    if (
+        result_cache is None
+        or cache_key is None
+        or stream
+        or quorum_reads
+        or analyze_active()
+    ):
+        return None
+    return result_cache
+
+
+def _cached_shard_result(entry: Any) -> ResultSet:
+    """A shard answer rebuilt from a cache entry (attempt-free)."""
+    stats = QueryStats(result_cache_hits=1)
+    return ResultSet(
+        records=list(entry.records),
+        stats=stats,
+        plan_text=entry.plan_text,
+        elapsed_seconds=0.0,
+    )
 
 
 def _stream_supported(
@@ -126,8 +164,17 @@ def scatter_gather(
     allow_partial: bool = False,
     dispatcher: "Dispatcher | str | None" = None,
     stream: bool = False,
+    result_cache: ResultCache | None = None,
+    cache_key: Any = None,
 ) -> ResultSet:
     """Run a query on every shard and merge the partial results.
+
+    With *result_cache* and *cache_key* set, each shard's complete
+    result is cached under ``(cache_key, shard)`` and served from cache
+    on the next identical gather before any attempt runs — the caller
+    owns making *cache_key* semantic (query text plus its dataset
+    version vector).  Streaming and analyze-mode gathers bypass the
+    cache (see :func:`_shard_cache_for`); failed shards store nothing.
 
     With ``stream=True`` and a record-stream merge kind the returned
     result drains lazily: per-shard record streams flow through the
@@ -160,11 +207,18 @@ def scatter_gather(
             f"scatter_gather needs at least one shard, got {num_shards}"
         )
     dispatcher = resolve_dispatcher(dispatcher)
+    shard_cache = _shard_cache_for(result_cache, cache_key, stream=stream)
 
     def execute_shard(shard: int) -> _ShardOutcome:
         key = f"{backend_name}#shard{shard}"
         attempt = 0
         with ambient_span("shard", shard=shard, backend=backend_name) as shard_span:
+            if shard_cache is not None:
+                entry = shard_cache.lookup((cache_key, shard))
+                if entry is not None:
+                    cached = _cached_shard_result(entry)
+                    shard_span.set(attempts=0, cache_hits=1)
+                    return _ShardOutcome(shard, cached, 0)
             while True:
                 attempt += 1
                 try:
@@ -198,6 +252,14 @@ def scatter_gather(
                     shard_span.set(attempts=attempt, rows=len(result.records))
                 else:
                     shard_span.set(attempts=attempt)
+                if shard_cache is not None:
+                    shard_cache.store(
+                        (cache_key, shard),
+                        result.records,
+                        elapsed_seconds=result.elapsed_seconds,
+                        plan_text=result.plan_text,
+                        partial=result.partial,
+                    )
                 return _ShardOutcome(shard, result, attempt)
 
     dispatch_started = time.perf_counter()
@@ -223,7 +285,8 @@ def scatter_gather(
         )
 
     stats = QueryStats()
-    stats.retries += sum(attempts - 1 for attempts in shard_attempts)
+    # Cache-served shards have zero attempts; they spent no retries.
+    stats.retries += sum(max(0, attempts - 1) for attempts in shard_attempts)
     stats.failed_shards += len(failed_shards)
     stats.dispatch_mode = dispatcher.mode
     stats.parallelism = dispatcher.parallelism_for(num_shards)
@@ -385,12 +448,22 @@ def scatter_gather_replicated(
     allow_partial: bool = False,
     dispatcher: "Dispatcher | str | None" = None,
     stream: bool = False,
+    result_cache: ResultCache | None = None,
+    cache_key: Any = None,
 ) -> ResultSet:
     """Replica-aware scatter-gather: failover, hedging, quorum checks.
 
     ``stream=True`` behaves as in :func:`scatter_gather`; quorum reads
     additionally materialize shard results (their row checksums need the
     full records) before the merged stream is assembled.
+
+    Per-shard result caching (*result_cache* + *cache_key*) works as in
+    :func:`scatter_gather`: a cached shard is served before any replica
+    is tried — so a shard whose primary is down costs neither a failover
+    nor a hedge while its answer is cached — and the cache remembers
+    which node originally served the entry for honest ``served_by``
+    reporting.  Quorum reads bypass the cache entirely: they exist to
+    cross-check *fresh* replica answers.
 
     For each shard, its replicas are tried healthiest-first
     (:meth:`NodeHealthBoard.order`); a replica whose retry budget is
@@ -422,11 +495,23 @@ def scatter_gather_replicated(
     if health is None:
         health = NodeHealthBoard(replica_set.num_nodes, cluster_name=backend_name)
     dispatcher = resolve_dispatcher(dispatcher)
+    shard_cache = _shard_cache_for(
+        result_cache, cache_key, stream=stream, quorum_reads=quorum_reads
+    )
 
     def execute_shard(shard: int) -> _ReplicaShardOutcome:
         out = _ReplicaShardOutcome(shard)
         candidates = health.order(replica_set.replicas_for(shard))
         with ambient_span("shard", shard=shard, backend=backend_name) as shard_span:
+            if shard_cache is not None:
+                entry = shard_cache.lookup((cache_key, shard))
+                if entry is not None:
+                    shard_span.set(
+                        attempts=0, node=entry.served_node, cache_hits=1
+                    )
+                    out.result = _cached_shard_result(entry)
+                    out.served = entry.served_node
+                    return out
             result: ResultSet | None = None
             served = -1
             effective = 0.0
@@ -686,6 +771,15 @@ def scatter_gather_replicated(
                 shard_span.set(attempts=attempts, rows=len(result.records), node=served)
             else:
                 shard_span.set(attempts=attempts, node=served)
+            if shard_cache is not None:
+                shard_cache.store(
+                    (cache_key, shard),
+                    result.records,
+                    elapsed_seconds=result.elapsed_seconds,
+                    plan_text=result.plan_text,
+                    partial=result.partial,
+                    served_node=served,
+                )
             out.result = result
             out.effective = effective
             out.served = served
@@ -731,7 +825,8 @@ def scatter_gather_replicated(
         )
 
     stats = QueryStats()
-    stats.retries += sum(attempts - 1 for attempts in shard_attempts)
+    # Cache-served shards have zero attempts; they spent no retries.
+    stats.retries += sum(max(0, attempts - 1) for attempts in shard_attempts)
     stats.failed_shards += len(failed_shards)
     stats.failovers += failovers
     stats.hedges += hedges

@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+import json
 from typing import Any, Callable, Iterable
 
+from repro.cache import DatasetVersions, ResultCache, resolve_result_cache
 from repro.cluster.base import scatter_gather_replicated, shard_records
 from repro.cluster.dispatch import Dispatcher, resolve_dispatcher
 from repro.cluster.partial import plan_pipeline
@@ -46,6 +48,7 @@ class MongoDBCluster:
         breaker_factory: Callable[[int], CircuitBreaker | None] | None = None,
         dispatch: "Dispatcher | str | None" = None,
         memory_budget: int | str | None = None,
+        cache: "ResultCache | bool | int | str | None" = None,
     ) -> None:
         if num_nodes < 1:
             raise ValueError("a cluster needs at least one node")
@@ -74,11 +77,22 @@ class MongoDBCluster:
         )
         self.hedge = hedge if hedge is not None else HedgePolicy()
         self.quorum_reads = quorum_reads
+        #: Per-shard result cache (``cache=`` / ``REPRO_CACHE``); entries
+        #: are keyed on the serialized pipeline plus the cluster's dataset
+        #: version vector, so every write below invalidates by construction.
+        self.result_cache = resolve_result_cache(cache, backend=self.name)
+        self.dataset_versions = DatasetVersions()
+
+    def _note_write(self, *names: str) -> None:
+        self.dataset_versions.bump(*names)
+        if self.result_cache is not None:
+            self.result_cache.note_invalidation(len(names))
 
     # ------------------------------------------------------------------
     def create_collection(self, name: str) -> None:
         for engine in self.store.all_engines():
             engine.create_collection(name)
+        self._note_write(name)
 
     def has_collection(self, name: str) -> bool:
         return self.nodes[0].has_collection(name)
@@ -96,11 +110,15 @@ class MongoDBCluster:
             total += copies[0].collection(collection).insert_many(shard_docs)
             for backup in copies[1:]:
                 backup.collection(collection).insert_many(shard_docs)
+        self._note_write(collection)
         return total
 
     def create_index(self, collection: str, field: str) -> None:
         for engine in self.store.all_engines():
             engine.collection(collection).create_index(field)
+        # Indexes change plan text, not answers — but cached entries
+        # carry plan text, so conservatively invalidate anyway.
+        self._note_write(collection)
 
     def estimated_document_count(self, collection: str) -> int:
         return sum(node.estimated_document_count(collection) for node in self.nodes)
@@ -121,6 +139,17 @@ class MongoDBCluster:
         # instead of local finals; other pipelines pass through unchanged.
         shard_pipeline, spec = plan_pipeline(pipeline)
         injector, policy = cluster_resilience(self.fault_injector, self.retry_policy)
+        cache_key = None
+        if self.result_cache is not None:
+            # Pipelines are parsed JSON; serialize them back (sorted keys)
+            # for a stable, hashable key spelling.
+            text = json.dumps(pipeline, sort_keys=True, default=repr)
+            cache_key = (
+                self.name,
+                collection,
+                text,
+                self.dataset_versions.vector(text, collection),
+            )
         # Tests stub shard engines with plain callables, so only pass the
         # streaming knob through when it is actually on.
         shard_kwargs = {"stream": True} if stream else {}
@@ -139,4 +168,6 @@ class MongoDBCluster:
             allow_partial=self.allow_partial,
             dispatcher=self.dispatcher,
             stream=stream,
+            result_cache=self.result_cache,
+            cache_key=cache_key,
         )

@@ -24,16 +24,17 @@ import time
 from dataclasses import dataclass, replace
 from typing import Any, Iterator
 
+from repro.cache import DatasetVersions, ResultCache, Singleflight, resolve_result_cache
 from repro.core.plan.cache import CompiledQueryCache
 from repro.core.rewrite import RewriteEngine
 from repro.errors import CircuitOpenError, ReproError
 from repro.exec.batch import DEFAULT_BATCH_SIZE
 from repro.exec.memory import resolve_budget
-from repro.obs import metrics, span_for
+from repro.obs import OpProfile, analyze_active, metrics, span_for
 from repro.obs.trace import Tracer
 from repro.resilience import CircuitBreaker, FaultInjector, QueryTimeout, RetryPolicy
 from repro.resilience.faults import global_resilience
-from repro.sqlengine.result import ResultSet
+from repro.sqlengine.result import QueryStats, ResultSet
 
 #: Query trace: enable with ``logging.getLogger('repro.polyframe').setLevel(DEBUG)``
 #: to see every query an action ships, with its timing and result size.
@@ -80,6 +81,13 @@ class SendRecord:
     (zero for engines without blocking operators, and for streaming
     sends, whose stats are only final on ``result.stats`` once the
     stream is drained).
+
+    ``cache_hits`` / ``cache_misses`` count result-cache probes behind
+    this send (a whole-send hit has ``attempts == 0`` — the backend was
+    never consulted — plus any per-shard hits a cluster's scatter-gather
+    served below it); ``singleflight_waits`` marks a send that blocked
+    on an identical in-flight query and shared its answer.  All zero
+    with caching off (the default).
     """
 
     real_seconds: float
@@ -95,6 +103,9 @@ class SendRecord:
     parallelism: int = 0
     peak_mem_bytes: int = 0
     spill_bytes: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    singleflight_waits: int = 0
 
     @property
     def retries(self) -> int:
@@ -191,6 +202,17 @@ class DatabaseConnector(abc.ABC):
     - ``compile_log`` — one :class:`~repro.core.plan.compiler.CompileRecord`
       per compilation, in order (the bench layer diffs this like
       ``send_log``).
+
+    Result caching (off by default — seed-identical; see
+    ``docs/caching.md``):
+
+    - ``cache`` — ``True``/byte size/:class:`~repro.cache.ResultCache`
+      enables semantic result caching on this connector; ``None`` defers
+      to the ``REPRO_CACHE`` environment variable, ``False`` disables
+      even when it is set.  The resolved cache is the public
+      ``result_cache`` attribute.
+    - ``dataset_versions`` — the per-dataset version counters behind
+      write invalidation; :meth:`note_write` bumps them.
     """
 
     #: Name of the rewrite-rule language this connector speaks.
@@ -205,6 +227,7 @@ class DatabaseConnector(abc.ABC):
         circuit_breaker: CircuitBreaker | None = None,
         fault_injector: FaultInjector | None = None,
         optimization_level: int | None = None,
+        cache: "ResultCache | bool | int | str | None" = None,
     ) -> None:
         if not self.language:
             raise TypeError("connector subclasses must set a language")
@@ -220,6 +243,9 @@ class DatabaseConnector(abc.ABC):
         self.compile_cache = CompiledQueryCache()
         self.compile_log: list = []
         self.tracer: Tracer | None = None
+        self.result_cache = resolve_result_cache(cache, backend=self.name)
+        self.dataset_versions = DatasetVersions()
+        self._singleflight = Singleflight()
 
     def set_tracer(self, tracer: Tracer | None) -> None:
         """Trace every action through this connector (``None`` disables).
@@ -259,6 +285,13 @@ class DatabaseConnector(abc.ABC):
         send's :class:`SendRecord` carries the stats known at dispatch
         time; drain-dependent numbers (rows scanned, memory peaks) are
         final on ``result.stats`` once the stream is exhausted.
+
+        With result caching on (``cache=`` / ``REPRO_CACHE``) the send
+        first probes the :class:`~repro.cache.ResultCache` under a
+        ``cache`` child span — a hit is served without touching the
+        breaker, injector, or backend (``attempts == 0``) — and
+        concurrent identical non-streaming sends are deduplicated
+        through singleflight: one executes, the rest share its answer.
         """
         injector = self.fault_injector
         policy = self.retry_policy
@@ -268,73 +301,66 @@ class DatabaseConnector(abc.ABC):
                 policy = global_policy
         breaker = self.circuit_breaker
         streaming = stream and policy is None and self.timeout is None
+        cache = self.result_cache
 
         self._count("queries_total")
         with span_for(self, "dispatch", backend=self.name, collection=collection) as dspan:
             total_started = time.perf_counter()
-            attempt = 0
-            while True:
-                attempt += 1
-                if breaker is not None:
-                    try:
-                        breaker.allow()
-                    except CircuitOpenError:
-                        self._count("circuit_rejections_total")
-                        dspan.set(outcome=OUTCOME_REJECTED, attempts=attempt - 1)
-                        self.send_log.append(
-                            SendRecord(
-                                time.perf_counter() - total_started,
-                                0.0,
-                                attempts=attempt - 1,
-                                outcome=OUTCOME_REJECTED,
-                            )
-                        )
-                        raise
-                attempt_started = time.perf_counter()
-                with span_for(self, "attempt", number=attempt) as aspan:
-                    try:
-                        if injector is not None:
-                            injector.before_request(self.name)
-                        result = (
-                            self._execute_stream(query, collection)
-                            if streaming
-                            else self._execute(query, collection)
-                        )
-                        if self.timeout is not None:
-                            self.timeout.check(
-                                time.perf_counter() - attempt_started,
-                                backend=self.name,
-                                query=query,
-                            )
-                    except Exception as exc:
-                        if breaker is not None:
-                            breaker.record_failure()
-                        if policy is not None and policy.should_retry(exc, attempt):
-                            aspan.set(
-                                error=f"{type(exc).__name__}: {exc}", retried=True
-                            )
-                            logger.debug(
-                                "%s attempt %d failed (%s); retrying",
-                                self.name, attempt, exc,
-                            )
-                            policy.wait(attempt)
-                            continue
-                        self._count("retries_total", attempt - 1)
-                        dspan.set(outcome=OUTCOME_ERROR, attempts=attempt)
-                        self.send_log.append(
-                            SendRecord(
-                                time.perf_counter() - total_started,
-                                0.0,
-                                attempts=attempt,
-                                outcome=OUTCOME_ERROR,
-                            )
-                        )
-                        raise
-                    break
+            key = None
+            if cache is not None:
+                key = (
+                    self.name,
+                    self.optimization_level,
+                    collection,
+                    query,
+                    self.dataset_versions.vector(query, collection),
+                )
+                hit = self._serve_cache_hit(cache, key, dspan, total_started)
+                if hit is not None:
+                    return hit
+            if cache is not None and not streaming:
+                # Singleflight: concurrent identical sends execute once.
+                # The leader runs the full attempt loop (and stores the
+                # answer below); followers share it without executing.
+                lead: list[bool] = []
 
-            if breaker is not None:
-                breaker.record_success()
+                def produce():
+                    lead.append(True)
+                    return self._run_attempts(
+                        query, collection, streaming, injector, policy,
+                        breaker, dspan, total_started, cache_active=True,
+                    )
+
+                try:
+                    waited, payload = self._singleflight.run(key, produce)
+                except BaseException:
+                    if not lead:
+                        # The leader failed; record this follower's view
+                        # (it never executed an attempt of its own).
+                        dspan.set(outcome=OUTCOME_ERROR, attempts=0)
+                        self.send_log.append(
+                            SendRecord(
+                                time.perf_counter() - total_started,
+                                0.0,
+                                attempts=0,
+                                outcome=OUTCOME_ERROR,
+                                cache_misses=1,
+                                singleflight_waits=1,
+                            )
+                        )
+                    raise
+                if waited:
+                    return self._serve_singleflight(payload, dspan, total_started)
+                result, attempt = payload
+            else:
+                result, attempt = self._run_attempts(
+                    query, collection, streaming, injector, policy,
+                    breaker, dspan, total_started, cache_active=cache is not None,
+                )
+
             real = time.perf_counter() - total_started
+            if cache is not None:
+                result.stats.result_cache_misses += 1
             record = SendRecord(
                 real,
                 result.elapsed_seconds,
@@ -349,6 +375,9 @@ class DatabaseConnector(abc.ABC):
                 parallelism=result.stats.parallelism,
                 peak_mem_bytes=result.stats.peak_mem_bytes,
                 spill_bytes=result.stats.spill_bytes,
+                cache_hits=result.stats.result_cache_hits,
+                cache_misses=result.stats.result_cache_misses,
+                singleflight_waits=result.stats.singleflight_waits,
             )
             self.send_log.append(record)
             on_drain = getattr(result, "on_drain", None)
@@ -357,6 +386,19 @@ class DatabaseConnector(abc.ABC):
                 # spill volume) are only final once the stream is
                 # exhausted; restamp the log entry in place then.
                 self._restamp_on_drain(result, record, len(self.send_log) - 1)
+            if cache is not None:
+                if getattr(result, "streaming", False):
+                    # Tee the stream into the cache: admitted only if it
+                    # drains to completion (never a truncated answer).
+                    cache.admit_stream(key, result)
+                else:
+                    cache.store(
+                        key,
+                        result.records,
+                        elapsed_seconds=real,
+                        plan_text=result.plan_text,
+                        partial=result.partial,
+                    )
             self._count("retries_total", record.retries)
             self._count("rows_scanned", record.rows_scanned)
             metrics.histogram("query_seconds", backend=self.name).observe(real)
@@ -376,11 +418,183 @@ class DatabaseConnector(abc.ABC):
                     parallelism=record.parallelism,
                     peak_mem_bytes=record.peak_mem_bytes,
                     spill_bytes=record.spill_bytes,
+                    cache_hits=record.cache_hits,
+                    cache_misses=record.cache_misses,
+                    singleflight_waits=record.singleflight_waits,
                 )
         if logger.isEnabledFor(logging.DEBUG):
             logger.debug(
                 "%s <- %s (%d rows, %.2fms, %d attempts)\n%s",
                 self.name, collection, len(result.records), real * 1000, attempt, query,
+            )
+        return result
+
+    def _run_attempts(
+        self,
+        query: str,
+        collection: str,
+        streaming: bool,
+        injector: FaultInjector | None,
+        policy: RetryPolicy | None,
+        breaker: CircuitBreaker | None,
+        dspan: Any,
+        total_started: float,
+        *,
+        cache_active: bool = False,
+    ) -> tuple[ResultSet, int]:
+        """The breaker/injector/timeout/retry attempt loop of one send."""
+        cache_misses = 1 if cache_active else 0
+        attempt = 0
+        while True:
+            attempt += 1
+            if breaker is not None:
+                try:
+                    breaker.allow()
+                except CircuitOpenError:
+                    self._count("circuit_rejections_total")
+                    dspan.set(outcome=OUTCOME_REJECTED, attempts=attempt - 1)
+                    self.send_log.append(
+                        SendRecord(
+                            time.perf_counter() - total_started,
+                            0.0,
+                            attempts=attempt - 1,
+                            outcome=OUTCOME_REJECTED,
+                            cache_misses=cache_misses,
+                        )
+                    )
+                    raise
+            attempt_started = time.perf_counter()
+            with span_for(self, "attempt", number=attempt) as aspan:
+                try:
+                    if injector is not None:
+                        injector.before_request(self.name)
+                    result = (
+                        self._execute_stream(query, collection)
+                        if streaming
+                        else self._execute(query, collection)
+                    )
+                    if self.timeout is not None:
+                        self.timeout.check(
+                            time.perf_counter() - attempt_started,
+                            backend=self.name,
+                            query=query,
+                        )
+                except Exception as exc:
+                    if breaker is not None:
+                        breaker.record_failure()
+                    if policy is not None and policy.should_retry(exc, attempt):
+                        aspan.set(
+                            error=f"{type(exc).__name__}: {exc}", retried=True
+                        )
+                        logger.debug(
+                            "%s attempt %d failed (%s); retrying",
+                            self.name, attempt, exc,
+                        )
+                        policy.wait(attempt)
+                        continue
+                    self._count("retries_total", attempt - 1)
+                    dspan.set(outcome=OUTCOME_ERROR, attempts=attempt)
+                    self.send_log.append(
+                        SendRecord(
+                            time.perf_counter() - total_started,
+                            0.0,
+                            attempts=attempt,
+                            outcome=OUTCOME_ERROR,
+                            cache_misses=cache_misses,
+                        )
+                    )
+                    raise
+                break
+
+        if breaker is not None:
+            breaker.record_success()
+        return result, attempt
+
+    def _serve_cache_hit(
+        self, cache: ResultCache, key: Any, dspan: Any, total_started: float
+    ) -> ResultSet | None:
+        """Probe the result cache; build and log a served result on a hit.
+
+        A hit never touches the circuit breaker, fault injector, or
+        backend — its :class:`SendRecord` has ``attempts == 0`` and both
+        its real and reported time are the measured lookup cost.  Under
+        analyze mode the result carries a synthetic ``ResultCache[hit]``
+        operator profile so ``explain(analyze=True)`` shows where the
+        answer came from.
+        """
+        with span_for(self, "cache", op="lookup") as cspan:
+            entry = cache.lookup(key)
+            cspan.set(outcome="hit" if entry is not None else "miss")
+        if entry is None:
+            return None
+        real = time.perf_counter() - total_started
+        result = ResultSet(
+            records=list(entry.records),
+            stats=QueryStats(result_cache_hits=1),
+            plan_text=entry.plan_text,
+            elapsed_seconds=real,
+        )
+        if analyze_active():
+            profile = OpProfile("ResultCache[hit]")
+            profile.rows_out = len(result.records)
+            profile.time_ns = int(real * 1e9)
+            result.op_profile = profile
+        record = SendRecord(real, real, attempts=0, cache_hits=1)
+        self.send_log.append(record)
+        metrics.histogram("query_seconds", backend=self.name).observe(real)
+        if dspan.recording:
+            dspan.set(
+                rows=len(result.records),
+                real_seconds=real,
+                reported_seconds=real,
+                attempts=0,
+                outcome=OUTCOME_OK,
+                cache_hits=1,
+            )
+        return result
+
+    def _serve_singleflight(
+        self, payload: tuple[ResultSet, int], dspan: Any, total_started: float
+    ) -> ResultSet:
+        """Clone a singleflight leader's answer for a follower send.
+
+        The follower never executed — ``attempts == 0`` — and its time
+        is the wait on the leader.  Records are shared with the leader's
+        result (a fresh list, the same record objects, exactly like a
+        cache hit); stats are the follower's own.
+        """
+        leader_result, _ = payload
+        real = time.perf_counter() - total_started
+        result = ResultSet(
+            records=list(leader_result.records),
+            stats=QueryStats(result_cache_misses=1, singleflight_waits=1),
+            plan_text=leader_result.plan_text,
+            elapsed_seconds=real,
+            partial=leader_result.partial,
+            shard_attempts=leader_result.shard_attempts,
+            served_by=leader_result.served_by,
+        )
+        self._count("singleflight_waits_total")
+        outcome = OUTCOME_PARTIAL if result.partial else OUTCOME_OK
+        record = SendRecord(
+            real,
+            real,
+            attempts=0,
+            outcome=outcome,
+            cache_misses=1,
+            singleflight_waits=1,
+        )
+        self.send_log.append(record)
+        metrics.histogram("query_seconds", backend=self.name).observe(real)
+        if dspan.recording:
+            dspan.set(
+                rows=len(result.records),
+                real_seconds=real,
+                reported_seconds=real,
+                attempts=0,
+                outcome=outcome,
+                cache_misses=1,
+                singleflight_waits=1,
             )
         return result
 
@@ -412,6 +626,9 @@ class DatabaseConnector(abc.ABC):
                 parallelism=stats.parallelism,
                 peak_mem_bytes=stats.peak_mem_bytes,
                 spill_bytes=stats.spill_bytes,
+                cache_hits=stats.result_cache_hits,
+                cache_misses=stats.result_cache_misses,
+                singleflight_waits=stats.singleflight_waits,
             )
             if self.send_log[index] is record:
                 self.send_log[index] = updated
@@ -474,6 +691,23 @@ class DatabaseConnector(abc.ABC):
         final = self.rewriter.apply("return_all", subquery=query)
         records = self.postprocess(self.send(final, source_collection))
         self._create_and_load(namespace, target, records)
+        self.note_write(self.qualified_name(namespace, target), target)
+
+    def note_write(self, *datasets: str) -> None:
+        """Record a write to *datasets* so cached results over them go stale.
+
+        Bumps the per-dataset version counters that are part of every
+        cache key — an entry cached before the write can never match a
+        lookup after it.  Connector-side mutating paths (:meth:`persist`)
+        call this themselves; code that writes through the engine
+        directly must call it for the result cache to notice.  A no-op
+        observability-wise when caching is off (versions still advance,
+        so enabling the cache later starts consistent).
+        """
+        names = [name for name in datasets if name]
+        self.dataset_versions.bump(*names)
+        if self.result_cache is not None and names:
+            self.result_cache.note_invalidation(len(names))
 
     def _create_and_load(
         self, namespace: str, target: str, records: list[dict[str, Any]]

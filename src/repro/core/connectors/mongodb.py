@@ -61,6 +61,7 @@ class MongoDBConnector(DatabaseConnector):
         """Persist natively with a ``$out`` stage (the SAVE RESULTS rule)."""
         staged = self.rewriter.apply("to_collection", subquery=query, collection=target)
         self.send(staged, source_collection)
+        self.note_write(target)
 
     def nesting_depth(self, query: str) -> int:
         """Depth of a pipeline query = number of aggregation stages."""

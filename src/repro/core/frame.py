@@ -11,6 +11,13 @@ an eager frame, "useful when further visualization is desired".
 
 Because the recorded plan holds no backend text, the same frame can be
 recompiled for a different backend: see :meth:`PolyFrame.retarget`.
+
+With result caching on (``cache=`` / ``REPRO_CACHE``, default off), an
+action whose compiled query was already answered over unchanged data is
+served from the connector's :class:`~repro.cache.ResultCache` instead of
+the backend; :meth:`PolyFrame.persist` bumps the target's dataset
+version so later reads can never match a stale entry.  Answers are
+identical either way — see ``docs/caching.md``.
 """
 
 from __future__ import annotations

@@ -33,6 +33,8 @@ class CompiledQueryCache:
         self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self._bytes = 0
         self._entries: "OrderedDict[Hashable, tuple[str, int]]" = OrderedDict()
         self._lock = threading.Lock()
 
@@ -49,10 +51,15 @@ class CompiledQueryCache:
 
     def store(self, key: Hashable, text: str, depth: int) -> None:
         with self._lock:
+            previous = self._entries.pop(key, None)
+            if previous is not None:
+                self._bytes -= len(previous[0])
             self._entries[key] = (text, depth)
-            self._entries.move_to_end(key)
+            self._bytes += len(text)
             while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
+                _, (evicted_text, _) = self._entries.popitem(last=False)
+                self._bytes -= len(evicted_text)
+                self.evictions += 1
 
     def __len__(self) -> int:
         with self._lock:
@@ -63,13 +70,23 @@ class CompiledQueryCache:
             self._entries.clear()
             self.hits = 0
             self.misses = 0
+            self.evictions = 0
+            self._bytes = 0
 
     def stats(self) -> dict[str, int]:
+        """Counters in the shape shared with ``ResultCache.stats()``.
+
+        Both caches report at least ``{hits, misses, entries, evictions,
+        bytes}`` so dashboards and tests can treat them uniformly;
+        ``bytes`` here is the cached query text's total length.
+        """
         with self._lock:
             return {
                 "hits": self.hits,
                 "misses": self.misses,
                 "entries": len(self._entries),
+                "evictions": self.evictions,
+                "bytes": self._bytes,
             }
 
     def __repr__(self) -> str:

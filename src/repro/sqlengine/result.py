@@ -27,6 +27,9 @@ class QueryStats:
     quorum_reads: int = 0  # shards answered under quorum checksum checking
     compile_cache_hits: int = 0  # compiled-query cache hits behind this result
     compile_cache_misses: int = 0  # plans that had to be compiled from scratch
+    result_cache_hits: int = 0  # answers (whole or per-shard) served from cache
+    result_cache_misses: int = 0  # cache probes that had to execute instead
+    singleflight_waits: int = 0  # sends that blocked on an identical in-flight query
     batches: int = 0  # column batches scanned by the vector engine
     peak_mem_bytes: int = 0  # peak accounted operator memory (max when merging)
     spill_bytes: int = 0  # bytes written to disk spill runs
@@ -48,6 +51,9 @@ class QueryStats:
         self.quorum_reads += other.quorum_reads
         self.compile_cache_hits += other.compile_cache_hits
         self.compile_cache_misses += other.compile_cache_misses
+        self.result_cache_hits += other.result_cache_hits
+        self.result_cache_misses += other.result_cache_misses
+        self.singleflight_waits += other.singleflight_waits
         self.batches += other.batches
         # Shards execute concurrently at worst, so the cluster-wide peak
         # is the largest single-shard peak; spill volume is additive.
@@ -186,6 +192,16 @@ class StreamingResultSet(ResultSet):
         callbacks, self._on_drain = self._on_drain, []
         for callback in callbacks:
             callback()
+
+    def wrap_source(self, wrapper) -> None:
+        """Replace the record source with ``wrapper(source)``.
+
+        The hook the result cache uses to tee records into an admission
+        buffer as they stream past.  The wrapper owns closing the inner
+        source; must be called before anything starts draining.
+        """
+        if self._source is not None:
+            self._source = wrapper(self._source)
 
     @property
     def records(self) -> list[Any]:

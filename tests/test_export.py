@@ -45,7 +45,8 @@ def test_csv_has_header_and_rows():
     assert lines[0].startswith("system,dataset,expression_id")
     assert lines[0].endswith(
         "compile_ms,nesting_depth,rows_per_sec,exec_engine,dispatch_mode,"
-        "parallelism,peak_mem_bytes,spill_bytes"
+        "parallelism,peak_mem_bytes,spill_bytes,"
+        "cache_hits,cache_misses,singleflight_waits"
     )
     assert len(lines) == 5
     assert "PolyFrame-Neo4j" in lines[2]

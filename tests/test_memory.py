@@ -8,7 +8,9 @@ sorts, first-seen group order for aggregation).
 
 from __future__ import annotations
 
+import gc
 import random
+import tempfile
 
 import pytest
 
@@ -229,3 +231,75 @@ class TestSpillableGroups:
         assert budget.used_bytes > 0
         groups.close()
         assert budget.used_bytes == 0
+
+
+class TestSpillFileCleanup:
+    """Spill temp files must never outlive their query.
+
+    ``tempfile.TemporaryFile`` unlinks on creation, so the resource that
+    can actually leak is the open file handle — these tests pin that
+    every handle a query opens is closed again, on explicit ``close()``
+    and when a half-drained ``StreamingResultSet`` is abandoned.
+    """
+
+    @staticmethod
+    def _track_spill_handles(monkeypatch):
+        created = []
+        original = tempfile.TemporaryFile
+
+        def tracking(*args, **kwargs):
+            handle = original(*args, **kwargs)
+            if kwargs.get("prefix", "").startswith("repro-spill-"):
+                created.append(handle)
+            return handle
+
+        monkeypatch.setattr(tempfile, "TemporaryFile", tracking)
+        return created
+
+    def test_close_closes_backing_file(self):
+        spill = SpillFile()
+        handle = spill._file
+        spill.write_run([{"v": 1}])
+        assert not handle.closed
+        spill.close()
+        assert handle.closed
+        spill.close()  # idempotent
+
+    def test_sorter_close_closes_spill_file(self, monkeypatch):
+        created = self._track_spill_handles(monkeypatch)
+        budget = MemoryBudget(1024)
+        sorter = SpillSorter(budget)
+        for i in range(50):
+            sorter.add(i, {"v": i, "pad": "x" * 200})
+        assert created, "the tiny budget must have forced a spill"
+        sorter.close()
+        assert all(handle.closed for handle in created)
+
+    def _streaming_sort(self, monkeypatch):
+        from repro.sqlengine import SQLDatabase
+        from repro.wisconsin import loaders, wisconsin_records
+
+        created = self._track_spill_handles(monkeypatch)
+        db = SQLDatabase(name="postgres", memory_budget="2k")
+        loaders.load_postgres(
+            db, "Bench", "data", wisconsin_records(120), indexes=False
+        )
+        result = db.execute(
+            'SELECT * FROM Bench.data t ORDER BY t."unique1"', stream=True
+        )
+        iterator = result.iter_records()
+        next(iterator)  # half-drained: the sort's spill file is open
+        assert created, "the tiny budget must have forced a spill"
+        return created, result, iterator
+
+    def test_streaming_abandonment_via_close(self, monkeypatch):
+        created, result, _iterator = self._streaming_sort(monkeypatch)
+        assert any(not handle.closed for handle in created)
+        result.close()
+        assert all(handle.closed for handle in created)
+
+    def test_streaming_abandonment_via_gc(self, monkeypatch):
+        created, result, iterator = self._streaming_sort(monkeypatch)
+        del result, iterator
+        gc.collect()
+        assert all(handle.closed for handle in created)

@@ -501,6 +501,9 @@ class TestGlobalInjection:
         monkeypatch.setenv("REPRO_FAULT_SEED", "2021")
         _reset_global_resilience()
         connector = single_node_connector()
+        # Retry accounting needs every send to actually execute; under
+        # REPRO_CACHE=1 the repeats would be served from cache instead.
+        connector.result_cache = None
         for _ in range(20):
             assert connector.send("SELECT COUNT(*) FROM t x", "t").scalar() == 2
         attempts = sum(record.attempts for record in connector.send_log)
