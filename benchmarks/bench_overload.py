@@ -1,0 +1,221 @@
+"""Goodput under overload: admission control on vs off at 4x offered load.
+
+The claim from ``docs/deadlines.md``: when offered load exceeds capacity,
+an unprotected backend does not degrade gracefully — every query queues
+behind every other query and *all* of them finish late (p99 far beyond
+any reasonable deadline), so the useful work rate collapses to ~zero
+even though the backend is 100% busy.  With admission control on, the
+AIMD limit caps concurrency at what the backend sustains, the bounded
+deadline-aware queue sheds the hopeless excess immediately (retryable
+:class:`~repro.errors.OverloadError`, fast), and every query the backend
+*does* serve completes within its deadline — goodput stays near
+capacity.
+
+Setup: one embedded-PostgreSQL connector, a full-scan aggregation whose
+serial latency ``L`` is measured first (capacity = 1/L qps), then 16
+closed-loop clients (4x the admitted concurrency) hammering it.
+
+- **controlled** — ``admission=`` limit 4, bounded queue, and a per-query
+  deadline of ``10 L`` installed via :func:`budget_scope`.
+- **uncontrolled** — admission and deadlines explicitly off (the seed
+  path); the same 16 clients, every query runs to completion.
+
+Asserted: controlled goodput (in-deadline completions per second) is at
+least ``MIN_GOODPUT_RATIO`` of measured capacity, while the uncontrolled
+run's p99 latency exceeds the deadline.  Writes
+``benchmarks/results/overload.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+from repro import PostgresConnector
+from repro.errors import OverloadError, QueryTimeoutError
+from repro.resilience import FaultInjector
+from repro.resilience.admission import AdmissionController
+from repro.resilience.deadline import Deadline, budget_scope
+from repro.sqlengine import SQLDatabase
+from repro.wisconsin import loaders, wisconsin_records
+
+from conftest import write_result
+
+NUM_RECORDS = 8_000
+NUM_CLIENTS = 16  # 4x the admitted concurrency below
+QUERIES_PER_CLIENT = 6
+ADMIT_LIMIT = 4
+MAX_QUEUE = 8
+DEADLINE_MULTIPLIER = 10.0  # per-query budget, in units of serial latency
+MIN_GOODPUT_RATIO = 0.7
+
+#: Scans every row, returns ten groups: enough work per query that
+#: concurrent clients genuinely contend for the engine.
+QUERY = (
+    'SELECT t."ten" AS k, COUNT(*) AS n, SUM(t."four") AS s '
+    'FROM Bench.data t GROUP BY t."ten"'
+)
+
+
+def _connector(admission: "AdmissionController | bool | None") -> PostgresConnector:
+    db = SQLDatabase(name="postgres")
+    loaders.load_postgres(db, "Bench", "data", wisconsin_records(NUM_RECORDS))
+    # Explicit off-switches so the bench measures the dispatch path even
+    # under the CI chaos/cache/deadline matrices: an empty injector blocks
+    # global fault rules, cache=False keeps every query executing, and
+    # deadline=-1 pins the per-send deadline off (the controlled run
+    # installs its budget ambiently instead).
+    return PostgresConnector(
+        db,
+        fault_injector=FaultInjector(),
+        cache=False,
+        deadline=-1.0,
+        admission=admission,
+    )
+
+
+def _measure_serial_latency(connector: PostgresConnector) -> float:
+    samples = []
+    for _ in range(5):
+        started = time.perf_counter()
+        connector.send(QUERY, "data")
+        samples.append(time.perf_counter() - started)
+    return sorted(samples)[len(samples) // 2]
+
+
+def _hammer(connector: PostgresConnector, deadline_seconds: float | None) -> dict:
+    """16 closed-loop clients, each sending its queries back to back.
+
+    Returns per-query outcomes: ``completed`` latencies (seconds),
+    ``shed`` (OverloadError, fast-failed), ``timed_out``
+    (QueryTimeoutError: expired in the queue or overran the budget).
+    """
+    completed: list[float] = []
+    shed: list[float] = []
+    timed_out: list[float] = []
+    lock = threading.Lock()
+
+    def client() -> None:
+        for _ in range(QUERIES_PER_CLIENT):
+            started = time.perf_counter()
+            try:
+                if deadline_seconds is not None:
+                    with budget_scope(Deadline(deadline_seconds)):
+                        connector.send(QUERY, "data")
+                else:
+                    connector.send(QUERY, "data")
+            except OverloadError:
+                with lock:
+                    shed.append(time.perf_counter() - started)
+            except QueryTimeoutError:
+                with lock:
+                    timed_out.append(time.perf_counter() - started)
+            else:
+                with lock:
+                    completed.append(time.perf_counter() - started)
+
+    threads = [threading.Thread(target=client) for _ in range(NUM_CLIENTS)]
+    wall_started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - wall_started
+    return {
+        "completed": completed,
+        "shed": shed,
+        "timed_out": timed_out,
+        "wall_seconds": wall,
+    }
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(q * (len(ordered) - 1)))]
+
+
+def _summarize(outcome: dict, deadline_seconds: float, capacity_qps: float) -> dict:
+    latencies = outcome["completed"]
+    useful = [lat for lat in latencies if lat <= deadline_seconds]
+    useful_qps = len(useful) / outcome["wall_seconds"]
+    return {
+        "offered": NUM_CLIENTS * QUERIES_PER_CLIENT,
+        "completed": len(latencies),
+        "completed_in_deadline": len(useful),
+        "shed": len(outcome["shed"]),
+        "timed_out": len(outcome["timed_out"]),
+        "wall_seconds": outcome["wall_seconds"],
+        "p50_seconds": _percentile(latencies, 0.50),
+        "p99_seconds": _percentile(latencies, 0.99),
+        "shed_p99_seconds": _percentile(outcome["shed"], 0.99),
+        "useful_qps": useful_qps,
+        "goodput_ratio": useful_qps / capacity_qps if capacity_qps else 0.0,
+    }
+
+
+def run_overload_bench() -> dict:
+    serial = _connector(admission=False)
+    latency = _measure_serial_latency(serial)
+    capacity_qps = 1.0 / latency
+    deadline_seconds = DEADLINE_MULTIPLIER * latency
+
+    controller = AdmissionController(
+        initial_limit=ADMIT_LIMIT,
+        max_limit=ADMIT_LIMIT,
+        max_queue=MAX_QUEUE,
+        backend="overload-bench",
+    )
+    controlled_connector = _connector(admission=controller)
+    controlled = _summarize(
+        _hammer(controlled_connector, deadline_seconds),
+        deadline_seconds,
+        capacity_qps,
+    )
+    controlled["controller"] = controller.stats()
+
+    uncontrolled = _summarize(
+        _hammer(_connector(admission=False), None),
+        deadline_seconds,
+        capacity_qps,
+    )
+
+    # The two halves of the claim.
+    assert controlled["goodput_ratio"] >= MIN_GOODPUT_RATIO, (
+        f"admission-controlled goodput {controlled['goodput_ratio']:.2f} of "
+        f"capacity is below the {MIN_GOODPUT_RATIO:.0%} floor "
+        f"({controlled['completed_in_deadline']} in-deadline completions in "
+        f"{controlled['wall_seconds']:.2f}s against {capacity_qps:.1f} qps)"
+    )
+    assert uncontrolled["p99_seconds"] > deadline_seconds, (
+        f"uncontrolled p99 {uncontrolled['p99_seconds'] * 1e3:.1f}ms did not "
+        f"exceed the {deadline_seconds * 1e3:.1f}ms deadline — the load is "
+        f"not saturating the backend"
+    )
+    # Shedding fails fast: a rejected query must not burn the budget the
+    # admitted queries are trying to meet.
+    if controlled["shed"]:
+        assert controlled["shed_p99_seconds"] < deadline_seconds
+
+    return {
+        "records": NUM_RECORDS,
+        "clients": NUM_CLIENTS,
+        "queries_per_client": QUERIES_PER_CLIENT,
+        "admit_limit": ADMIT_LIMIT,
+        "max_queue": MAX_QUEUE,
+        "serial_latency_seconds": latency,
+        "capacity_qps": capacity_qps,
+        "deadline_seconds": deadline_seconds,
+        "min_goodput_ratio": MIN_GOODPUT_RATIO,
+        "controlled": controlled,
+        "uncontrolled": uncontrolled,
+    }
+
+
+def test_overload_goodput(benchmark, results_dir):
+    payload = benchmark.pedantic(run_overload_bench, rounds=1, iterations=1)
+    write_result(results_dir, "overload.json", json.dumps(payload, indent=2))
+    assert payload["controlled"]["goodput_ratio"] >= payload["min_goodput_ratio"]
+    assert payload["uncontrolled"]["p99_seconds"] > payload["deadline_seconds"]

@@ -40,6 +40,9 @@ _FIELDS = (
     "cache_hits",
     "cache_misses",
     "singleflight_waits",
+    "queue_wait_ms",
+    "deadline_budget_ms",
+    "cancelled",
 )
 
 
@@ -69,6 +72,9 @@ def measurements_to_dicts(measurements: Sequence[Measurement]) -> list[dict]:
             "cache_hits": m.cache_hits,
             "cache_misses": m.cache_misses,
             "singleflight_waits": m.singleflight_waits,
+            "queue_wait_ms": m.queue_wait_ms,
+            "deadline_budget_ms": m.deadline_budget_ms,
+            "cancelled": m.cancelled,
         }
         for m in measurements
     ]
@@ -125,6 +131,9 @@ def from_json(text: str) -> list[Measurement]:
                 cache_hits=int(row.get("cache_hits", 0)),
                 cache_misses=int(row.get("cache_misses", 0)),
                 singleflight_waits=int(row.get("singleflight_waits", 0)),
+                queue_wait_ms=float(row.get("queue_wait_ms", 0.0)),
+                deadline_budget_ms=float(row.get("deadline_budget_ms", 0.0)),
+                cancelled=int(row.get("cancelled", 0)),
             )
         )
     return out

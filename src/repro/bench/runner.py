@@ -71,6 +71,14 @@ class Measurement:
     ``singleflight_waits`` sends that shared an identical in-flight
     query's answer — all 0 with caching off, the default (see
     ``docs/caching.md``).
+
+    ``queue_wait_ms`` is the total time the expression's sends spent
+    queued behind an admission controller, ``deadline_budget_ms`` the
+    smallest remaining deadline budget any send finished with (0 when
+    deadlines are off), and ``cancelled`` the number of cooperatively
+    cancelled work units (abandoned hedge legs, sibling shards stopped
+    early) behind the expression — all 0 with deadlines and admission
+    off, the default (see ``docs/deadlines.md``).
     """
 
     system: str
@@ -94,6 +102,9 @@ class Measurement:
     cache_hits: int = 0
     cache_misses: int = 0
     singleflight_waits: int = 0
+    queue_wait_ms: float = 0.0
+    deadline_budget_ms: float = 0.0
+    cancelled: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -153,6 +164,9 @@ def run_expression(
         cache_hits, cache_misses, singleflight_waits = _cache_outcomes(
             system, send_mark
         )
+        queue_wait_ms, deadline_budget_ms, cancelled = _deadline_outcomes(
+            system, send_mark
+        )
     return Measurement(
         system.name, dataset, expr.id, STATUS_OK, creation, expression,
         retries=retries, degraded=degraded, failovers=failovers, hedges=hedges,
@@ -162,6 +176,8 @@ def run_expression(
         peak_mem_bytes=peak_mem_bytes, spill_bytes=spill_bytes,
         cache_hits=cache_hits, cache_misses=cache_misses,
         singleflight_waits=singleflight_waits,
+        queue_wait_ms=queue_wait_ms, deadline_budget_ms=deadline_budget_ms,
+        cancelled=cancelled,
     )
 
 
@@ -284,6 +300,28 @@ def _cache_outcomes(
     misses = sum(getattr(r, "cache_misses", 0) for r in records)
     waits = sum(getattr(r, "singleflight_waits", 0) for r in records)
     return hits, misses, waits
+
+
+def _deadline_outcomes(
+    system: SystemUnderTest, send_mark: int
+) -> tuple[float, int | float, int]:
+    """Admission queueing, deadline headroom, and cancelled work per expression.
+
+    Queue wait and cancellations are additive across sends; the deadline
+    budget reported is the *tightest* any send finished with (the cell's
+    closest call), 0.0 when no send carried a deadline.
+    """
+    if system.connector is None:
+        return 0.0, 0.0, 0
+    records = system.connector.send_log[send_mark:]
+    queue_wait = sum(getattr(r, "queue_wait_ms", 0.0) for r in records)
+    budgets = [
+        budget
+        for r in records
+        if (budget := getattr(r, "deadline_budget_ms", 0.0)) > 0.0
+    ]
+    cancelled = sum(getattr(r, "cancelled", 0) for r in records)
+    return queue_wait, min(budgets) if budgets else 0.0, cancelled
 
 
 def _compile_outcomes(system: SystemUnderTest, compile_mark: int) -> tuple[float, int]:

@@ -31,7 +31,8 @@ from __future__ import annotations
 import functools
 import time
 import zlib
-from typing import Any, Callable, Sequence
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, Sequence
 
 from repro.cache import ResultCache
 from repro.cluster.dispatch import Dispatcher, resolve_dispatcher
@@ -46,6 +47,7 @@ from repro.cluster.replica import (
 from repro.errors import (
     CircuitOpenError,
     ConnectorError,
+    QueryCancelledError,
     ReplicaDivergenceError,
     ReproError,
     ShardFailureError,
@@ -53,10 +55,43 @@ from repro.errors import (
 from repro.obs import ambient_span, metrics
 from repro.obs.profile import OpProfile, analyze_active
 from repro.resilience import FaultInjector, RetryPolicy
+from repro.resilience.admission import AdmissionController
+from repro.resilience.deadline import (
+    CancellationToken,
+    Deadline,
+    budget_scope,
+    current_deadline,
+    current_token,
+)
 from repro.sqlengine.result import QueryStats, ResultSet, StreamingResultSet
 
 #: Simulated per-query coordinator cost (shipping plans, gathering results).
 DEFAULT_COORDINATOR_OVERHEAD = 0.0002
+
+
+@contextmanager
+def admission_gate(admission: AdmissionController | None) -> Iterator[None]:
+    """Hold one cluster admission slot for the duration of the block.
+
+    The coordinator-side counterpart of the connector's per-send gate:
+    a cluster constructed with ``admission=`` sheds load *before* the
+    scatter fans a query out to every shard.  Acquisition observes the
+    ambient deadline (a query that would queue past its budget is shed
+    immediately with a retryable :class:`~repro.errors.OverloadError`),
+    and the measured gather latency feeds the controller's AIMD limit on
+    release.  A ``None`` controller — the seed default — is a no-op.
+    """
+    if admission is None:
+        yield
+        return
+    ticket = admission.acquire(deadline=current_deadline())
+    started = time.perf_counter()
+    try:
+        yield
+    except BaseException:
+        ticket.release(time.perf_counter() - started, ok=False)
+        raise
+    ticket.release(time.perf_counter() - started)
 
 
 def _shard_cache_for(
@@ -119,6 +154,7 @@ def _merge_stream_with_stats(
     sources: Sequence[Any],
     stats: QueryStats,
     shard_results: Sequence[ResultSet],
+    cancel_token: CancellationToken | None = None,
 ):
     """Lazily merge shard streams; fold shard stats in once drained.
 
@@ -129,10 +165,21 @@ def _merge_stream_with_stats(
     abandons shard streams mid-flight, and closing them runs the
     pipelines' cleanup (budget release, stats stamping) deterministically
     rather than at garbage collection.
+
+    An abandoned merge (consumer ``close()``, LIMIT satisfied, or an
+    error in another shard) also cancels *cancel_token*, so in-flight
+    producer threads stop at their next record boundary instead of
+    draining shards nobody will read; the abandoned shard streams count
+    into ``stats.cancelled``.
     """
+    completed = False
     try:
         yield from merge_record_stream(spec, sources)
+        completed = True
     finally:
+        if not completed and cancel_token is not None:
+            cancel_token.cancel("result stream abandoned before draining")
+            stats.cancelled += len(sources)
         for source in sources:
             close = getattr(source, "close", None)
             if close is not None:
@@ -208,6 +255,11 @@ def scatter_gather(
         )
     dispatcher = resolve_dispatcher(dispatcher)
     shard_cache = _shard_cache_for(result_cache, cache_key, stream=stream)
+    deadline = current_deadline()
+    # Every shard of this gather shares one child token: the first fatal
+    # shard error (or an abandoned result stream) cancels it, and sibling
+    # in-flight shard work stops at its next checkpoint.
+    gather_token = CancellationToken(parent=current_token())
 
     def execute_shard(shard: int) -> _ShardOutcome:
         key = f"{backend_name}#shard{shard}"
@@ -221,13 +273,21 @@ def scatter_gather(
                     return _ShardOutcome(shard, cached, 0)
             while True:
                 attempt += 1
+                if gather_token.cancelled:
+                    shard_span.set(attempts=attempt - 1, outcome="cancelled")
+                    gather_token.check(where=f"shard {shard}")
+                if deadline is not None and deadline.expired():
+                    shard_span.set(attempts=attempt - 1, outcome="deadline")
+                    deadline.check(
+                        backend=backend_name or "cluster", where=f"shard {shard}"
+                    )
                 try:
                     if fault_injector is not None:
                         fault_injector.before_request(key)
                     result = run_on_shard(shard)
                 except Exception as exc:
                     if retry_policy is not None and retry_policy.should_retry(exc, attempt):
-                        retry_policy.wait(attempt)
+                        retry_policy.wait(attempt, deadline=deadline)
                         continue
                     if not isinstance(exc, ConnectorError):
                         # Engine/query errors are not shard outages; surface
@@ -262,10 +322,22 @@ def scatter_gather(
                     )
                 return _ShardOutcome(shard, result, attempt)
 
+    def run_shard(shard: int) -> _ShardOutcome:
+        try:
+            return execute_shard(shard)
+        except QueryCancelledError:
+            raise
+        except BaseException as exc:
+            gather_token.cancel(
+                f"shard {shard} failed fatally: {type(exc).__name__}: {exc}"
+            )
+            raise
+
     dispatch_started = time.perf_counter()
-    outcomes = dispatcher.map_shards(
-        [functools.partial(execute_shard, shard) for shard in range(num_shards)]
-    )
+    with budget_scope(token=gather_token):
+        outcomes = dispatcher.map_shards(
+            [functools.partial(run_shard, shard) for shard in range(num_shards)]
+        )
     dispatch_elapsed = time.perf_counter() - dispatch_started
 
     shard_results: list[ResultSet] = []
@@ -300,11 +372,17 @@ def scatter_gather(
     plan_text = f"scatter-gather[{num_shards} shards, {spec.kind}{degraded}]\n{plan}"
 
     if _stream_supported(stream, spec, shard_results):
-        sources = dispatcher.stream_shards(
-            [result.iter_records() for result in shard_results]
-        )
+        with budget_scope(token=gather_token):
+            # Producers capture the gather's budget frame here, so a
+            # consumer close (which cancels the token) stops them at
+            # their next record boundary.
+            sources = dispatcher.stream_shards(
+                [result.iter_records() for result in shard_results]
+            )
         return StreamingResultSet(
-            _merge_stream_with_stats(spec, sources, stats, shard_results),
+            _merge_stream_with_stats(
+                spec, sources, stats, shard_results, cancel_token=gather_token
+            ),
             stats=stats,
             plan_text=plan_text,
             elapsed_seconds=shard_wall + coordinator_overhead,
@@ -382,10 +460,21 @@ def _run_replica_attempt(
     The attempt's *effective* time is the engine's reported elapsed plus
     any injector-charged latency, so deterministic chaos (no-op sleepers)
     still moves the health tracker and the hedging threshold.
+
+    Observes the ambient budget frame: a cancelled gather stops before
+    the next attempt with :class:`~repro.errors.QueryCancelledError`, an
+    expired deadline with :class:`~repro.errors.QueryTimeoutError`, and
+    backoff sleeps are clamped to the remaining budget.
     """
+    token = current_token()
+    deadline = current_deadline()
     attempt = 0
     while True:
         attempt += 1
+        if token is not None and token.cancelled:
+            token.check(where=f"shard {shard} replica node{node}")
+        if deadline is not None and deadline.expired():
+            deadline.check(where=f"shard {shard} replica node{node}")
         injected = 0.0
         try:
             if fault_injector is not None:
@@ -394,7 +483,7 @@ def _run_replica_attempt(
         except Exception as exc:
             if retry_policy is not None and retry_policy.should_retry(exc, attempt):
                 health.record_failure(node)
-                retry_policy.wait(attempt)
+                retry_policy.wait(attempt, deadline=deadline)
                 continue
             if not isinstance(exc, ConnectorError):
                 # Engine/query errors are not node outages; surface as-is.
@@ -419,6 +508,7 @@ class _ReplicaShardOutcome:
         "hedges",
         "hedge_wins",
         "quorum_checked",
+        "cancelled",
     )
 
     def __init__(self, shard: int) -> None:
@@ -431,6 +521,7 @@ class _ReplicaShardOutcome:
         self.hedges = 0
         self.hedge_wins = 0
         self.quorum_checked = 0
+        self.cancelled = 0
 
 
 def scatter_gather_replicated(
@@ -498,6 +589,18 @@ def scatter_gather_replicated(
     shard_cache = _shard_cache_for(
         result_cache, cache_key, stream=stream, quorum_reads=quorum_reads
     )
+    deadline = current_deadline()
+    # Every shard of this gather shares one child token: the first fatal
+    # shard error (or an abandoned result stream) cancels it, and sibling
+    # in-flight replica work stops at its next checkpoint.
+    gather_token = CancellationToken(parent=current_token())
+
+    def hedge_budget_allows(threshold: float | None) -> bool:
+        # A hedge only fires `threshold` seconds into the primary; if the
+        # deadline lands before then, the second request is pure waste.
+        if deadline is None:
+            return True
+        return deadline.remaining() > max(threshold or 0.0, 0.0)
 
     def execute_shard(shard: int) -> _ReplicaShardOutcome:
         out = _ReplicaShardOutcome(shard)
@@ -600,7 +703,7 @@ def scatter_gather_replicated(
                                 ),
                                 None,
                             )
-                            if threshold is not None
+                            if threshold is not None and hedge_budget_allows(threshold)
                             else None
                         )
                         if hedge_node is not None:
@@ -621,15 +724,24 @@ def scatter_gather_replicated(
                                 threshold,
                             )
                             outcome = race.primary
-                            attempts += outcome.attempts
+                            if outcome is not None:
+                                attempts += outcome.attempts
+                            else:
+                                # The primary leg lost the wall-clock race
+                                # and was cooperatively cancelled; its
+                                # abandoned work counts as `cancelled`,
+                                # not as a failed attempt.
+                                out.cancelled += 1
                             hedged: _ReplicaAttempt | None = (
                                 race.hedge_value if race.hedged else None
                             )
                             primary_first = race.primary_first
                             if (
                                 hedged is None
+                                and outcome is not None
                                 and outcome.result is not None
                                 and outcome.effective_seconds > threshold
+                                and hedge_budget_allows(threshold)
                             ):
                                 # The primary was only *simulatedly* slow
                                 # (injector-charged latency under a no-op
@@ -653,17 +765,19 @@ def scatter_gather_replicated(
                                 _count_backend("hedges_total", backend_name)
                                 attempts += hedged.attempts
                             if hedged is not None and hedged.result is not None and (
-                                outcome.result is None or not primary_first
+                                outcome is None
+                                or outcome.result is None
+                                or not primary_first
                             ):
                                 # The hedge genuinely finished first (or
-                                # rescued a failed primary).
+                                # rescued a failed/cancelled primary).
                                 won = True
                                 out.hedge_wins += 1
                                 _count_backend("hedge_wins_total", backend_name)
                                 result = hedged.result
                                 served = hedge_node
                                 effective = threshold + hedged.effective_seconds
-                            elif outcome.result is not None:
+                            elif outcome is not None and outcome.result is not None:
                                 result = outcome.result
                                 served = node
                                 effective = outcome.effective_seconds
@@ -676,9 +790,9 @@ def scatter_gather_replicated(
                                     win=won,
                                 )
                             if result is None:
-                                last_error = outcome.error or (
-                                    hedged.error if hedged is not None else None
-                                )
+                                last_error = (
+                                    outcome.error if outcome is not None else None
+                                ) or (hedged.error if hedged is not None else None)
                                 continue
                             break
 
@@ -703,7 +817,11 @@ def scatter_gather_replicated(
                         if hedge is not None
                         else None
                     )
-                    if threshold is not None and effective > threshold:
+                    if (
+                        threshold is not None
+                        and effective > threshold
+                        and hedge_budget_allows(threshold)
+                    ):
                         hedge_node = next(
                             (
                                 n
@@ -785,10 +903,22 @@ def scatter_gather_replicated(
             out.served = served
             return out
 
+    def run_shard(shard: int) -> _ReplicaShardOutcome:
+        try:
+            return execute_shard(shard)
+        except QueryCancelledError:
+            raise
+        except BaseException as exc:
+            gather_token.cancel(
+                f"shard {shard} failed fatally: {type(exc).__name__}: {exc}"
+            )
+            raise
+
     dispatch_started = time.perf_counter()
-    outcomes = dispatcher.map_shards(
-        [functools.partial(execute_shard, shard) for shard in range(num_shards)]
-    )
+    with budget_scope(token=gather_token):
+        outcomes = dispatcher.map_shards(
+            [functools.partial(run_shard, shard) for shard in range(num_shards)]
+        )
     dispatch_elapsed = time.perf_counter() - dispatch_started
 
     shard_results: list[ResultSet] = []
@@ -801,12 +931,14 @@ def scatter_gather_replicated(
     hedges = 0
     hedge_wins = 0
     quorum_checked = 0
+    cancelled_legs = 0
     for out in outcomes:
         shard_attempts.append(out.attempts)
         failovers += out.failovers
         hedges += out.hedges
         hedge_wins += out.hedge_wins
         quorum_checked += out.quorum_checked
+        cancelled_legs += out.cancelled
         if out.result is None:
             failed_shards.append(out.shard)
             served_by.append(-1)
@@ -832,6 +964,7 @@ def scatter_gather_replicated(
     stats.hedges += hedges
     stats.hedge_wins += hedge_wins
     stats.quorum_reads += quorum_checked
+    stats.cancelled += cancelled_legs
     stats.dispatch_mode = dispatcher.mode
     stats.parallelism = dispatcher.parallelism_for(num_shards)
     shard_wall = dispatch_elapsed if dispatcher.real_time else max(shard_elapsed)
@@ -841,11 +974,17 @@ def scatter_gather_replicated(
     plan_text = f"scatter-gather[{num_shards} shards, {spec.kind}{degraded}]\n{plan}"
 
     if _stream_supported(stream, spec, shard_results):
-        sources = dispatcher.stream_shards(
-            [result.iter_records() for result in shard_results]
-        )
+        with budget_scope(token=gather_token):
+            # Producers capture the gather's budget frame here, so a
+            # consumer close (which cancels the token) stops them at
+            # their next record boundary.
+            sources = dispatcher.stream_shards(
+                [result.iter_records() for result in shard_results]
+            )
         return StreamingResultSet(
-            _merge_stream_with_stats(spec, sources, stats, shard_results),
+            _merge_stream_with_stats(
+                spec, sources, stats, shard_results, cancel_token=gather_token
+            ),
             stats=stats,
             plan_text=plan_text,
             elapsed_seconds=shard_wall + coordinator_overhead,

@@ -23,8 +23,13 @@ thread-local), so both the worker-pool map and the hedge race capture the
 submitting thread's innermost span with
 :func:`~repro.obs.trace.current_context` and re-establish it on the
 worker via :func:`~repro.obs.trace.propagated_context` — shard spans nest
-under the action root no matter where they run.  See
-``docs/distributed-execution.md``.
+under the action root no matter where they run.  The query's budget frame
+(deadline + cancellation token, ``repro.resilience.deadline``) crosses
+threads the same way: workers run under the submitting thread's deadline,
+streaming producers stop between records once the gather is cancelled,
+and a hedge race cancels its losing leg instead of letting it run to
+completion.  See ``docs/distributed-execution.md`` and
+``docs/deadlines.md``.
 """
 
 from __future__ import annotations
@@ -36,8 +41,13 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
-from repro.errors import ReproError
+from repro.errors import QueryCancelledError, ReproError
 from repro.obs.trace import current_context, propagated_context
+from repro.resilience.deadline import (
+    CancellationToken,
+    current_frame as current_budget,
+    propagated_frame,
+)
 
 __all__ = [
     "ENV_DISPATCH",
@@ -203,9 +213,10 @@ class ThreadPoolDispatcher(Dispatcher):
         if len(tasks) <= 1:
             return [task() for task in tasks]
         frame = current_context()
+        budget = current_budget()
 
         def run(task: Callable[[], Any]) -> Any:
-            with propagated_context(frame):
+            with propagated_context(frame), propagated_frame(budget):
                 return task()
 
         futures = [self._executor().submit(run, task) for task in tasks]
@@ -215,7 +226,14 @@ class ThreadPoolDispatcher(Dispatcher):
             try:
                 results.append(future.result())
             except BaseException as exc:  # noqa: BLE001 - re-raised below
-                if first_error is None:
+                # Deterministic error reporting: the lowest-indexed
+                # shard's error wins — but a sibling that stopped because
+                # the gather was *cancelled* is a consequence, not the
+                # cause, so any real error beats a cancellation.
+                if first_error is None or (
+                    isinstance(first_error, QueryCancelledError)
+                    and not isinstance(exc, QueryCancelledError)
+                ):
                     first_error = exc
                 results.append(None)
         if first_error is not None:
@@ -246,6 +264,8 @@ class ThreadPoolDispatcher(Dispatcher):
         if len(sources) <= 1:
             return [iter(source) for source in sources]
         frame = current_context()
+        budget = current_budget()
+        token = budget.token
 
         def produce(
             source: Iterable[Any],
@@ -253,11 +273,16 @@ class ThreadPoolDispatcher(Dispatcher):
             closed: threading.Event,
             finished: threading.Event,
         ) -> None:
-            with propagated_context(frame):
+            with propagated_context(frame), propagated_frame(budget):
                 try:
                     completed = True
                     for record in source:
-                        if closed.is_set():
+                        # Record boundary: a closed consumer or a
+                        # cancelled gather stops this producer here,
+                        # mid-stream, instead of draining the shard.
+                        if closed.is_set() or (
+                            token is not None and token.cancelled
+                        ):
                             completed = False
                             break
                         sink.put(("record", record))
@@ -325,13 +350,27 @@ class ThreadPoolDispatcher(Dispatcher):
         monotonic clock; ties go to the primary.  Raw threads (not the
         shard pool) run the primary so a fully busy pool can never
         deadlock a race.
+
+        The losing leg is cooperatively cancelled: the primary runs
+        under its own child :class:`CancellationToken`, and once the
+        hedge has finished while the primary is still running, that
+        token is cancelled so the primary stops at its next batch
+        boundary instead of burning a worker to compute an answer nobody
+        will read.  A primary that stops this way
+        (:class:`~repro.errors.QueryCancelledError`) is reported as
+        ``primary=None`` with the hedge's value winning — never as an
+        error.
         """
         frame = current_context()
+        budget = current_budget()
+        primary_token = CancellationToken(parent=budget.token)
         done = threading.Event()
         box: dict[str, Any] = {}
 
         def run_primary() -> None:
-            with propagated_context(frame):
+            with propagated_context(frame), propagated_frame(
+                budget.child(primary_token)
+            ):
                 try:
                     box["value"] = primary()
                 except BaseException as exc:  # noqa: BLE001 - re-raised below
@@ -351,8 +390,14 @@ class ThreadPoolDispatcher(Dispatcher):
             hedged = True
             hedge_value = hedge()
             hedge_finished_ns = time.perf_counter_ns()
+            if not done.is_set():
+                # The hedge finished first: the still-running primary
+                # lost the race, and its answer can never be used.
+                primary_token.cancel("lost hedge race")
         worker.join()
         if "error" in box:
+            if hedged and isinstance(box["error"], QueryCancelledError):
+                return RaceResult(None, hedged, hedge_value, primary_first=False)
             raise box["error"]
         primary_first = not hedged or box["finished_ns"] <= hedge_finished_ns
         return RaceResult(box["value"], hedged, hedge_value, primary_first)

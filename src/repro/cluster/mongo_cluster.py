@@ -6,7 +6,7 @@ import json
 from typing import Any, Callable, Iterable
 
 from repro.cache import DatasetVersions, ResultCache, resolve_result_cache
-from repro.cluster.base import scatter_gather_replicated, shard_records
+from repro.cluster.base import admission_gate, scatter_gather_replicated, shard_records
 from repro.cluster.dispatch import Dispatcher, resolve_dispatcher
 from repro.cluster.partial import plan_pipeline
 from repro.cluster.replica import (
@@ -19,6 +19,7 @@ from repro.cluster.replica import (
 from repro.docstore import MongoDatabase
 from repro.docstore.database import DEFAULT_PREP_OVERHEAD
 from repro.resilience import CircuitBreaker, FaultInjector, RetryPolicy, cluster_resilience
+from repro.resilience.admission import AdmissionController, resolve_admission
 from repro.sqlengine.result import ResultSet
 
 
@@ -49,6 +50,7 @@ class MongoDBCluster:
         dispatch: "Dispatcher | str | None" = None,
         memory_budget: int | str | None = None,
         cache: "ResultCache | bool | int | str | None" = None,
+        admission: "AdmissionController | bool | None" = None,
     ) -> None:
         if num_nodes < 1:
             raise ValueError("a cluster needs at least one node")
@@ -58,6 +60,8 @@ class MongoDBCluster:
         self.fault_injector = fault_injector
         self.allow_partial = allow_partial
         self.name = f"mongodb-cluster[{num_nodes}]"
+        #: Coordinator-side load shedding (``admission=`` / ``REPRO_ADMISSION``).
+        self.admission = resolve_admission(admission, backend=self.name)
         self.replication_factor = resolve_replication_factor(replication_factor, num_nodes)
         self.replica_set = ReplicaSet(num_nodes, num_nodes, self.replication_factor)
 
@@ -153,21 +157,22 @@ class MongoDBCluster:
         # Tests stub shard engines with plain callables, so only pass the
         # streaming knob through when it is actually on.
         shard_kwargs = {"stream": True} if stream else {}
-        return scatter_gather_replicated(
-            lambda shard, node: self.store.engine(shard, node).aggregate(
-                collection, shard_pipeline, **shard_kwargs
-            ),
-            self.replica_set,
-            spec,
-            health=self.health,
-            hedge=self.hedge,
-            quorum_reads=self.quorum_reads,
-            retry_policy=policy,
-            fault_injector=injector,
-            backend_name=self.name,
-            allow_partial=self.allow_partial,
-            dispatcher=self.dispatcher,
-            stream=stream,
-            result_cache=self.result_cache,
-            cache_key=cache_key,
-        )
+        with admission_gate(self.admission):
+            return scatter_gather_replicated(
+                lambda shard, node: self.store.engine(shard, node).aggregate(
+                    collection, shard_pipeline, **shard_kwargs
+                ),
+                self.replica_set,
+                spec,
+                health=self.health,
+                hedge=self.hedge,
+                quorum_reads=self.quorum_reads,
+                retry_policy=policy,
+                fault_injector=injector,
+                backend_name=self.name,
+                allow_partial=self.allow_partial,
+                dispatcher=self.dispatcher,
+                stream=stream,
+                result_cache=self.result_cache,
+                cache_key=cache_key,
+            )

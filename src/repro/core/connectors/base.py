@@ -27,12 +27,19 @@ from typing import Any, Iterator
 from repro.cache import DatasetVersions, ResultCache, Singleflight, resolve_result_cache
 from repro.core.plan.cache import CompiledQueryCache
 from repro.core.rewrite import RewriteEngine
-from repro.errors import CircuitOpenError, ReproError
+from repro.errors import CircuitOpenError, OverloadError, QueryTimeoutError, ReproError
 from repro.exec.batch import DEFAULT_BATCH_SIZE
 from repro.exec.memory import resolve_budget
 from repro.obs import OpProfile, analyze_active, metrics, span_for
 from repro.obs.trace import Tracer
 from repro.resilience import CircuitBreaker, FaultInjector, QueryTimeout, RetryPolicy
+from repro.resilience.admission import AdmissionController, AdmissionTicket, resolve_admission
+from repro.resilience.deadline import (
+    CancellationToken,
+    Deadline,
+    current_frame,
+    resolve_deadline_seconds,
+)
 from repro.resilience.faults import global_resilience
 from repro.sqlengine.result import QueryStats, ResultSet
 
@@ -45,6 +52,8 @@ OUTCOME_OK = "ok"  # succeeded, complete answer
 OUTCOME_PARTIAL = "partial"  # succeeded, but degraded (shards missing)
 OUTCOME_ERROR = "error"  # every attempt failed; the error propagated
 OUTCOME_REJECTED = "rejected"  # circuit breaker refused without executing
+OUTCOME_SHED = "shed"  # admission control refused without executing
+OUTCOME_CANCELLED = "cancelled"  # cooperatively cancelled before finishing
 
 
 @dataclass(frozen=True)
@@ -88,6 +97,16 @@ class SendRecord:
     served below it); ``singleflight_waits`` marks a send that blocked
     on an identical in-flight query and shared its answer.  All zero
     with caching off (the default).
+
+    ``queue_wait_ms`` is how long this send waited in admission queues
+    (the connector's own gate plus any per-cluster gate below it);
+    ``deadline_budget_ms`` is how much of the query's deadline budget
+    remained when the send finished (zero with no deadline configured —
+    the default); ``cancelled`` counts sibling work units below this
+    send that were cooperatively cancelled rather than finishing.  A
+    send shed by admission control has ``outcome == 'shed'`` and
+    ``attempts == 0``; one abandoned by cancellation has
+    ``outcome == 'cancelled'``.
     """
 
     real_seconds: float
@@ -106,6 +125,9 @@ class SendRecord:
     cache_hits: int = 0
     cache_misses: int = 0
     singleflight_waits: int = 0
+    queue_wait_ms: float = 0.0
+    deadline_budget_ms: float = 0.0
+    cancelled: int = 0
 
     @property
     def retries(self) -> int:
@@ -186,6 +208,18 @@ class DatabaseConnector(abc.ABC):
     - ``timeout`` — per-attempt deadline (:class:`QueryTimeout` or seconds).
     - ``circuit_breaker`` — fail fast while the backend is unhealthy.
     - ``fault_injector`` — chaos hooks for deterministic failure testing.
+    - ``deadline`` — an end-to-end per-action budget in seconds
+      (:class:`~repro.resilience.Deadline`); ``None`` defers to the
+      ``REPRO_DEADLINE`` environment variable, and both default to off —
+      the seed behaviour.  Unlike ``timeout`` the deadline spans *every*
+      attempt, backoff sleep, shard, hedge, and streamed batch of one
+      action.  See ``docs/deadlines.md``.
+    - ``admission`` — overload protection: ``True`` /
+      an :class:`~repro.resilience.AdmissionController` (shareable for a
+      cluster-wide limit) gates sends through a bounded, deadline-aware,
+      AIMD-adaptive admission queue; ``None`` defers to
+      ``REPRO_ADMISSION``, ``False`` disables.  Shed queries raise the
+      retryable :class:`~repro.errors.OverloadError` without executing.
 
     When no ``fault_injector`` is set and the ``REPRO_FAULT_RATE``
     environment variable is, a process-wide injector (plus a default retry
@@ -226,6 +260,8 @@ class DatabaseConnector(abc.ABC):
         timeout: QueryTimeout | float | None = None,
         circuit_breaker: CircuitBreaker | None = None,
         fault_injector: FaultInjector | None = None,
+        deadline: float | None = None,
+        admission: "AdmissionController | bool | None" = None,
         optimization_level: int | None = None,
         cache: "ResultCache | bool | int | str | None" = None,
     ) -> None:
@@ -237,6 +273,13 @@ class DatabaseConnector(abc.ABC):
         self.timeout = QueryTimeout(timeout) if isinstance(timeout, (int, float)) else timeout
         self.circuit_breaker = circuit_breaker
         self.fault_injector = fault_injector
+        self.deadline = deadline
+        #: Monotonic clock used for deadlines this connector creates
+        #: itself (action roots, env-driven per-send budgets); tests
+        #: inject a fake clock here for deterministic budget accounting.
+        self.deadline_clock = time.monotonic
+        self.admission = resolve_admission(admission, backend=self.name)
+        self._warned_stream_retry = False
         if optimization_level is None:
             optimization_level = _default_optimization_level()
         self.optimization_level = optimization_level
@@ -278,13 +321,20 @@ class DatabaseConnector(abc.ABC):
         attributes.
 
         With ``stream=True`` the result drains lazily from the engine
-        (when the backend supports it) — but only when no retry policy or
-        timeout is configured: both need the attempt's full outcome
-        before :meth:`send` returns, so resilience-wrapped sends
-        materialize instead (the documented fallback).  A streaming
-        send's :class:`SendRecord` carries the stats known at dispatch
-        time; drain-dependent numbers (rows scanned, memory peaks) are
-        final on ``result.stats`` once the stream is exhausted.
+        (when the backend supports it) — but only when no retry policy
+        is configured: a retry needs the attempt's full outcome before
+        :meth:`send` returns, so retry-wrapped sends materialize instead
+        (a warning is logged once per connector; the old behaviour
+        silently dropped the stream).  A per-attempt ``timeout`` no
+        longer forces materialization: it is enforced on the *drain* as
+        a deadline, checked at every batch boundary, as is any ambient
+        or configured :class:`~repro.resilience.Deadline` — a streamed
+        query whose budget runs out raises
+        :class:`~repro.errors.QueryTimeoutError` at the next boundary
+        instead of bypassing the limit.  A streaming send's
+        :class:`SendRecord` carries the stats known at dispatch time;
+        drain-dependent numbers (rows scanned, memory peaks) are final
+        on ``result.stats`` once the stream is exhausted.
 
         With result caching on (``cache=`` / ``REPRO_CACHE``) the send
         first probes the :class:`~repro.cache.ResultCache` under a
@@ -300,7 +350,28 @@ class DatabaseConnector(abc.ABC):
             if policy is None:
                 policy = global_policy
         breaker = self.circuit_breaker
-        streaming = stream and policy is None and self.timeout is None
+        streaming = stream and policy is None
+        if stream and policy is not None and not self._warned_stream_retry:
+            self._warned_stream_retry = True
+            logger.warning(
+                "%s: streaming send materializes because a retry policy is "
+                "configured — a retry needs the attempt's full outcome "
+                "before send() returns (deadlines still apply; see "
+                "docs/deadlines.md)",
+                self.name,
+            )
+        frame = current_frame()
+        deadline = frame.deadline
+        token = frame.token
+        if deadline is None:
+            seconds = resolve_deadline_seconds(self.deadline)
+            if seconds is not None:
+                deadline = Deadline(seconds, clock=self.deadline_clock)
+        if deadline is None and streaming and self.timeout is not None:
+            # No end-to-end budget, but a per-attempt timeout: for a
+            # streamed attempt "the attempt" is the whole drain, so the
+            # timeout becomes the drain deadline.
+            deadline = Deadline(self.timeout.seconds, clock=self.deadline_clock)
         cache = self.result_cache
 
         self._count("queries_total")
@@ -329,6 +400,7 @@ class DatabaseConnector(abc.ABC):
                     return self._run_attempts(
                         query, collection, streaming, injector, policy,
                         breaker, dspan, total_started, cache_active=True,
+                        deadline=deadline, token=token,
                     )
 
                 try:
@@ -351,13 +423,18 @@ class DatabaseConnector(abc.ABC):
                     raise
                 if waited:
                     return self._serve_singleflight(payload, dspan, total_started)
-                result, attempt = payload
+                result, attempt, queue_wait, stream_release = payload
             else:
-                result, attempt = self._run_attempts(
+                result, attempt, queue_wait, stream_release = self._run_attempts(
                     query, collection, streaming, injector, policy,
                     breaker, dspan, total_started, cache_active=cache is not None,
+                    deadline=deadline, token=token,
                 )
 
+            if getattr(result, "streaming", False) and (
+                deadline is not None or token is not None or stream_release is not None
+            ):
+                self._guard_stream(result, deadline, token, stream_release, query)
             real = time.perf_counter() - total_started
             if cache is not None:
                 result.stats.result_cache_misses += 1
@@ -378,6 +455,11 @@ class DatabaseConnector(abc.ABC):
                 cache_hits=result.stats.result_cache_hits,
                 cache_misses=result.stats.result_cache_misses,
                 singleflight_waits=result.stats.singleflight_waits,
+                queue_wait_ms=queue_wait * 1000.0 + result.stats.queue_wait_ms,
+                deadline_budget_ms=(
+                    deadline.remaining() * 1000.0 if deadline is not None else 0.0
+                ),
+                cancelled=result.stats.cancelled,
             )
             self.send_log.append(record)
             on_drain = getattr(result, "on_drain", None)
@@ -385,7 +467,9 @@ class DatabaseConnector(abc.ABC):
                 # Drain-dependent numbers (rows scanned, memory peaks,
                 # spill volume) are only final once the stream is
                 # exhausted; restamp the log entry in place then.
-                self._restamp_on_drain(result, record, len(self.send_log) - 1)
+                self._restamp_on_drain(
+                    result, record, len(self.send_log) - 1, queue_wait
+                )
             if cache is not None:
                 if getattr(result, "streaming", False):
                     # Tee the stream into the cache: admitted only if it
@@ -421,6 +505,9 @@ class DatabaseConnector(abc.ABC):
                     cache_hits=record.cache_hits,
                     cache_misses=record.cache_misses,
                     singleflight_waits=record.singleflight_waits,
+                    queue_wait_ms=record.queue_wait_ms,
+                    deadline_budget_ms=record.deadline_budget_ms,
+                    cancelled=record.cancelled,
                 )
         if logger.isEnabledFor(logging.DEBUG):
             logger.debug(
@@ -441,74 +528,237 @@ class DatabaseConnector(abc.ABC):
         total_started: float,
         *,
         cache_active: bool = False,
-    ) -> tuple[ResultSet, int]:
-        """The breaker/injector/timeout/retry attempt loop of one send."""
+        deadline: Deadline | None = None,
+        token: CancellationToken | None = None,
+    ) -> tuple[ResultSet, int, float, "Any | None"]:
+        """The admission/breaker/injector/timeout/retry loop of one send.
+
+        Returns ``(result, attempts, queue_wait_seconds, stream_release)``
+        where ``stream_release`` is a callable releasing the admission
+        slot of a *streaming* result (``None`` otherwise) — a streamed
+        query occupies its slot until the stream drains or is closed,
+        not just until dispatch returns.
+        """
         cache_misses = 1 if cache_active else 0
-        attempt = 0
-        while True:
-            attempt += 1
-            if breaker is not None:
-                try:
-                    breaker.allow()
-                except CircuitOpenError:
-                    self._count("circuit_rejections_total")
-                    dspan.set(outcome=OUTCOME_REJECTED, attempts=attempt - 1)
+        queue_wait = 0.0
+        ticket = self._admit(deadline, dspan, total_started, cache_misses)
+        if ticket is not None:
+            queue_wait = ticket.queue_wait_seconds
+        admitted_at = time.perf_counter()
+        ok = False
+        result: ResultSet | None = None
+        try:
+            attempt = 0
+            while True:
+                attempt += 1
+                if token is not None and token.cancelled:
+                    dspan.set(outcome=OUTCOME_CANCELLED, attempts=attempt - 1)
                     self.send_log.append(
                         SendRecord(
                             time.perf_counter() - total_started,
                             0.0,
                             attempts=attempt - 1,
-                            outcome=OUTCOME_REJECTED,
+                            outcome=OUTCOME_CANCELLED,
                             cache_misses=cache_misses,
+                            queue_wait_ms=queue_wait * 1000.0,
+                            cancelled=1,
                         )
                     )
-                    raise
-            attempt_started = time.perf_counter()
-            with span_for(self, "attempt", number=attempt) as aspan:
-                try:
-                    if injector is not None:
-                        injector.before_request(self.name)
-                    result = (
-                        self._execute_stream(query, collection)
-                        if streaming
-                        else self._execute(query, collection)
-                    )
-                    if self.timeout is not None:
-                        self.timeout.check(
-                            time.perf_counter() - attempt_started,
-                            backend=self.name,
-                            query=query,
-                        )
-                except Exception as exc:
-                    if breaker is not None:
-                        breaker.record_failure()
-                    if policy is not None and policy.should_retry(exc, attempt):
-                        aspan.set(
-                            error=f"{type(exc).__name__}: {exc}", retried=True
-                        )
-                        logger.debug(
-                            "%s attempt %d failed (%s); retrying",
-                            self.name, attempt, exc,
-                        )
-                        policy.wait(attempt)
-                        continue
-                    self._count("retries_total", attempt - 1)
-                    dspan.set(outcome=OUTCOME_ERROR, attempts=attempt)
+                    token.check(where=f"{self.name} dispatch")
+                if deadline is not None and deadline.expired():
+                    # Eager: an attempt that starts with no budget left
+                    # cannot finish in time, so fail now instead.
+                    self._count("deadline_exceeded_total")
+                    dspan.set(outcome=OUTCOME_ERROR, attempts=attempt - 1)
                     self.send_log.append(
                         SendRecord(
                             time.perf_counter() - total_started,
                             0.0,
-                            attempts=attempt,
+                            attempts=attempt - 1,
                             outcome=OUTCOME_ERROR,
                             cache_misses=cache_misses,
+                            queue_wait_ms=queue_wait * 1000.0,
                         )
                     )
-                    raise
-                break
+                    deadline.check(backend=self.name, query=query)
+                if breaker is not None:
+                    try:
+                        breaker.allow()
+                    except CircuitOpenError:
+                        self._count("circuit_rejections_total")
+                        dspan.set(outcome=OUTCOME_REJECTED, attempts=attempt - 1)
+                        self.send_log.append(
+                            SendRecord(
+                                time.perf_counter() - total_started,
+                                0.0,
+                                attempts=attempt - 1,
+                                outcome=OUTCOME_REJECTED,
+                                cache_misses=cache_misses,
+                                queue_wait_ms=queue_wait * 1000.0,
+                            )
+                        )
+                        raise
+                attempt_started = time.perf_counter()
+                with span_for(self, "attempt", number=attempt) as aspan:
+                    try:
+                        if injector is not None:
+                            injector.before_request(self.name)
+                        result = (
+                            self._execute_stream(query, collection)
+                            if streaming
+                            else self._execute(query, collection)
+                        )
+                        if self.timeout is not None and not streaming:
+                            self.timeout.check(
+                                time.perf_counter() - attempt_started,
+                                backend=self.name,
+                                query=query,
+                            )
+                        if deadline is not None and not streaming:
+                            # Streamed attempts are checked per batch on
+                            # the drain, where the work actually happens.
+                            deadline.check(backend=self.name, query=query)
+                    except Exception as exc:
+                        if breaker is not None:
+                            breaker.record_failure()
+                        if policy is not None and policy.should_retry(exc, attempt):
+                            aspan.set(
+                                error=f"{type(exc).__name__}: {exc}", retried=True
+                            )
+                            logger.debug(
+                                "%s attempt %d failed (%s); retrying",
+                                self.name, attempt, exc,
+                            )
+                            # Clamped: if the budget runs out during the
+                            # backoff, the next loop iteration fails
+                            # eagerly instead of launching the attempt.
+                            policy.wait(attempt, deadline=deadline)
+                            continue
+                        self._count("retries_total", attempt - 1)
+                        if isinstance(exc, QueryTimeoutError) and (
+                            deadline is not None and deadline.expired()
+                        ):
+                            self._count("deadline_exceeded_total")
+                        dspan.set(outcome=OUTCOME_ERROR, attempts=attempt)
+                        self.send_log.append(
+                            SendRecord(
+                                time.perf_counter() - total_started,
+                                0.0,
+                                attempts=attempt,
+                                outcome=OUTCOME_ERROR,
+                                cache_misses=cache_misses,
+                                queue_wait_ms=queue_wait * 1000.0,
+                            )
+                        )
+                        raise
+                    break
+            ok = True
+        finally:
+            if ticket is not None and not (
+                ok and getattr(result, "streaming", False)
+            ):
+                ticket.release(time.perf_counter() - admitted_at, ok=ok)
+
+        stream_release = None
+        if ticket is not None and getattr(result, "streaming", False):
+
+            def stream_release(drained_ok: bool) -> None:
+                ticket.release(time.perf_counter() - admitted_at, ok=drained_ok)
 
         if breaker is not None:
             breaker.record_success()
-        return result, attempt
+        return result, attempt, queue_wait, stream_release
+
+    def _admit(
+        self,
+        deadline: Deadline | None,
+        dspan: Any,
+        total_started: float,
+        cache_misses: int,
+    ) -> "AdmissionTicket | None":
+        """Gate one send through the admission controller, if configured.
+
+        A shed query is logged with outcome ``'shed'`` and raises the
+        retryable :class:`~repro.errors.OverloadError` without ever
+        touching the breaker, injector, or backend; a queued query whose
+        deadline expires while waiting raises
+        :class:`~repro.errors.QueryTimeoutError` the same way.
+        """
+        controller = self.admission
+        if controller is None:
+            return None
+        with span_for(self, "queue", backend=self.name) as qspan:
+            try:
+                ticket = controller.acquire(deadline)
+            except OverloadError:
+                qspan.set(outcome="shed")
+                dspan.set(outcome=OUTCOME_SHED, attempts=0)
+                self.send_log.append(
+                    SendRecord(
+                        time.perf_counter() - total_started,
+                        0.0,
+                        attempts=0,
+                        outcome=OUTCOME_SHED,
+                        cache_misses=cache_misses,
+                    )
+                )
+                raise
+            except QueryTimeoutError:
+                qspan.set(outcome="timeout")
+                self._count("deadline_exceeded_total")
+                dspan.set(outcome=OUTCOME_ERROR, attempts=0)
+                self.send_log.append(
+                    SendRecord(
+                        time.perf_counter() - total_started,
+                        0.0,
+                        attempts=0,
+                        outcome=OUTCOME_ERROR,
+                        cache_misses=cache_misses,
+                    )
+                )
+                raise
+            qspan.set(queue_wait_ms=ticket.queue_wait_seconds * 1000.0)
+        return ticket
+
+    def _guard_stream(
+        self,
+        result: ResultSet,
+        deadline: Deadline | None,
+        token: CancellationToken | None,
+        stream_release: "Any | None",
+        query: str,
+    ) -> None:
+        """Enforce deadline/cancellation on a stream at batch boundaries.
+
+        Wraps the streaming result's source so every record boundary
+        checks the remaining deadline budget and the cancellation token
+        — a deadline-exceeded streamed query raises
+        :class:`~repro.errors.QueryTimeoutError` at the next boundary
+        instead of draining to completion (or hanging), and a cancelled
+        one stops with :class:`~repro.errors.QueryCancelledError`.  The
+        admission slot of a streamed query (``stream_release``) is
+        returned when the stream drains, fails, or is closed.
+        """
+
+        def guarded(source: Iterator[Any]) -> Iterator[Any]:
+            drained_ok = False
+            try:
+                for record in source:
+                    if token is not None and token.cancelled:
+                        result.stats.cancelled += 1
+                        token.check(where=f"{self.name} stream drain")
+                    if deadline is not None and deadline.expired():
+                        self._count("deadline_exceeded_total")
+                        deadline.check(
+                            backend=self.name, query=query, where="stream drain"
+                        )
+                    yield record
+                drained_ok = True
+            finally:
+                if stream_release is not None:
+                    stream_release(drained_ok)
+
+        result.wrap_source(guarded)
 
     def _serve_cache_hit(
         self, cache: ResultCache, key: Any, dspan: Any, total_started: float
@@ -554,7 +804,7 @@ class DatabaseConnector(abc.ABC):
         return result
 
     def _serve_singleflight(
-        self, payload: tuple[ResultSet, int], dspan: Any, total_started: float
+        self, payload: tuple, dspan: Any, total_started: float
     ) -> ResultSet:
         """Clone a singleflight leader's answer for a follower send.
 
@@ -563,7 +813,7 @@ class DatabaseConnector(abc.ABC):
         result (a fresh list, the same record objects, exactly like a
         cache hit); stats are the follower's own.
         """
-        leader_result, _ = payload
+        leader_result = payload[0]
         real = time.perf_counter() - total_started
         result = ResultSet(
             records=list(leader_result.records),
@@ -609,7 +859,7 @@ class DatabaseConnector(abc.ABC):
         """Backend-specific execution of an already-rewritten query."""
 
     def _restamp_on_drain(
-        self, result: ResultSet, record: SendRecord, index: int
+        self, result: ResultSet, record: SendRecord, index: int, queue_wait: float
     ) -> None:
         """Refresh a streaming send's log entry once its stream drains."""
 
@@ -629,6 +879,8 @@ class DatabaseConnector(abc.ABC):
                 cache_hits=stats.result_cache_hits,
                 cache_misses=stats.result_cache_misses,
                 singleflight_waits=stats.singleflight_waits,
+                queue_wait_ms=queue_wait * 1000.0 + stats.queue_wait_ms,
+                cancelled=stats.cancelled,
             )
             if self.send_log[index] is record:
                 self.send_log[index] = updated

@@ -20,11 +20,13 @@ plan, compiled lazily when the series itself is the target of an action
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Any, Callable, TYPE_CHECKING
 
 from repro.eager import EagerFrame, frame_from_records
 from repro.errors import RewriteError
 from repro.obs import span_for
+from repro.resilience.deadline import action_scope
 from repro.core.plan.compiler import compile_plan_for, stamp_stats
 from repro.core.plan.expr import (
     BinaryExpr,
@@ -329,15 +331,21 @@ class PolySeries:
     # ------------------------------------------------------------------
     # Actions
     # ------------------------------------------------------------------
+    @contextmanager
     def _action_span(self, op: str):
-        """The root trace span every action opens (no-op unless tracing)."""
-        return span_for(
+        """The root trace span every action opens (no-op unless tracing).
+
+        Also installs the action's budget frame (deadline + cancellation
+        token), exactly like :meth:`PolyFrame._action_span`.
+        """
+        with action_scope(self._connector), span_for(
             self._connector,
             "action",
             op=op,
             backend=self._connector.name,
             collection=self._collection,
-        )
+        ) as span:
+            yield span
 
     def head(self, n: int = 5) -> EagerFrame:
         """Evaluate the series' query with a LIMIT and return results."""

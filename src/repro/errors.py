@@ -83,6 +83,40 @@ class QueryTimeoutError(TransientBackendError):
     """
 
 
+class QueryCancelledError(ReproError):
+    """In-flight work was cooperatively cancelled, not failed.
+
+    Raised from cancellation checkpoints (operator batch boundaries,
+    shard attempt starts, hedge legs) once a
+    :class:`~repro.resilience.deadline.CancellationToken` fires — the
+    first fatal shard error, or a consumer closing a streaming result,
+    cancels sibling work that nobody will read.  Deliberately *not* a
+    :class:`ConnectorError`: the backend did not fail, the coordinator
+    stopped caring, so retry/failover machinery must not treat it as an
+    outage, and the coordinator reports the original error (or the
+    winning result), never this one.
+    """
+
+
+class OverloadError(TransientBackendError):
+    """A query was shed by admission control before executing.
+
+    Raised when a connector or cluster's
+    :class:`~repro.resilience.admission.AdmissionController` refuses a
+    query — the wait queue is full, or the estimated queue wait exceeds
+    the query's remaining deadline budget.  Subclasses
+    :class:`TransientBackendError` because overload is transient by
+    definition: the same query succeeds once load drops, so the default
+    retry classification retries it (after backoff).  Carries
+    ``retry_after`` — the controller's estimate, in seconds, of when
+    capacity will be available — so callers can pace their retries.
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 class CircuitOpenError(ConnectorError):
     """A request was rejected because the backend's circuit breaker is open.
 

@@ -41,10 +41,17 @@ import tempfile
 from typing import Any, Iterable, Iterator
 
 from repro.errors import ReproError
+from repro.resilience.deadline import current_frame
 
 #: Environment variable holding the default per-query budget (bytes;
 #: ``k``/``m``/``g`` suffixes allowed).
 ENV_MEM_BUDGET = "REPRO_MEM_BUDGET"
+
+#: How many records a blocking operator absorbs between cooperative
+#: cancellation checkpoints.  Small enough that a cancelled or expired
+#: query stops a spilling sort/group-by mid-build, large enough that the
+#: per-record cost is one integer decrement.
+CANCEL_CHECK_INTERVAL = 256
 
 _SUFFIXES = {"k": 1024, "m": 1024**2, "g": 1024**3}
 
@@ -94,6 +101,27 @@ def resolve_budget(explicit: int | str | None = None) -> int | None:
             raise ReproError(f"malformed memory budget {explicit!r}: must not be negative")
         return int(explicit) or None
     return parse_budget(os.environ.get(ENV_MEM_BUDGET, ""))
+
+
+def check_budget_frame(*, where: str = "") -> None:
+    """Observe the ambient cancellation token and deadline, if any.
+
+    Called by blocking operators every :data:`CANCEL_CHECK_INTERVAL`
+    records so a spilling sort or group-by stops early — raising
+    :class:`~repro.errors.QueryCancelledError` when a sibling shard
+    failed fatally (or the consumer closed the stream) and
+    :class:`~repro.errors.QueryTimeoutError` when the action's deadline
+    lapsed mid-build — instead of finishing work nobody will read.
+    With deadlines and cancellation off (the seed default) the ambient
+    frame is empty and this is a no-op.
+    """
+    frame = current_frame()
+    token = frame.token
+    if token is not None and token.cancelled:
+        token.check(where=where)
+    deadline = frame.deadline
+    if deadline is not None and deadline.expired():
+        deadline.check(where=where)
 
 
 def estimate_record_bytes(value: Any) -> int:
@@ -270,8 +298,13 @@ class SpillSorter:
         self._buffer_bytes = 0
         self._seq = 0
         self._spill: SpillFile | None = None
+        self._cancel_countdown = CANCEL_CHECK_INTERVAL
 
     def add(self, key: Any, record: Any) -> None:
+        self._cancel_countdown -= 1
+        if self._cancel_countdown <= 0:
+            self._cancel_countdown = CANCEL_CHECK_INTERVAL
+            check_budget_frame(where="spill sort")
         nbytes = estimate_record_bytes(record) + _RECORD_OVERHEAD
         if self._buffer and self._budget.would_exceed(nbytes):
             self._flush_run()
@@ -342,6 +375,7 @@ class SpillableGroups:
         self._table_bytes = 0
         self._seq = 0
         self._spill: SpillFile | None = None
+        self._cancel_countdown = CANCEL_CHECK_INTERVAL
 
     def __len__(self) -> int:
         return len(self._groups)
@@ -352,6 +386,10 @@ class SpillableGroups:
 
     def insert(self, key: Any, state: Any, nbytes: int) -> None:
         """Add a new group, spilling the current table first if needed."""
+        self._cancel_countdown -= 1
+        if self._cancel_countdown <= 0:
+            self._cancel_countdown = CANCEL_CHECK_INTERVAL
+            check_budget_frame(where="spill group-by")
         nbytes += _RECORD_OVERHEAD
         if self._groups and self._budget.would_exceed(nbytes):
             self._flush_run()

@@ -16,12 +16,37 @@ comes from an owned, seeded RNG:
 - :class:`CircuitBreaker` — per-backend closed → open → half-open gate
   that fails fast with :class:`~repro.errors.CircuitOpenError` while a
   backend is persistently unhealthy.
+- :class:`Deadline` / :class:`CancellationToken` — an end-to-end
+  monotonic budget for one dataframe action, propagated ambiently
+  (:func:`budget_scope`) through retries, shards, hedges, and streaming,
+  plus cooperative cancellation of work nobody will read.
+- :class:`AdmissionController` — bounded, deadline-aware wait queue with
+  an AIMD adaptive concurrency limit; sheds load with
+  :class:`~repro.errors.OverloadError` instead of collapsing.
 
-See ``docs/resilience.md`` for how these weave through
-:meth:`DatabaseConnector.send` and ``scatter_gather``.
+See ``docs/resilience.md`` and ``docs/deadlines.md`` for how these weave
+through :meth:`DatabaseConnector.send` and ``scatter_gather``.
 """
 
+from repro.resilience.admission import (
+    ENV_ADMISSION,
+    AdmissionController,
+    AdmissionTicket,
+    resolve_admission,
+)
 from repro.resilience.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.resilience.deadline import (
+    ENV_DEADLINE,
+    BudgetFrame,
+    CancellationToken,
+    Deadline,
+    budget_scope,
+    current_deadline,
+    current_frame,
+    current_token,
+    propagated_frame,
+    resolve_deadline_seconds,
+)
 from repro.resilience.faults import (
     ENV_FAULT_RATE,
     ENV_FAULT_SEED,
@@ -38,6 +63,8 @@ from repro.resilience.retry import DEFAULT_RETRYABLE, QueryTimeout, RetryPolicy,
 __all__ = [
     "CLOSED",
     "DEFAULT_RETRYABLE",
+    "ENV_ADMISSION",
+    "ENV_DEADLINE",
     "ENV_FAULT_RATE",
     "ENV_FAULT_SEED",
     "ENV_NODE_DOWN",
@@ -45,12 +72,24 @@ __all__ = [
     "NODE_DOWN",
     "OPEN",
     "SLOW_NODE",
+    "AdmissionController",
+    "AdmissionTicket",
+    "BudgetFrame",
+    "CancellationToken",
     "CircuitBreaker",
+    "Deadline",
     "FaultInjector",
     "FaultRule",
     "QueryTimeout",
     "RetryPolicy",
+    "budget_scope",
     "cluster_resilience",
+    "current_deadline",
+    "current_frame",
+    "current_token",
     "global_resilience",
     "no_sleep",
+    "propagated_frame",
+    "resolve_admission",
+    "resolve_deadline_seconds",
 ]

@@ -21,6 +21,7 @@ import time
 from typing import Callable
 
 from repro.errors import QueryTimeoutError, TransientBackendError
+from repro.resilience.deadline import Deadline
 
 #: Errors worth retrying by default: injected/transient backend failures
 #: and deadline misses.  ``QueryTimeoutError`` subclasses
@@ -95,9 +96,21 @@ class RetryPolicy:
             delay *= 1.0 + self.jitter * (2.0 * self._rng.random() - 1.0)
         return max(0.0, delay)
 
-    def wait(self, attempt: int) -> None:
-        """Sleep out the backoff delay that follows *attempt*."""
-        self.sleep(self.backoff_delay(attempt))
+    def wait(self, attempt: int, *, deadline: Deadline | None = None) -> None:
+        """Sleep out the backoff delay that follows *attempt*.
+
+        With a *deadline*, the sleep is clamped to the remaining budget —
+        backoff must never carry a query past the point where no attempt
+        could finish anyway.  When the budget is already exhausted the
+        sleep is skipped entirely and :class:`QueryTimeoutError` raises
+        here, before another doomed attempt is launched.
+        """
+        delay = self.backoff_delay(attempt)
+        if deadline is not None:
+            deadline.check(where="retry backoff")
+            delay = deadline.clamp(delay)
+        if delay > 0.0:
+            self.sleep(delay)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -37,6 +37,9 @@ class QueryStats:
     exec_engine: str = ""  # 'row' | 'vector'; 'mixed' after merging both
     dispatch_mode: str = ""  # 'serial' | 'threads'; 'mixed' after merging both
     parallelism: int = 0  # max shard queries in flight at once (0 = single node)
+    queue_wait_ms: float = 0.0  # time spent waiting in admission queues
+    deadline_budget_ms: float = 0.0  # deadline budget left at completion (0 = none)
+    cancelled: int = 0  # work units cooperatively cancelled below this result
 
     def merge(self, other: "QueryStats") -> None:
         self.heap_fetches += other.heap_fetches
@@ -71,6 +74,17 @@ class QueryStats:
             elif self.dispatch_mode != other.dispatch_mode:
                 self.dispatch_mode = "mixed"
         self.parallelism = max(self.parallelism, other.parallelism)
+        self.queue_wait_ms += other.queue_wait_ms
+        self.cancelled += other.cancelled
+        # The merged result is only as close to its deadline as its
+        # tightest contributor; zero means "no deadline", so it never wins.
+        if other.deadline_budget_ms:
+            if not self.deadline_budget_ms:
+                self.deadline_budget_ms = other.deadline_budget_ms
+            else:
+                self.deadline_budget_ms = min(
+                    self.deadline_budget_ms, other.deadline_budget_ms
+                )
 
 
 @dataclass

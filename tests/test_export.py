@@ -21,6 +21,7 @@ def sample():
             rows_per_sec=250_000.0, exec_engine="vector",
             dispatch_mode="threads", parallelism=4,
             peak_mem_bytes=65_536, spill_bytes=1_048_576,
+            queue_wait_ms=1.5, deadline_budget_ms=250.0, cancelled=2,
         ),
     ]
 
@@ -46,7 +47,8 @@ def test_csv_has_header_and_rows():
     assert lines[0].endswith(
         "compile_ms,nesting_depth,rows_per_sec,exec_engine,dispatch_mode,"
         "parallelism,peak_mem_bytes,spill_bytes,"
-        "cache_hits,cache_misses,singleflight_waits"
+        "cache_hits,cache_misses,singleflight_waits,"
+        "queue_wait_ms,deadline_budget_ms,cancelled"
     )
     assert len(lines) == 5
     assert "PolyFrame-Neo4j" in lines[2]
@@ -77,6 +79,23 @@ def test_throughput_columns_round_trip():
     for row in legacy:
         del row["rows_per_sec"], row["exec_engine"]
     assert from_json(json.dumps(legacy))[0].rows_per_sec == 0.0
+
+
+def test_deadline_columns_round_trip():
+    rows = measurements_to_dicts(sample())
+    assert rows[3]["queue_wait_ms"] == 1.5
+    assert rows[3]["deadline_budget_ms"] == 250.0
+    assert rows[3]["cancelled"] == 2
+    assert rows[0]["queue_wait_ms"] == 0.0  # deadlines/admission off by default
+    rehydrated = from_json(to_json(sample()))
+    assert rehydrated[3].queue_wait_ms == 1.5
+    assert rehydrated[3].deadline_budget_ms == 250.0
+    assert rehydrated[3].cancelled == 2
+    # Older exports without the columns rehydrate with defaults.
+    legacy = json.loads(to_json(sample()[:1]))
+    for row in legacy:
+        del row["queue_wait_ms"], row["deadline_budget_ms"], row["cancelled"]
+    assert from_json(json.dumps(legacy))[0].cancelled == 0
 
 
 def test_memory_columns_round_trip():

@@ -9,10 +9,13 @@ sorts, first-seen group order for aggregation).
 from __future__ import annotations
 
 import gc
+import os
 import random
 import tempfile
 
 import pytest
+
+from repro.obs.trace import get_tracer
 
 from repro.errors import ReproError
 from repro.exec.memory import (
@@ -292,6 +295,13 @@ class TestSpillFileCleanup:
         assert created, "the tiny budget must have forced a spill"
         return created, result, iterator
 
+    @pytest.mark.skipif(
+        get_tracer() is not None
+        or os.environ.get("REPRO_EXEC", "").strip().lower() == "vector",
+        reason="the half-drained-sort premise is row-engine streaming: "
+        "tracing materializes streams, and the vector sort finishes its "
+        "spill runs before the first record comes out",
+    )
     def test_streaming_abandonment_via_close(self, monkeypatch):
         created, result, _iterator = self._streaming_sort(monkeypatch)
         assert any(not handle.closed for handle in created)

@@ -37,4 +37,8 @@ def test_every_action_traced(caplog):
         len(frame)
         frame["v"].max()
         frame.collect()
-    assert len(caplog.records) == 3
+    # Count the DEBUG trace lines only: under the CI chaos env the
+    # global retry policy makes the streaming collect() materialize,
+    # which emits a one-time WARNING on the same logger.
+    traces = [r for r in caplog.records if r.levelno == logging.DEBUG]
+    assert len(traces) == 3
